@@ -1,0 +1,248 @@
+//! Concentric-circle layer assignment (after Lin et al., ICCAD 2016).
+//!
+//! The prior work models the nets around one chip as connections from an
+//! inner circle (the chip's I/O pads, ordered by angle) to an outer circle
+//! (the far terminals, ordered by angle). Under monotone ring-by-ring
+//! routing, a set of nets is single-layer routable iff the outer order is
+//! a circular-order-preserving image of the inner order; the largest such
+//! subset is a longest *circularly increasing subsequence* of the outer
+//! ranks. One subset is peeled per wire layer, chip by chip — a local view
+//! per chip, which is exactly the limitation the paper's whole-fan-out
+//! circular model removes (§IV analysis, first bullet).
+
+use info_model::{NetId, Package};
+use std::collections::BTreeMap;
+
+/// Result of concentric-circle layer assignment.
+#[derive(Debug, Clone, Default)]
+pub struct ConcentricAssignment {
+    /// `net → wire layer` for assigned nets.
+    pub layer_of: BTreeMap<NetId, usize>,
+    /// Nets no layer could take monotonically.
+    pub unassigned: Vec<NetId>,
+}
+
+/// Longest increasing subsequence (strict) of `vals`; returns indices.
+fn lis(vals: &[usize]) -> Vec<usize> {
+    if vals.is_empty() {
+        return Vec::new();
+    }
+    let n = vals.len();
+    let mut tails: Vec<usize> = Vec::new(); // index of smallest tail per length
+    let mut parent = vec![usize::MAX; n];
+    for i in 0..n {
+        let pos = tails.partition_point(|&t| vals[t] < vals[i]);
+        if pos > 0 {
+            parent[i] = tails[pos - 1];
+        }
+        if pos == tails.len() {
+            tails.push(i);
+        } else {
+            tails[pos] = i;
+        }
+    }
+    let mut out = Vec::new();
+    let mut cur = *tails.last().expect("nonempty");
+    loop {
+        out.push(cur);
+        if parent[cur] == usize::MAX {
+            break;
+        }
+        cur = parent[cur];
+    }
+    out.reverse();
+    out
+}
+
+/// Largest circularly-increasing subset: try every rotation of the value
+/// space and keep the best plain LIS.
+fn circular_lis(ranks: &[usize]) -> Vec<usize> {
+    let n = ranks.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    let mut best: Vec<usize> = Vec::new();
+    for rot in 0..n {
+        let vals: Vec<usize> = ranks.iter().map(|&r| (r + rot) % n).collect();
+        let cand = lis(&vals);
+        if cand.len() > best.len() {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Runs the per-chip concentric assignment over all wire layers.
+pub fn concentric_assignment(package: &Package) -> ConcentricAssignment {
+    let layers = package.wire_layer_count();
+    let mut layer_of: BTreeMap<NetId, usize> = BTreeMap::new();
+
+    for chip in package.chips() {
+        let center = chip.outline.center();
+        let angle = |p: info_geom::Point| -> f64 {
+            let v = p - center;
+            (v.dy as f64).atan2(v.dx as f64)
+        };
+        // Nets whose first terminal (an I/O pad) is on this chip and that
+        // are still unassigned.
+        let mut local: Vec<(NetId, f64, f64)> = package
+            .nets()
+            .iter()
+            .filter(|n| {
+                !layer_of.contains_key(&n.id) && package.pad(n.a).chip() == Some(chip.id)
+            })
+            .map(|n| {
+                (
+                    n.id,
+                    angle(package.pad(n.a).center),
+                    angle(package.pad(n.b).center),
+                )
+            })
+            .collect();
+        if local.is_empty() {
+            continue;
+        }
+        // Inner order by pad angle; outer ranks by far-terminal angle.
+        local.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut outer_sorted: Vec<usize> = (0..local.len()).collect();
+        outer_sorted.sort_by(|&i, &j| local[i].2.total_cmp(&local[j].2).then(i.cmp(&j)));
+        let mut rank = vec![0usize; local.len()];
+        for (r, &i) in outer_sorted.iter().enumerate() {
+            rank[i] = r;
+        }
+
+        let mut remaining: Vec<usize> = (0..local.len()).collect();
+        for layer in 0..layers {
+            if remaining.is_empty() {
+                break;
+            }
+            let ranks: Vec<usize> = remaining.iter().map(|&i| rank[i]).collect();
+            let picked_local = circular_lis(&ranks);
+            if picked_local.is_empty() {
+                break;
+            }
+            let picked: Vec<usize> = picked_local.iter().map(|&k| remaining[k]).collect();
+            for &i in &picked {
+                layer_of.insert(local[i].0, layer);
+            }
+            remaining.retain(|i| !picked.contains(i));
+        }
+    }
+
+    let unassigned = package
+        .nets()
+        .iter()
+        .map(|n| n.id)
+        .filter(|id| !layer_of.contains_key(id))
+        .collect();
+    ConcentricAssignment { layer_of, unassigned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use info_geom::{Point, Rect};
+    use info_model::{DesignRules, PackageBuilder};
+
+    #[test]
+    fn lis_basics() {
+        assert_eq!(lis(&[]), Vec::<usize>::new());
+        assert_eq!(lis(&[5]), vec![0]);
+        assert_eq!(lis(&[1, 2, 3]).len(), 3);
+        assert_eq!(lis(&[3, 2, 1]).len(), 1);
+        let picked = lis(&[2, 5, 3, 7, 1, 8]);
+        assert_eq!(picked.len(), 4); // 2, 3, 7, 8
+        for w in picked.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn circular_lis_handles_wraparound() {
+        // 2, 3, 0, 1 is circularly increasing in full.
+        assert_eq!(circular_lis(&[2, 3, 0, 1]).len(), 4);
+        // Reversed order: any *pair* of values is still circularly ordered
+        // (two nets never conflict in an annulus), but no triple is.
+        assert_eq!(circular_lis(&[3, 2, 1, 0]).len(), 2);
+        assert_eq!(circular_lis(&[0]).len(), 1);
+        assert_eq!(circular_lis(&[]).len(), 0);
+    }
+
+    /// Parallel facing nets keep identical inner and outer orders: all on
+    /// layer 0.
+    #[test]
+    fn parallel_nets_share_layer_zero() {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_200_000, 800_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(100_000, 200_000), Point::new(400_000, 600_000)));
+        let c2 = b.add_chip(Rect::new(Point::new(800_000, 200_000), Point::new(1_100_000, 600_000)));
+        for i in 0..3 {
+            let y = 260_000 + 100_000 * i;
+            let a = b.add_io_pad(c1, Point::new(380_000, y)).unwrap();
+            let z = b.add_io_pad(c2, Point::new(820_000, y)).unwrap();
+            b.add_net(a, z).unwrap();
+        }
+        let pkg = b.build().unwrap();
+        let asg = concentric_assignment(&pkg);
+        assert!(asg.unassigned.is_empty());
+        assert!(asg.layer_of.values().all(|&l| l == 0), "{asg:?}");
+    }
+
+    /// Reversed pad order between the chips: at most two of the three
+    /// chords stay circularly monotone per layer, so two layers are used.
+    #[test]
+    fn reversed_nets_spread_over_layers() {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_200_000, 800_000)),
+            DesignRules::default(),
+            3,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(100_000, 200_000), Point::new(400_000, 600_000)));
+        let c2 = b.add_chip(Rect::new(Point::new(800_000, 200_000), Point::new(1_100_000, 600_000)));
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for i in 0..3 {
+            let y = 260_000 + 100_000 * i;
+            left.push(b.add_io_pad(c1, Point::new(380_000, y)).unwrap());
+            right.push(b.add_io_pad(c2, Point::new(820_000, y)).unwrap());
+        }
+        for i in 0..3usize {
+            b.add_net(left[i], right[2 - i]).unwrap();
+        }
+        let pkg = b.build().unwrap();
+        let asg = concentric_assignment(&pkg);
+        assert!(asg.unassigned.is_empty());
+        let layers: std::collections::BTreeSet<usize> = asg.layer_of.values().copied().collect();
+        assert_eq!(layers.len(), 2, "{asg:?}");
+    }
+
+    #[test]
+    fn too_few_layers_leaves_nets_unassigned() {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_200_000, 800_000)),
+            DesignRules::default(),
+            1,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(100_000, 200_000), Point::new(400_000, 600_000)));
+        let c2 = b.add_chip(Rect::new(Point::new(800_000, 200_000), Point::new(1_100_000, 600_000)));
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for i in 0..3 {
+            let y = 260_000 + 100_000 * i;
+            left.push(b.add_io_pad(c1, Point::new(380_000, y)).unwrap());
+            right.push(b.add_io_pad(c2, Point::new(820_000, y)).unwrap());
+        }
+        for i in 0..3usize {
+            b.add_net(left[i], right[2 - i]).unwrap();
+        }
+        let pkg = b.build().unwrap();
+        let asg = concentric_assignment(&pkg);
+        // One layer takes the largest circularly-monotone pair; the third
+        // net has nowhere to go.
+        assert_eq!(asg.layer_of.len(), 2);
+        assert_eq!(asg.unassigned.len(), 1);
+    }
+}

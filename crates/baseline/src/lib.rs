@@ -1,0 +1,23 @@
+//! **Lin-ext**: the comparison baseline of the paper's evaluation (§IV).
+//!
+//! Lin-ext integrates the concurrent routing method of the state-of-the-art
+//! InFO RDL router of Lin, Lin and Chang (ICCAD 2016) \[11\] with an
+//! A\*-search sequential stage to improve its routability — exactly the
+//! combination the paper benchmarks against. Its defining restrictions:
+//!
+//! - **No flexible vias.** Every pad carries a fixed via stack punching
+//!   through all RDLs, and each net must be routed *within one single wire
+//!   layer* (Fig. 2(a)).
+//! - **Concentric-circle layer assignment.** Layer assignment looks at the
+//!   nets around one chip at a time (a local view), unlike the paper's
+//!   whole-fan-out-region weighted MPSC.
+//!
+//! The sequential extension reuses the same octagonal-tile A\* as the main
+//! router but with via moves disabled, so every net stays on its chosen
+//! layer.
+
+mod concentric;
+mod flow;
+
+pub use concentric::{concentric_assignment, ConcentricAssignment};
+pub use flow::{LinExtRouter, LinExtOutcome};

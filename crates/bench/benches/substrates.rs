@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the algorithmic substrates: MPSC scaling, the LP
+//! solver, geometry kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use info_geom::{Octagon, Point, Rect, Segment};
+use info_lp::{Cmp, Model};
+use info_mpsc::{max_planar_subset, Chord};
+use rand::{Rng, SeedableRng};
+
+fn bench_mpsc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpsc");
+    for n_points in [64usize, 256, 1024, 4096] {
+        // Random disjoint chords over the circle.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n_points as u64);
+        let mut points: Vec<usize> = (0..n_points).collect();
+        for i in (1..points.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            points.swap(i, j);
+        }
+        let chords: Vec<Chord> = points
+            .chunks(2)
+            .map(|p| Chord::new(p[0], p[1], rng.gen_range(0.1..3.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_points), &n_points, |b, _| {
+            b.iter(|| max_planar_subset(n_points, &chords).expect("valid chords"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_chain");
+    group.sample_size(10);
+    for n in [100usize, 500, 2000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = Model::new();
+                let vars: Vec<_> = (0..n).map(|_| m.add_var(0.0, f64::INFINITY, 1.0)).collect();
+                for i in 0..n - 1 {
+                    m.add_row([(vars[i + 1], 1.0), (vars[i], -1.0)], Cmp::Ge, 1.0);
+                }
+                m.solve().expect("chain LP is feasible")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geom");
+    let a = Octagon::regular(Point::new(0, 0), 10_000);
+    let b = Octagon::regular(Point::new(7_000, 2_000), 10_000);
+    group.bench_function("octagon_intersection", |bch| {
+        bch.iter(|| a.intersection(std::hint::black_box(&b)));
+    });
+    let s1 = Segment::new(Point::new(0, 0), Point::new(100_000, 40_000));
+    let s2 = Segment::new(Point::new(0, 40_000), Point::new(100_000, 0));
+    group.bench_function("segment_intersect", |bch| {
+        bch.iter(|| std::hint::black_box(s1).intersect(std::hint::black_box(s2)));
+    });
+    group.bench_function("partition_16_holes", |bch| {
+        let region = Rect::new(Point::new(0, 0), Point::new(1_000_000, 1_000_000));
+        let holes: Vec<Rect> = (0..16)
+            .map(|i| {
+                let x = 100_000 + (i % 4) * 220_000;
+                let y = 100_000 + (i / 4) * 220_000;
+                Rect::new(Point::new(x, y), Point::new(x + 120_000, y + 120_000))
+            })
+            .collect();
+        bch.iter(|| info_tile::line_extension_partition(region, &holes));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpsc, bench_lp, bench_geometry);
+criterion_main!(benches);

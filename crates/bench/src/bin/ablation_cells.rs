@@ -1,0 +1,24 @@
+//! Ablation A2: global-cell grid sweep (the paper fixes 30 × 30).
+
+use info_router::{InfoRouter, RouterConfig};
+use std::time::Instant;
+
+fn main() {
+    let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    println!("Ablation A2 — global-cell count sweep on dense{idx}");
+    println!("{:>7} | {:>8} | {:>12} | {:>8}", "grid", "rt%", "WL (um)", "time (s)");
+    let pkg = info_gen::dense(idx);
+    for cells in [10usize, 20, 30, 40] {
+        let t = Instant::now();
+        let out =
+            InfoRouter::new(RouterConfig::default().with_global_cells(cells)).route(&pkg);
+        println!(
+            "{:>4}x{:<2} | {:>8.1} | {:>12.0} | {:>8.2}",
+            cells,
+            cells,
+            out.stats.routability_pct,
+            out.stats.total_wirelength_um,
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Ablation A3: the LP optimization stage's effect on routability and
+//! wirelength (§IV analysis, second bullet: LP releases routing resources
+//! after concurrent routing, helping the sequential stage).
+
+use info_router::{InfoRouter, RouterConfig};
+
+fn main() {
+    let max_index: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    println!("Ablation A3 — LP-based layout optimization on vs off");
+    println!(
+        "{:<8} | {:>9} {:>12} | {:>9} {:>12}",
+        "Circuit", "LP rt%", "LP WL(um)", "noLP rt%", "noLP WL(um)"
+    );
+    for idx in 1..=max_index {
+        let pkg = info_gen::dense(idx);
+        let with = InfoRouter::new(RouterConfig::default()).route(&pkg);
+        let without = InfoRouter::new(RouterConfig::default().without_lp()).route(&pkg);
+        println!(
+            "{:<8} | {:>9.1} {:>12.0} | {:>9.1} {:>12.0}",
+            format!("dense{idx}"),
+            with.stats.routability_pct,
+            with.stats.total_wirelength_um,
+            without.stats.routability_pct,
+            without.stats.total_wirelength_um,
+        );
+    }
+}

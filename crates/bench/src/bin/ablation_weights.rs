@@ -1,0 +1,25 @@
+//! Ablation A1: weighted vs unweighted MPSC inside the full flow.
+
+use info_router::{InfoRouter, RouterConfig};
+
+fn main() {
+    let max_index: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    println!("Ablation A1 — weighted (paper Eq. 2) vs unweighted (Supowit) layer assignment");
+    println!(
+        "{:<8} | {:>12} {:>12} | {:>12} {:>12}",
+        "Circuit", "w rt%", "w WL(um)", "unw rt%", "unw WL(um)"
+    );
+    for idx in 1..=max_index {
+        let pkg = info_gen::dense(idx);
+        let w = InfoRouter::new(RouterConfig::default()).route(&pkg);
+        let u = InfoRouter::new(RouterConfig::default().with_unweighted_mpsc()).route(&pkg);
+        println!(
+            "{:<8} | {:>12.1} {:>12.0} | {:>12.1} {:>12.0}",
+            format!("dense{idx}"),
+            w.stats.routability_pct,
+            w.stats.total_wirelength_um,
+            u.stats.routability_pct,
+            u.stats.total_wirelength_um,
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates the Fig. 2 claim: how many wire layers each router needs to
+//! fully route `k` entangled (order-reversed) nets.
+//!
+//! The paper's example has k = 3: the no-flexible-via prior work needs 3
+//! RDLs, the via-based router only 2. This harness sweeps k and reports
+//! the minimum layer count at which each router reaches 100% routability.
+//!
+//! Usage: `fig2_layers [max_k]` (default 5).
+
+use info_baseline::LinExtRouter;
+use info_gen::patterns::entangled;
+use info_router::{InfoRouter, RouterConfig};
+
+fn min_layers<F: Fn(usize) -> bool>(upper: usize, fully_routed_with: F) -> Option<usize> {
+    (1..=upper).find(|&l| fully_routed_with(l))
+}
+
+fn main() {
+    let max_k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    println!("Fig. 2 — minimum wire layers for k entangled nets");
+    println!("{:>3} | {:>14} | {:>14}", "k", "Lin-ext (no vias)", "Ours (vias)");
+    for k in 1..=max_k {
+        let upper = k + 1;
+        let base = min_layers(upper, |l| {
+            LinExtRouter::new(RouterConfig::default().with_global_cells(16))
+                .route(&entangled(k, l))
+                .stats
+                .fully_routed()
+        });
+        let ours = min_layers(upper, |l| {
+            InfoRouter::new(RouterConfig::default().with_global_cells(16))
+                .route(&entangled(k, l))
+                .stats
+                .fully_routed()
+        });
+        let show = |o: Option<usize>| o.map_or("-".to_string(), |v| v.to_string());
+        println!("{:>3} | {:>14} | {:>14}", k, show(base), show(ours));
+    }
+    println!("(paper's k = 3 example: 3 layers without flexible vias, 2 with)");
+}

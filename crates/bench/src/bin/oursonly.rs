@@ -1,0 +1,10 @@
+//! Quick development check: run only the via-based router on one circuit.
+use std::time::Instant;
+fn main() {
+    let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let pkg = info_gen::dense(idx);
+    let t = Instant::now();
+    let out = info_router::InfoRouter::new(info_router::RouterConfig::default()).route(&pkg);
+    println!("dense{idx} OURS: {} in {:?} (conc {} seq {} fail {:?})",
+        out.stats, t.elapsed(), out.concurrent_routed, out.sequential_routed, out.failed);
+}

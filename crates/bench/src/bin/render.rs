@@ -1,0 +1,28 @@
+//! Renders a benchmark circuit (optionally routed) to SVG.
+//!
+//! Usage: `render <dense-index> [--route] [output.svg]`
+
+use info_model::svg;
+use info_router::{InfoRouter, RouterConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let idx: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let route = args.iter().any(|a| a == "--route");
+    let out = args
+        .iter()
+        .find(|a| a.ends_with(".svg"))
+        .cloned()
+        .unwrap_or_else(|| format!("dense{idx}.svg"));
+
+    let pkg = info_gen::dense(idx);
+    let doc = if route {
+        let outcome = InfoRouter::new(RouterConfig::default()).route(&pkg);
+        eprintln!("routed: {}", outcome.stats);
+        svg::render(&pkg, Some(&outcome.layout))
+    } else {
+        svg::render(&pkg, None)
+    };
+    std::fs::write(&out, doc).expect("write svg");
+    eprintln!("wrote {out}");
+}

@@ -1,0 +1,63 @@
+//! Regenerates Table I: benchmark statistics plus routability, total
+//! wirelength and runtime for Lin-ext and our via-based router on
+//! dense1–dense5.
+//!
+//! Usage: `table1 [max_index]` (default 5; pass 3 for a quick run).
+
+use info_baseline::LinExtRouter;
+use info_bench::{geomean, secs};
+use info_router::{InfoRouter, RouterConfig};
+use std::time::Instant;
+
+fn main() {
+    let max_index: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    println!("Table I — Lin-ext vs Ours (synthetic dense suite; see DESIGN.md substitutions)");
+    println!(
+        "{:<8} {:>6} {:>5} {:>5} {:>5} {:>4} {:>4} | {:>9} {:>9} | {:>12} {:>12} | {:>8} {:>8}",
+        "Circuit", "#Chips", "|Q|", "|G|", "|N|", "Lw", "Lv",
+        "Lin rt%", "Ours rt%", "Lin WL(um)", "Ours WL(um)", "Lin s", "Ours s"
+    );
+
+    let mut ratios_rt = Vec::new();
+    let mut ratios_time = Vec::new();
+    for idx in 1..=max_index {
+        let pkg = info_gen::dense(idx);
+
+        let t0 = Instant::now();
+        let base = LinExtRouter::new(RouterConfig::default()).route(&pkg);
+        let base_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let ours = InfoRouter::new(RouterConfig::default()).route(&pkg);
+        let ours_time = t1.elapsed();
+
+        println!(
+            "{:<8} {:>6} {:>5} {:>5} {:>5} {:>4} {:>4} | {:>9.1} {:>9.1} | {:>12.0} {:>12.0} | {:>8} {:>8}",
+            format!("dense{idx}"),
+            pkg.chips().len(),
+            pkg.io_pad_count(),
+            pkg.bump_pad_count(),
+            pkg.nets().len(),
+            pkg.wire_layer_count(),
+            pkg.via_layer_count(),
+            base.stats.routability_pct,
+            ours.stats.routability_pct,
+            base.stats.total_wirelength_um,
+            ours.stats.total_wirelength_um,
+            secs(base_time),
+            secs(ours_time),
+        );
+        if ours.stats.routability_pct > 0.0 {
+            ratios_rt.push(base.stats.routability_pct / ours.stats.routability_pct);
+        }
+        if ours_time.as_secs_f64() > 0.0 {
+            ratios_time.push(base_time.as_secs_f64() / ours_time.as_secs_f64());
+        }
+    }
+    println!(
+        "Comparisons (geo-mean ratios, Lin-ext / Ours): routability {:.3}, runtime {:.3}",
+        geomean(ratios_rt),
+        geomean(ratios_time)
+    );
+    println!("(paper: routability 0.794, runtime 0.297)");
+}

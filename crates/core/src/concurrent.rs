@@ -1,0 +1,423 @@
+//! Stage 2b — Concurrent detailed routing (§III-B2).
+//!
+//! Every net assigned to a wire layer is realized by pattern routing along
+//! its pre-routed MST path: pad → fan-out access point (with a stacked via
+//! when the assigned layer differs from the pad's layer) → offset crossing
+//! points on each fan-out grid border → the far terminal. Nets sharing a
+//! border are spread by one wire pitch per net. A net whose realization
+//! would cross already-committed geometry is skipped and handed to the
+//! sequential stage instead, so the committed layout stays planar.
+
+use crate::assign::Assignment;
+use crate::config::RouterConfig;
+use crate::preprocess::{CandidateNet, Preprocessed};
+use info_geom::{Coord, Dir8, Point, Polyline, Rect, Segment};
+use info_model::{Layout, NetId, Package, PadKind, WireLayer};
+use info_tile::realize::{xarch_connect, xarch_connect_pref};
+use std::collections::HashMap;
+
+/// Result of the concurrent stage.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrentResult {
+    /// Nets fully committed by this stage.
+    pub routed: Vec<NetId>,
+    /// Candidate indices skipped (handed to sequential routing).
+    pub skipped: Vec<usize>,
+}
+
+/// Shared border segment of two touching rectangles.
+fn shared_border(a: Rect, b: Rect) -> Option<Segment> {
+    if a.hi.x == b.lo.x || b.hi.x == a.lo.x {
+        let x = if a.hi.x == b.lo.x { a.hi.x } else { b.hi.x };
+        let y0 = a.lo.y.max(b.lo.y);
+        let y1 = a.hi.y.min(b.hi.y);
+        (y1 > y0).then(|| Segment::new(Point::new(x, y0), Point::new(x, y1)))
+    } else if a.hi.y == b.lo.y || b.hi.y == a.lo.y {
+        let y = if a.hi.y == b.lo.y { a.hi.y } else { b.hi.y };
+        let x0 = a.lo.x.max(b.lo.x);
+        let x1 = a.hi.x.min(b.hi.x);
+        (x1 > x0).then(|| Segment::new(Point::new(x0, y), Point::new(x1, y)))
+    } else {
+        None
+    }
+}
+
+/// Outward normal direction from a chip at a boundary point.
+fn outward(chip: Rect, at: Point) -> Dir8 {
+    if at.x == chip.lo.x {
+        Dir8::W
+    } else if at.x == chip.hi.x {
+        Dir8::E
+    } else if at.y == chip.lo.y {
+        Dir8::S
+    } else {
+        Dir8::N
+    }
+}
+
+/// Routes all assigned candidates; commits geometry into `layout`.
+pub fn route_concurrent(
+    package: &Package,
+    layout: &mut Layout,
+    pre: &Preprocessed,
+    asg: &Assignment,
+    cfg: &RouterConfig,
+) -> ConcurrentResult {
+    let _ = cfg;
+    let rules = package.rules();
+    let pitch = rules.wire_width + rules.min_spacing;
+    let bottom = package.bottom_layer();
+
+    // Pre-compute, per MST edge, the nets crossing it (for offsets), keyed
+    // by unordered grid pair, per layer.
+    let mut edge_usage: HashMap<(usize, usize, u8), Vec<usize>> = HashMap::new();
+    for (k, layer_nets) in asg.per_layer.iter().enumerate() {
+        for &ci in layer_nets {
+            let c = &pre.candidates[ci];
+            for w in c.pre_route.windows(2) {
+                let key = (w[0].min(w[1]), w[0].max(w[1]), k as u8);
+                edge_usage.entry(key).or_default().push(ci);
+            }
+        }
+    }
+    // Same-grid nets (both access points in one grid) share that grid's
+    // center corridor; track them per (grid, layer) for offsets too.
+    let mut grid_usage: HashMap<(usize, u8), Vec<usize>> = HashMap::new();
+    for (k, layer_nets) in asg.per_layer.iter().enumerate() {
+        for &ci in layer_nets {
+            let c = &pre.candidates[ci];
+            if c.pre_route.len() == 1 {
+                grid_usage.entry((c.pre_route[0], k as u8)).or_default().push(ci);
+            }
+        }
+    }
+    // Deterministic offset index: order by chord span so nested nets fan
+    // out from the middle (an approximation of the planar nesting order).
+    let span = |ci: usize| {
+        let c = &pre.candidates[ci];
+        c.a.circle.max(c.b.circle) - c.a.circle.min(c.b.circle)
+    };
+    for v in edge_usage.values_mut() {
+        v.sort_by_key(|&ci| (span(ci), ci));
+    }
+    for v in grid_usage.values_mut() {
+        v.sort_by_key(|&ci| (span(ci), ci));
+    }
+    let offset_of = |ci: usize, g1: usize, g2: usize, k: u8| -> (usize, usize) {
+        let key = (g1.min(g2), g1.max(g2), k);
+        let list = &edge_usage[&key];
+        (list.iter().position(|&x| x == ci).expect("net uses edge"), list.len())
+    };
+    let grid_offset_of = |ci: usize, g: usize, k: u8| -> (usize, usize) {
+        match grid_usage.get(&(g, k)) {
+            // Multi-grid nets are absent from the same-grid lists: (0, 1).
+            Some(list) => list
+                .iter()
+                .position(|&x| x == ci)
+                .map_or((0, 1), |i| (i, list.len())),
+            None => (0, 1),
+        }
+    };
+
+    let mut result = ConcurrentResult::default();
+    for (k, layer_nets) in asg.per_layer.iter().enumerate() {
+        let layer = WireLayer(k as u8);
+        for &ci in layer_nets {
+            let c = &pre.candidates[ci];
+            // First try the tight pattern (border crossings only); if it
+            // cannot be committed, retry through the grid centers, which
+            // gives conflicts near pad rows a wide berth.
+            let mut attempt = None;
+            for (via_centers, pref) in
+                [(false, 0u8), (true, 0), (true, 1), (true, 2), (true, 3)]
+            {
+                let Some(real) = realize_candidate(
+                    package, pre, c, layer, bottom, pitch, via_centers, pref,
+                    |g1, g2| offset_of(ci, g1, g2, k as u8),
+                    grid_offset_of(ci, c.pre_route[0], k as u8),
+                ) else {
+                    continue;
+                };
+                let valid = real.routes.iter().all(|(_, pl)| pl.validate().is_ok());
+                let crosses = real.routes.iter().any(|(l, pl)| {
+                    layout.routes_on(*l).any(|r| r.net != c.net && pl.crosses(&r.path))
+                });
+                let proposal = crate::trial::Proposal {
+                    routes: real.routes.clone(),
+                    vias: real.vias.clone(),
+                };
+                if valid
+                    && !crosses
+                    && crate::trial::clearance_ok(package, layout, c.net, &proposal)
+                {
+                    attempt = Some(real);
+                    break;
+                }
+            }
+            match attempt {
+                Some(real) => {
+                    for (l, pl) in real.routes {
+                        layout.add_route(c.net, l, pl);
+                    }
+                    for (at, top, bot) in real.vias {
+                        layout.add_via(c.net, at, rules.via_width, top, bot, false);
+                    }
+                    result.routed.push(c.net);
+                }
+                None => result.skipped.push(ci),
+            }
+        }
+    }
+    result
+}
+
+struct Realized {
+    routes: Vec<(WireLayer, Polyline)>,
+    vias: Vec<(Point, WireLayer, WireLayer)>,
+}
+
+/// Builds the geometry of one candidate on its assigned layer.
+fn realize_candidate(
+    package: &Package,
+    pre: &Preprocessed,
+    c: &CandidateNet,
+    layer: WireLayer,
+    bottom: WireLayer,
+    pitch: Coord,
+    via_centers: bool,
+    pref: u8,
+    offset_of: impl Fn(usize, usize) -> (usize, usize),
+    grid_offset: (usize, usize),
+) -> Option<Realized> {
+    let rules = package.rules();
+    let mut routes: Vec<(WireLayer, Polyline)> = Vec::new();
+    let mut vias = Vec::new();
+
+    // Lane index of this net among the nets sharing its corridor; used to
+    // stagger escape lengths and center offsets.
+    let (idx0, n0) = if c.pre_route.len() >= 2 {
+        offset_of(c.pre_route[0], c.pre_route[1])
+    } else {
+        grid_offset
+    };
+    let lane_step = (pitch as f64 * std::f64::consts::SQRT_2).ceil() as Coord;
+
+    // Terminal handling returns the point where the layer-`layer` wire
+    // starts for this terminal.
+    let terminal = |info: &crate::preprocess::AccessInfo,
+                        routes: &mut Vec<(WireLayer, Polyline)>,
+                        vias: &mut Vec<(Point, WireLayer, WireLayer)>|
+     -> Option<Point> {
+        let pad = package.pad(info.pad);
+        let pad_layer = package.pad_layer(info.pad);
+        if pad_layer == layer {
+            if let PadKind::Io { chip } = pad.kind {
+                // Escape perpendicular to the chip edge before running the
+                // fan-out pattern, staggered per lane so no run slices a
+                // neighbor's stub tip.
+                let out = outward(package.chip(chip).outline, info.at);
+                let escape = info.at + out.step() * (2 * pitch + idx0 as Coord * lane_step);
+                let (mut pts, _) = xarch_connect(pad.center, escape, None);
+                let mut stub = vec![pad.center];
+                stub.append(&mut pts);
+                if stub.len() >= 2 {
+                    let mut pl = Polyline::new(stub);
+                    pl.simplify();
+                    pl.validate().ok()?;
+                    routes.push((layer, pl));
+                }
+                return Some(escape);
+            }
+            return Some(pad.center);
+        }
+        match pad.kind {
+            PadKind::Io { chip } => {
+                // Stub on the top layer from the pad to a via just outside
+                // the chip, then dive to the assigned layer.
+                let out = outward(package.chip(chip).outline, info.at);
+                let margin = rules.via_width / 2 + rules.min_spacing + rules.wire_width;
+                let via_at = info.at + out.step() * margin;
+                let (mut pts, _) = xarch_connect(pad.center, via_at, None);
+                let mut stub = vec![pad.center];
+                stub.append(&mut pts);
+                if stub.len() >= 2 {
+                    let mut pl = Polyline::new(stub);
+                    pl.simplify();
+                    pl.validate().ok()?;
+                    routes.push((WireLayer::TOP, pl));
+                }
+                vias.push((via_at, WireLayer::TOP, layer));
+                Some(via_at)
+            }
+            PadKind::Bump => {
+                // Via straight up from the bump pad center.
+                vias.push((pad.center, layer, bottom));
+                Some(pad.center)
+            }
+        }
+    };
+
+    let start = terminal(&c.a, &mut routes, &mut vias)?;
+    let end = terminal(&c.b, &mut routes, &mut vias)?;
+
+    // Waypoints across the fan-out grids with per-border offsets; the
+    // retry style also threads each grid's center so bundles swing wide
+    // of pad rows.
+    let mut waypoints = vec![start];
+    let center_offset = |g: usize| -> Point {
+        let ctr = pre.grids[g].center();
+        // A vertical offset shrinks by √2 across diagonal runs; spread by
+        // pitch·√2 so every orientation keeps a full pitch.
+        let spread = (((idx0 as f64) - (n0 as f64 - 1.0) / 2.0) * lane_step as f64).round() as Coord;
+        // Displace vertically: a vertical shift changes both diagonal
+        // coordinates (x+y and x−y), so nested nets separate on every
+        // X-architecture orientation.
+        Point::new(ctr.x, ctr.y + spread)
+    };
+    if via_centers && c.pre_route.len() == 1 {
+        waypoints.push(center_offset(c.pre_route[0]));
+    }
+    for w in c.pre_route.windows(2) {
+        let (g1, g2) = (w[0], w[1]);
+        if via_centers {
+            waypoints.push(center_offset(g1));
+        }
+        let border = shared_border(pre.grids[g1], pre.grids[g2])?;
+        let (idx, n) = offset_of(g1, g2);
+        let dir = border.delta();
+        let len = border.len_euclid();
+        let step = pitch as f64 * std::f64::consts::SQRT_2;
+        // Center the bundle on the border midpoint, clamp inside.
+        let spread = ((idx as f64) - (n as f64 - 1.0) / 2.0) * step;
+        let t = (0.5 + spread / len).clamp(0.05, 0.95);
+        let p = Point::new(
+            border.a.x + (dir.dx as f64 * t).round() as Coord,
+            border.a.y + (dir.dy as f64 * t).round() as Coord,
+        );
+        waypoints.push(p);
+    }
+    if via_centers && c.pre_route.len() >= 2 {
+        waypoints.push(center_offset(*c.pre_route.last().expect("nonempty")));
+    }
+    waypoints.push(end);
+
+    // Connect waypoints with legal X-architecture patterns.
+    let mut pts = vec![waypoints[0]];
+    let mut dir = None;
+    for &wp in &waypoints[1..] {
+        let from = *pts.last().expect("nonempty");
+        if wp == from {
+            continue;
+        }
+        let (mut seg_pts, d) = xarch_connect_pref(from, wp, dir, pref);
+        pts.append(&mut seg_pts);
+        dir = d;
+    }
+    if pts.len() >= 2 {
+        let mut pl = Polyline::new(pts);
+        pl.simplify();
+        pl.validate().ok()?;
+        routes.push((layer, pl));
+    } else if routes.is_empty() && vias.is_empty() {
+        return None;
+    }
+    Some(Realized { routes, vias })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::assign_layers;
+    use crate::preprocess::preprocess;
+    use info_model::{drc, DesignRules, PackageBuilder};
+
+    fn facing_pads_package(n: usize, layers: usize) -> info_model::Package {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_200_000, 800_000)),
+            DesignRules::default(),
+            layers,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(100_000, 200_000), Point::new(400_000, 600_000)));
+        let c2 = b.add_chip(Rect::new(Point::new(800_000, 200_000), Point::new(1_100_000, 600_000)));
+        for i in 0..n {
+            let y = 260_000 + 60_000 * i as i64;
+            let a = b.add_io_pad(c1, Point::new(380_000, y)).unwrap();
+            let z = b.add_io_pad(c2, Point::new(820_000, y)).unwrap();
+            b.add_net(a, z).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn concurrent_routes_connect_and_pass_drc() {
+        let pkg = facing_pads_package(4, 2);
+        let cfg = RouterConfig::default();
+        let pre = preprocess(&pkg, &cfg);
+        let asg = assign_layers(&pre, &cfg, pkg.wire_layer_count());
+        let mut layout = Layout::new(&pkg);
+        let res = route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg);
+        assert_eq!(res.routed.len(), 4, "skipped: {:?}", res.skipped);
+        let report = drc::check(&pkg, &layout);
+        for n in pkg.nets() {
+            assert!(
+                drc::is_connected(&pkg, &layout, n.id),
+                "{} not connected; violations: {:?}",
+                n.id,
+                report.violations()
+            );
+        }
+        assert!(
+            report.is_clean(),
+            "violations: {:#?}",
+            report.violations()
+        );
+    }
+
+    #[test]
+    fn layer_one_assignment_uses_vias() {
+        // Force nets onto a deeper layer by crowding layer 0: route 8 nets
+        // with 2 layers; the planar set all fit on layer 0 here, so instead
+        // check the via machinery directly via a bump-pad net.
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_000_000, 600_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(100_000, 150_000), Point::new(350_000, 450_000)));
+        let a1 = b.add_io_pad(c1, Point::new(330_000, 300_000)).unwrap();
+        let g1 = b.add_bump_pad(Point::new(700_000, 300_000)).unwrap();
+        b.add_net(a1, g1).unwrap();
+        let pkg = b.build().unwrap();
+        let cfg = RouterConfig::default();
+        let pre = preprocess(&pkg, &cfg);
+        assert_eq!(pre.candidates.len(), 1);
+        let asg = assign_layers(&pre, &cfg, pkg.wire_layer_count());
+        let mut layout = Layout::new(&pkg);
+        let res = route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg);
+        assert_eq!(res.routed.len(), 1);
+        // The net ends on a bump pad (bottom layer): either it was assigned
+        // to layer 0 and needs a via down, or assigned to layer 1 and needs
+        // one at the I/O side.
+        assert!(layout.via_count() >= 1);
+        assert!(drc::is_connected(&pkg, &layout, info_model::NetId(0)));
+    }
+
+    #[test]
+    fn offsets_keep_parallel_nets_apart() {
+        let pkg = facing_pads_package(3, 2);
+        let cfg = RouterConfig::default();
+        let pre = preprocess(&pkg, &cfg);
+        let asg = assign_layers(&pre, &cfg, pkg.wire_layer_count());
+        let mut layout = Layout::new(&pkg);
+        route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg);
+        // No two routes of different nets cross.
+        let routes: Vec<_> = layout.routes().collect();
+        for (i, r1) in routes.iter().enumerate() {
+            for r2 in &routes[i + 1..] {
+                if r1.net != r2.net && r1.layer == r2.layer {
+                    assert!(!r1.path.crosses(&r2.path), "{} crosses {}", r1.net, r2.net);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Router configuration.
+
+use info_geom::Coord;
+
+/// Tuning parameters of the five-stage flow.
+///
+/// Defaults reproduce the paper's experimental setup (§IV): chord-weight
+/// parameters `α, β, γ, δ = 0.1, 1, 1, 2` and a 30 × 30 global-cell grid.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Weight of the detour rate in Eq. (2).
+    pub alpha: f64,
+    /// Weight of the maximum overflow term in Eq. (2).
+    pub beta: f64,
+    /// Weight of the average overflow term in Eq. (2).
+    pub gamma: f64,
+    /// Logarithm base / additive constant in Eq. (2).
+    pub delta: f64,
+    /// Global cells along each axis (the paper uses 30 × 30 = 900).
+    pub global_cells: usize,
+    /// Run stage 2 (weighted-MPSC concurrent routing). Disabling it routes
+    /// every net sequentially (ablation A1/A3 support).
+    pub concurrent_enabled: bool,
+    /// Use the congestion/detour weights in layer assignment; when false,
+    /// plain (unweighted) Supowit MPSC is used (ablation A1).
+    pub weighted_mpsc: bool,
+    /// Run stage 5 (LP-based layout optimization).
+    pub lp_enabled: bool,
+    /// Cap on LP crossing-repair iterations (the paper bounds them by the
+    /// variable count; 0 means "use the theoretical bound").
+    pub lp_max_iterations: usize,
+    /// Pads closer than this to their chip boundary count as peripheral
+    /// I/O, in multiples of the pad pitch heuristic (nm).
+    pub peripheral_margin: Coord,
+    /// Extra cost per via in A\*, as a multiple of the via width.
+    pub via_cost_factor: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            alpha: 0.1,
+            beta: 1.0,
+            gamma: 1.0,
+            delta: 2.0,
+            global_cells: 30,
+            concurrent_enabled: true,
+            weighted_mpsc: true,
+            lp_enabled: true,
+            lp_max_iterations: 50,
+            peripheral_margin: 40_000,
+            via_cost_factor: 4.0,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// The paper's parameterization, explicitly.
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// Configuration for the unweighted-MPSC ablation.
+    pub fn with_unweighted_mpsc(mut self) -> Self {
+        self.weighted_mpsc = false;
+        self
+    }
+
+    /// Configuration with the LP optimization stage disabled.
+    pub fn without_lp(mut self) -> Self {
+        self.lp_enabled = false;
+        self
+    }
+
+    /// Configuration with the concurrent stage disabled (pure sequential).
+    pub fn without_concurrent(mut self) -> Self {
+        self.concurrent_enabled = false;
+        self
+    }
+
+    /// Overrides the global-cell grid (ablation A2).
+    pub fn with_global_cells(mut self, n: usize) -> Self {
+        self.global_cells = n.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RouterConfig::default();
+        assert_eq!(c.alpha, 0.1);
+        assert_eq!(c.beta, 1.0);
+        assert_eq!(c.gamma, 1.0);
+        assert_eq!(c.delta, 2.0);
+        assert_eq!(c.global_cells, 30);
+        assert!(c.lp_enabled && c.concurrent_enabled && c.weighted_mpsc);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = RouterConfig::default().with_unweighted_mpsc().without_lp().with_global_cells(10);
+        assert!(!c.weighted_mpsc);
+        assert!(!c.lp_enabled);
+        assert_eq!(c.global_cells, 10);
+    }
+}

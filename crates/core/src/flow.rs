@@ -1,0 +1,210 @@
+//! The five-stage routing flow (Fig. 3).
+
+use crate::assign::assign_layers;
+use crate::concurrent::route_concurrent;
+use crate::config::RouterConfig;
+use crate::lpopt::{self, LpOptReport};
+use crate::preprocess::preprocess;
+use crate::sequential::route_sequential;
+use info_model::{drc::DrcReport, stats::LayoutStats, Layout, NetId, Package};
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Stage 1: preprocessing.
+    pub preprocess: Duration,
+    /// Stage 2: weighted-MPSC concurrent routing.
+    pub concurrent: Duration,
+    /// Stage 3+4: routing-graph construction and sequential A\*.
+    pub sequential: Duration,
+    /// Stage 5: LP-based layout optimization (all passes).
+    pub lp: Duration,
+}
+
+impl StageTimings {
+    /// Total runtime.
+    pub fn total(&self) -> Duration {
+        self.preprocess + self.concurrent + self.sequential + self.lp
+    }
+}
+
+/// Everything the router produced.
+#[derive(Debug, Clone)]
+pub struct RouteOutcome {
+    /// The final layout.
+    pub layout: Layout,
+    /// Table-I-style statistics (DRC-verified).
+    pub stats: LayoutStats,
+    /// The full DRC report of the final layout.
+    pub drc: DrcReport,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+    /// Nets committed by the concurrent stage.
+    pub concurrent_routed: usize,
+    /// Nets committed by the sequential stage.
+    pub sequential_routed: usize,
+    /// Nets that failed to route.
+    pub failed: Vec<NetId>,
+    /// LP report of the intermediate pass (after concurrent routing).
+    pub lp_mid: Option<LpOptReport>,
+    /// LP report of the final pass.
+    pub lp_final: Option<LpOptReport>,
+}
+
+/// The via-based multi-chip multi-layer InFO RDL router.
+#[derive(Debug, Clone, Default)]
+pub struct InfoRouter {
+    cfg: RouterConfig,
+}
+
+impl InfoRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(cfg: RouterConfig) -> Self {
+        InfoRouter { cfg }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Routes all pre-assigned nets of a package.
+    ///
+    /// Stage order follows the paper (Fig. 3); per §IV the LP optimization
+    /// also runs once right after concurrent routing so the shortened
+    /// wires release routing resources for the sequential stage.
+    pub fn route(&self, package: &Package) -> RouteOutcome {
+        let mut layout = Layout::new(package);
+        let mut timings = StageTimings::default();
+        let mut lp_mid = None;
+
+        // --- Stage 1 + 2.
+        let mut concurrent_done: Vec<NetId> = Vec::new();
+        if self.cfg.concurrent_enabled {
+            let t0 = Instant::now();
+            let pre = preprocess(package, &self.cfg);
+            timings.preprocess = t0.elapsed();
+
+            let t1 = Instant::now();
+            let asg = assign_layers(&pre, &self.cfg, package.wire_layer_count());
+            let res = route_concurrent(package, &mut layout, &pre, &asg, &self.cfg);
+            concurrent_done = res.routed;
+            timings.concurrent = t1.elapsed();
+
+            // Mid-flight LP pass: shorten the concurrent wires to release
+            // resources before sequential routing (§IV, first bullet of
+            // the analysis).
+            if self.cfg.lp_enabled && !concurrent_done.is_empty() {
+                let t2 = Instant::now();
+                lp_mid = Some(lpopt::optimize(package, &mut layout, &self.cfg));
+                timings.lp += t2.elapsed();
+            }
+        }
+
+        // --- Stage 3 + 4.
+        let t3 = Instant::now();
+        let remaining: Vec<NetId> = package
+            .nets()
+            .iter()
+            .map(|n| n.id)
+            .filter(|id| !concurrent_done.contains(id))
+            .collect();
+        let seq = route_sequential(package, &mut layout, &remaining, &self.cfg);
+        timings.sequential = t3.elapsed();
+
+        // --- Stage 5.
+        let mut lp_final = None;
+        if self.cfg.lp_enabled {
+            let t4 = Instant::now();
+            lp_final = Some(lpopt::optimize(package, &mut layout, &self.cfg));
+            timings.lp += t4.elapsed();
+        }
+
+        // --- Verification.
+        let report = info_model::drc::check(package, &layout);
+        let stats = LayoutStats::from_report(package, &layout, &report);
+        RouteOutcome {
+            layout,
+            stats,
+            drc: report,
+            timings,
+            concurrent_routed: concurrent_done.len(),
+            sequential_routed: seq.routed.len(),
+            failed: seq.failed,
+            lp_mid,
+            lp_final,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use info_geom::{Point, Rect};
+    use info_model::{DesignRules, PackageBuilder};
+
+    fn two_chip_package(nets_per_side: usize) -> Package {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_400_000, 900_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(150_000, 250_000), Point::new(500_000, 650_000)));
+        let c2 = b.add_chip(Rect::new(Point::new(900_000, 250_000), Point::new(1_250_000, 650_000)));
+        for i in 0..nets_per_side {
+            let y = 300_000 + 70_000 * i as i64;
+            let a = b.add_io_pad(c1, Point::new(480_000, y)).unwrap();
+            let z = b.add_io_pad(c2, Point::new(920_000, y)).unwrap();
+            b.add_net(a, z).unwrap();
+        }
+        // One chip-to-board net.
+        let io = b.add_io_pad(c1, Point::new(480_000, 620_000)).unwrap();
+        let g = b.add_bump_pad(Point::new(700_000, 120_000)).unwrap();
+        b.add_net(io, g).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_flow_routes_everything() {
+        let pkg = two_chip_package(3);
+        let cfg = RouterConfig::default().with_global_cells(10);
+        let out = InfoRouter::new(cfg).route(&pkg);
+        assert!(
+            out.stats.fully_routed(),
+            "stats: {}; failed: {:?}; violations: {:#?}",
+            out.stats,
+            out.failed,
+            out.drc.violations()
+        );
+        assert_eq!(out.stats.violation_count, 0);
+        assert!(out.concurrent_routed + out.sequential_routed >= pkg.nets().len());
+    }
+
+    #[test]
+    fn flow_without_concurrent_still_routes() {
+        let pkg = two_chip_package(2);
+        let cfg = RouterConfig::default().with_global_cells(10).without_concurrent();
+        let out = InfoRouter::new(cfg).route(&pkg);
+        assert_eq!(out.concurrent_routed, 0);
+        assert!(out.stats.fully_routed(), "{}; {:?}", out.stats, out.failed);
+    }
+
+    #[test]
+    fn flow_without_lp_still_routes() {
+        let pkg = two_chip_package(2);
+        let cfg = RouterConfig::default().with_global_cells(10).without_lp();
+        let out = InfoRouter::new(cfg).route(&pkg);
+        assert!(out.lp_mid.is_none() && out.lp_final.is_none());
+        assert!(out.stats.fully_routed(), "{}; {:?}", out.stats, out.failed);
+    }
+
+    #[test]
+    fn lp_never_worsens_wirelength() {
+        let pkg = two_chip_package(3);
+        let with_lp = InfoRouter::new(RouterConfig::default().with_global_cells(10)).route(&pkg);
+        if let Some(rep) = &with_lp.lp_final {
+            assert!(rep.wirelength_after <= rep.wirelength_before + 1.0);
+        }
+    }
+}

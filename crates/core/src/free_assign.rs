@@ -1,0 +1,226 @@
+//! Free-assignment (FA) routing extension.
+//!
+//! The paper solves the *pre-assignment* problem — the hardest variant —
+//! but industrial flows also carry FA nets whose I/O pads may connect to
+//! *any* free bump pad (§I-A; Fang et al. \[4\] solve FA with network
+//! flows). This module adds that capability on top of the PA router: a
+//! min-cost max-flow assignment picks a bump pad per FA I/O pad
+//! (X-architecture distance as cost), the package is augmented with the
+//! resulting pre-assigned pairs, and the five-stage flow routes everything
+//! together.
+
+use crate::config::RouterConfig;
+use crate::flow::{InfoRouter, RouteOutcome};
+use info_geom::x_arch_len;
+use info_model::{Package, PackageBuilder, PadId, PadKind};
+use info_tile::mcmf::assign_min_cost;
+
+/// Result of the assignment step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeAssignment {
+    /// Chosen `(I/O pad, bump pad)` pairs.
+    pub pairs: Vec<(PadId, PadId)>,
+    /// FA pads that could not be assigned (no free bump pad).
+    pub unassigned: Vec<PadId>,
+}
+
+/// Picks a free bump pad for every FA I/O pad, maximizing the number of
+/// assignments and minimizing total X-architecture distance.
+///
+/// A bump pad is *free* when no pre-assigned net uses it. FA pads must be
+/// I/O pads not already consumed by a net.
+///
+/// # Panics
+///
+/// Panics if an entry of `fa_pads` is not an unused I/O pad of `package`.
+pub fn assign_free_pads(package: &Package, fa_pads: &[PadId]) -> FreeAssignment {
+    let mut used = vec![false; package.pads().len()];
+    for n in package.nets() {
+        used[n.a.index()] = true;
+        used[n.b.index()] = true;
+    }
+    for &p in fa_pads {
+        assert!(package.pad(p).is_io(), "{p} is not an I/O pad");
+        assert!(!used[p.index()], "{p} already carries a pre-assigned net");
+    }
+    let bumps: Vec<PadId> = package
+        .pads()
+        .iter()
+        .filter(|p| !p.is_io() && !used[p.id.index()])
+        .map(|p| p.id)
+        .collect();
+
+    // Cost in µm so i64 stays comfortable.
+    let costs: Vec<Vec<Option<i64>>> = fa_pads
+        .iter()
+        .map(|&io| {
+            let a = package.pad(io).center;
+            bumps
+                .iter()
+                .map(|&g| Some((x_arch_len(a, package.pad(g).center) / 1_000.0) as i64))
+                .collect()
+        })
+        .collect();
+    let choice = assign_min_cost(&costs);
+
+    let mut pairs = Vec::new();
+    let mut unassigned = Vec::new();
+    for (i, &io) in fa_pads.iter().enumerate() {
+        match choice[i] {
+            Some(j) => pairs.push((io, bumps[j])),
+            None => unassigned.push(io),
+        }
+    }
+    FreeAssignment { pairs, unassigned }
+}
+
+/// Rebuilds a package with extra pre-assigned nets appended.
+///
+/// Entity ids are preserved (insertion order is identical); only the net
+/// list grows.
+///
+/// # Panics
+///
+/// Panics if the augmented package fails validation (it cannot: the
+/// original validated and nets only add pairings of unused pads).
+pub fn augment_with_nets(package: &Package, extra: &[(PadId, PadId)]) -> Package {
+    let mut b = PackageBuilder::new(package.die(), *package.rules(), package.wire_layer_count());
+    for c in package.chips() {
+        b.add_chip(c.outline);
+    }
+    for p in package.pads() {
+        match p.kind {
+            PadKind::Io { chip } => {
+                b.set_io_pad_size(p.width, p.height);
+                b.add_io_pad(chip, p.center).expect("pad was valid");
+            }
+            PadKind::Bump => {
+                b.set_bump_pad_width(p.width);
+                b.add_bump_pad(p.center).expect("pad was valid");
+            }
+        }
+    }
+    for o in package.obstacles() {
+        b.add_obstacle(o.layer, o.rect).expect("obstacle was valid");
+    }
+    for n in package.nets() {
+        b.add_net(n.a, n.b).expect("net was valid");
+    }
+    for &(a, z) in extra {
+        b.add_net(a, z).expect("extra net pairs unused pads");
+    }
+    for v in package.pre_vias() {
+        b.add_fixed_via(v.net, v.center, v.top, v.bottom).expect("fixed via was valid");
+    }
+    b.build().expect("augmented package validates")
+}
+
+/// One-call FA routing: assign each FA pad a bump, then run the full
+/// five-stage flow on the augmented package. Returns the augmented package
+/// (whose trailing nets are the FA nets), the assignment, and the routing
+/// outcome.
+pub fn route_with_free_pads(
+    package: &Package,
+    fa_pads: &[PadId],
+    cfg: RouterConfig,
+) -> (Package, FreeAssignment, RouteOutcome) {
+    let asg = assign_free_pads(package, fa_pads);
+    let augmented = augment_with_nets(package, &asg.pairs);
+    let outcome = InfoRouter::new(cfg).route(&augmented);
+    (augmented, asg, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use info_geom::{Point, Rect};
+    use info_model::DesignRules;
+
+    fn fa_package() -> (Package, Vec<PadId>) {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_200_000, 800_000)),
+            DesignRules::default(),
+            2,
+        );
+        let chip = b.add_chip(Rect::new(Point::new(100_000, 200_000), Point::new(450_000, 600_000)));
+        // One pre-assigned net.
+        let pa = b.add_io_pad(chip, Point::new(430_000, 250_000)).unwrap();
+        let ga = b.add_bump_pad(Point::new(700_000, 250_000)).unwrap();
+        b.add_net(pa, ga).unwrap();
+        // Three FA pads.
+        let fa: Vec<PadId> = (0..3)
+            .map(|i| b.add_io_pad(chip, Point::new(430_000, 350_000 + 90_000 * i)).unwrap())
+            .collect();
+        // Free bumps, one clearly nearest per FA pad, plus a spare.
+        for i in 0..4i64 {
+            b.add_bump_pad(Point::new(700_000, 350_000 + 90_000 * i)).unwrap();
+        }
+        (b.build().unwrap(), fa)
+    }
+
+    #[test]
+    fn assignment_picks_nearest_free_bumps() {
+        let (pkg, fa) = fa_package();
+        let asg = assign_free_pads(&pkg, &fa);
+        assert_eq!(asg.pairs.len(), 3);
+        assert!(asg.unassigned.is_empty());
+        // Each pad pairs with the bump at its own row.
+        for &(io, bump) in &asg.pairs {
+            assert_eq!(pkg.pad(io).center.y, pkg.pad(bump).center.y);
+        }
+        // The used bump (net 0's) is never chosen.
+        for &(_, bump) in &asg.pairs {
+            assert_ne!(pkg.pad(bump).center.y, 250_000);
+        }
+    }
+
+    #[test]
+    fn augmented_package_preserves_ids() {
+        let (pkg, fa) = fa_package();
+        let asg = assign_free_pads(&pkg, &fa);
+        let aug = augment_with_nets(&pkg, &asg.pairs);
+        assert_eq!(aug.pads().len(), pkg.pads().len());
+        for (a, b) in pkg.pads().iter().zip(aug.pads().iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.center, b.center);
+            assert_eq!(a.width, b.width);
+        }
+        assert_eq!(aug.nets().len(), pkg.nets().len() + 3);
+        assert_eq!(aug.pre_vias().len(), pkg.pre_vias().len());
+        assert_eq!(aug.obstacles().len(), pkg.obstacles().len());
+    }
+
+    #[test]
+    fn full_fa_flow_routes_everything() {
+        let (pkg, fa) = fa_package();
+        let (aug, asg, out) =
+            route_with_free_pads(&pkg, &fa, RouterConfig::default().with_global_cells(12));
+        assert_eq!(asg.pairs.len(), 3);
+        assert!(
+            out.stats.fully_routed(),
+            "{}; failed {:?}; violations {:#?}",
+            out.stats,
+            out.failed,
+            out.drc.violations()
+        );
+        assert_eq!(aug.nets().len(), 4);
+    }
+
+    #[test]
+    fn more_fa_pads_than_bumps_reports_unassigned() {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_000_000, 600_000)),
+            DesignRules::default(),
+            2,
+        );
+        let chip = b.add_chip(Rect::new(Point::new(100_000, 100_000), Point::new(400_000, 500_000)));
+        let fa: Vec<PadId> = (0..3)
+            .map(|i| b.add_io_pad(chip, Point::new(380_000, 150_000 + 100_000 * i)).unwrap())
+            .collect();
+        b.add_bump_pad(Point::new(700_000, 300_000)).unwrap();
+        let pkg = b.build().unwrap();
+        let asg = assign_free_pads(&pkg, &fa);
+        assert_eq!(asg.pairs.len(), 1);
+        assert_eq!(asg.unassigned.len(), 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Applying an LP solution back to the layout, with lattice snapping.
+//!
+//! The solved coordinates are floating point; geometry must return to the
+//! integer nanometer lattice without breaking the X-architecture. Points
+//! are therefore *reconstructed* rather than rounded: each segment line's
+//! `c` is rounded (terminal segments take their `c` from the anchored
+//! endpoint exactly), and each interior joint is re-derived as the integer
+//! intersection of its two adjacent lines, adjusting one `c` by a lattice
+//! unit when the two diagonal families disagree in parity.
+
+use super::items::{ItemModel, PointAnchor, RouteItem, SolvedPositions};
+use info_geom::{Coord, Orient4, Point, Polyline, XLine};
+use info_model::Layout;
+use info_tile::realize::xarch_connect;
+
+/// Finds proper crossings between segments of different nets on the same
+/// layer, using the solved (floating) positions. Returns segment item
+/// index pairs.
+pub fn find_crossings(items: &ItemModel, solved: &SolvedPositions) -> Vec<(usize, usize)> {
+    let pos = |pt: usize| solved.points[pt];
+    let mut out = Vec::new();
+    for i in 0..items.segs.len() {
+        let a = &items.segs[i];
+        for j in (i + 1)..items.segs.len() {
+            let b = &items.segs[j];
+            if a.net == b.net || a.layer != b.layer {
+                continue;
+            }
+            if segments_cross_f64(pos(a.p0), pos(a.p1), pos(b.p0), pos(b.p1)) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+fn cross(o: (f64, f64), a: (f64, f64), b: (f64, f64)) -> f64 {
+    (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
+}
+
+/// Proper (interior) crossing test with a small tolerance: touching at
+/// less than a nanometer does not count.
+fn segments_cross_f64(p1: (f64, f64), p2: (f64, f64), p3: (f64, f64), p4: (f64, f64)) -> bool {
+    const EPS: f64 = 1.0; // nm² scale after normalization is fine here
+    let d1 = cross(p3, p4, p1);
+    let d2 = cross(p3, p4, p2);
+    let d3 = cross(p1, p2, p3);
+    let d4 = cross(p1, p2, p4);
+    d1 * d2 < -EPS && d3 * d4 < -EPS
+}
+
+fn across(orient: Orient4, p: Point) -> Coord {
+    let (a, b) = orient.coeffs();
+    a * p.x + b * p.y
+}
+
+/// Reconstructs one route's integer points from the solution.
+fn reconstruct_route(
+    items: &ItemModel,
+    solved: &SolvedPositions,
+    route: &RouteItem,
+    via_pos: &[Point],
+) -> Option<Vec<Point>> {
+    let anchor_pos = |pt: usize| -> Point {
+        let p = &items.points[pt];
+        match p.anchor {
+            PointAnchor::Fixed => p.initial,
+            PointAnchor::Via(vi) => via_pos[vi],
+            PointAnchor::Free => {
+                let (x, y) = solved.points[pt];
+                Point::new(x.round() as Coord, y.round() as Coord)
+            }
+        }
+    };
+    let first_pt = *route.point_items.first()?;
+    let last_pt = *route.point_items.last()?;
+    let p_first = anchor_pos(first_pt);
+    let p_last = anchor_pos(last_pt);
+    let nsegs = route.seg_items.len();
+    if nsegs == 0 {
+        return None;
+    }
+    if nsegs == 1 {
+        // Single segment: bridge the two anchors with any legal pattern
+        // (identical to the old segment when they stayed collinear).
+        if p_first == p_last {
+            return None;
+        }
+        let (pts, _) = xarch_connect(p_first, p_last, None);
+        let mut all = vec![p_first];
+        all.extend(pts);
+        return Some(all);
+    }
+
+    // Round interior cs; terminal cs are forced by the anchors.
+    let mut c: Vec<Coord> = route
+        .seg_items
+        .iter()
+        .map(|&si| solved.segs[si].round() as Coord)
+        .collect();
+    let orients: Vec<Orient4> = route.seg_items.iter().map(|&si| items.segs[si].orient).collect();
+    c[0] = across(orients[0], p_first);
+    c[nsegs - 1] = across(orients[nsegs - 1], p_last);
+
+    // Interior joints from consecutive line intersections, with parity
+    // adjustment retries.
+    'retry: for _attempt in 0..6 {
+        let mut pts = vec![p_first];
+        for k in 1..route.point_items.len() - 1 {
+            let l1 = XLine::new(orients[k - 1], c[k - 1]);
+            let l2 = XLine::new(orients[k], c[k]);
+            if orients[k - 1] == orients[k] {
+                return None; // consecutive collinear lines cannot intersect
+            }
+            match l1.crossing(l2) {
+                Some(p) => pts.push(p),
+                None => {
+                    // Off-lattice (diagonal parity): adjust a non-forced c.
+                    if k < nsegs - 1 {
+                        c[k] += 1;
+                    } else if k - 1 > 0 {
+                        c[k - 1] += 1;
+                    } else {
+                        return None;
+                    }
+                    continue 'retry;
+                }
+            }
+        }
+        pts.push(p_last);
+        return Some(pts);
+    }
+    None
+}
+
+/// Fallback reconstruction: chain legal X-architecture connections through
+/// the rounded solved joints (dropping near-coincident ones). Slightly
+/// less faithful to the LP's exact lines but always turn-rule legal.
+fn fallback_path(
+    items: &ItemModel,
+    solved: &SolvedPositions,
+    route: &RouteItem,
+    via_pos: &[Point],
+) -> Option<Vec<Point>> {
+    let anchor_pos = |pt: usize| -> Point {
+        let p = &items.points[pt];
+        match p.anchor {
+            PointAnchor::Fixed => p.initial,
+            PointAnchor::Via(vi) => via_pos[vi],
+            PointAnchor::Free => {
+                let (x, y) = solved.points[pt];
+                Point::new(x.round() as Coord, y.round() as Coord)
+            }
+        }
+    };
+    let n = route.point_items.len();
+    if n < 2 {
+        return None;
+    }
+    let mut waypoints: Vec<Point> = Vec::with_capacity(n);
+    waypoints.push(anchor_pos(route.point_items[0]));
+    for &pt in &route.point_items[1..n - 1] {
+        let p = anchor_pos(pt);
+        let last = *waypoints.last().expect("nonempty");
+        if (p.x - last.x).abs().max((p.y - last.y).abs()) > 3 {
+            waypoints.push(p);
+        }
+    }
+    let goal = anchor_pos(route.point_items[n - 1]);
+    if let Some(&last) = waypoints.last() {
+        if last == goal && waypoints.len() == 1 {
+            return None;
+        }
+    }
+    waypoints.push(goal);
+
+    let mut pts = vec![waypoints[0]];
+    let mut dir = None;
+    for &wp in &waypoints[1..] {
+        let from = *pts.last().expect("nonempty");
+        if wp == from {
+            continue;
+        }
+        let (mut step, d) = xarch_connect(from, wp, dir);
+        pts.append(&mut step);
+        dir = d;
+    }
+    (pts.len() >= 2).then_some(pts)
+}
+
+/// Applies the solution to the layout. Returns `false` (layout untouched)
+/// if any route fails reconstruction or the snapped geometry is invalid.
+pub fn apply(items: &ItemModel, solved: &SolvedPositions, layout: &mut Layout) -> bool {
+    // Vias first: everything anchors to their rounded centers.
+    let via_pos: Vec<Point> = items
+        .vias
+        .iter()
+        .enumerate()
+        .map(|(vi, v)| {
+            if v.movable {
+                let (x, y) = solved.vias[vi];
+                Point::new(x.round() as Coord, y.round() as Coord)
+            } else {
+                v.initial
+            }
+        })
+        .collect();
+
+    let mut new_paths: Vec<(info_model::RouteId, Polyline)> = Vec::new();
+    let mut drop_routes: Vec<info_model::RouteId> = Vec::new();
+    for route in &items.routes {
+        // A route whose anchors coincide has been optimized away entirely
+        // (its via now sits on the pad): drop it instead of keeping a
+        // degenerate polyline.
+        let anchor_pos = |pt: usize| -> Point {
+            let p = &items.points[pt];
+            match p.anchor {
+                PointAnchor::Fixed => p.initial,
+                PointAnchor::Via(vi) => via_pos[vi],
+                PointAnchor::Free => {
+                    let (x, y) = solved.points[pt];
+                    Point::new(x.round() as Coord, y.round() as Coord)
+                }
+            }
+        };
+        let n = route.point_items.len();
+        if n >= 2 && anchor_pos(route.point_items[0]) == anchor_pos(route.point_items[n - 1]) {
+            drop_routes.push(route.id);
+            continue;
+        }
+        let exact = reconstruct_route(items, solved, route, &via_pos).and_then(|pts| {
+            let mut pl = Polyline::new(pts);
+            pl.simplify();
+            (pl.len() >= 2 && pl.validate().is_ok()).then_some(pl)
+        });
+        let pl = match exact {
+            Some(pl) => pl,
+            None => {
+                let Some(pts) = fallback_path(items, solved, route, &via_pos) else {
+                    return false;
+                };
+                let mut pl = Polyline::new(pts);
+                pl.simplify();
+                if pl.len() < 2 || pl.validate().is_err() {
+                    return false;
+                }
+                pl
+            }
+        };
+        new_paths.push((route.id, pl));
+    }
+
+    // Snapped geometry must remain planar (crossings were repaired in f64;
+    // re-check on the lattice before committing). Look up route metadata by
+    // id (dropped routes are absent from `new_paths`).
+    let meta = |id: info_model::RouteId| {
+        items
+            .routes
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| (r.layer, r.net))
+            .expect("path belongs to the item model")
+    };
+    for (i, (ra, pa)) in new_paths.iter().enumerate() {
+        let (layer_a, net_a) = meta(*ra);
+        for (rb, pb) in new_paths.iter().skip(i + 1) {
+            let (layer_b, net_b) = meta(*rb);
+            if layer_b == layer_a && net_b != net_a && pa.crosses(pb) {
+                return false;
+            }
+        }
+    }
+
+    // Commit.
+    for id in drop_routes {
+        layout.remove_route(id);
+    }
+    for r in layout.routes_mut() {
+        if let Some((_, pl)) = new_paths.iter().find(|(id, _)| *id == r.id) {
+            r.path = pl.clone();
+        }
+    }
+    for v in layout.vias_mut() {
+        if let Some(item_idx) = items.vias.iter().position(|iv| iv.id == v.id) {
+            v.center = via_pos[item_idx];
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_crossing_detection() {
+        assert!(segments_cross_f64(
+            (0.0, 0.0),
+            (10.0, 10.0),
+            (0.0, 10.0),
+            (10.0, 0.0)
+        ));
+        // Shared endpoint: not proper.
+        assert!(!segments_cross_f64(
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 10.0)
+        ));
+        // Parallel.
+        assert!(!segments_cross_f64(
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (0.0, 1.0),
+            (10.0, 1.0)
+        ));
+    }
+}

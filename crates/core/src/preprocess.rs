@@ -1,0 +1,388 @@
+//! Stage 1 — Preprocessing (§III-A).
+//!
+//! Finds the regularity inside the irregular pad structure: identifies
+//! peripheral I/O pads whose nets can be routed concurrently through the
+//! fan-out region, partitions the fan-out region into grids, builds the
+//! fan-out grid graph and its MST, pre-routes the candidates along the
+//! MST, estimates congestion, and constructs the circular model.
+
+use crate::config::RouterConfig;
+use info_geom::{x_arch_len, Point, Rect};
+use info_model::{NetId, Package, PadId, PadKind};
+use info_tile::{line_extension_partition, merge_cells, CellGraph, MstEdge};
+
+/// Where a net enters the fan-out region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessInfo {
+    /// The pad behind this access point.
+    pub pad: PadId,
+    /// The fan-out access point (on the fan-in boundary for peripheral
+    /// I/O pads; the pad center for bump pads).
+    pub at: Point,
+    /// Index of the fan-out grid containing the access point.
+    pub grid: usize,
+    /// Position on the circular model boundary.
+    pub circle: usize,
+}
+
+/// A net eligible for fan-out concurrent routing, with its pre-route and
+/// congestion metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateNet {
+    /// The net.
+    pub net: NetId,
+    /// First terminal's access.
+    pub a: AccessInfo,
+    /// Second terminal's access.
+    pub b: AccessInfo,
+    /// Pre-routed path as fan-out grid indices (MST path).
+    pub pre_route: Vec<usize>,
+    /// Detour rate `r_d(n)`: pre-route length over terminal distance.
+    pub detour_rate: f64,
+    /// Largest MST-edge overflow along the pre-route (`f_max`).
+    pub f_max: f64,
+    /// Average MST-edge overflow along the pre-route (`f_avg`).
+    pub f_avg: f64,
+}
+
+impl CandidateNet {
+    /// Chord weight per the paper's Eq. (2).
+    pub fn weight(&self, cfg: &RouterConfig) -> f64 {
+        let log_delta = |x: f64| x.ln() / cfg.delta.ln();
+        let denom = cfg.alpha * self.detour_rate
+            + cfg.beta * log_delta(cfg.delta + self.f_max)
+            + cfg.gamma * log_delta(cfg.delta + self.f_avg);
+        if denom <= 0.0 {
+            f64::MAX / 1e6
+        } else {
+            1.0 / denom
+        }
+    }
+}
+
+/// The preprocessing result feeding stages 2–3.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// Merged fan-out grids.
+    pub grids: Vec<Rect>,
+    /// Fan-out grid graph.
+    pub graph: CellGraph,
+    /// MST edges of the grid graph.
+    pub mst: Vec<MstEdge>,
+    /// Concurrent-routing candidates in circular order of their first
+    /// access point.
+    pub candidates: Vec<CandidateNet>,
+    /// Total number of circle positions allocated.
+    pub circle_points: usize,
+    /// Per-MST-edge capacities (wires that fit through the shared border).
+    pub capacities: Vec<f64>,
+    /// Per-MST-edge demands (pre-routes crossing the edge).
+    pub demands: Vec<f64>,
+}
+
+/// Projects a point inside a rectangle onto its nearest boundary point.
+fn project_to_boundary(r: Rect, p: Point) -> Point {
+    let d_left = p.x - r.lo.x;
+    let d_right = r.hi.x - p.x;
+    let d_bot = p.y - r.lo.y;
+    let d_top = r.hi.y - p.y;
+    let m = d_left.min(d_right).min(d_bot).min(d_top);
+    if m == d_left {
+        Point::new(r.lo.x, p.y)
+    } else if m == d_right {
+        Point::new(r.hi.x, p.y)
+    } else if m == d_bot {
+        Point::new(p.x, r.lo.y)
+    } else {
+        Point::new(p.x, r.hi.y)
+    }
+}
+
+/// Runs preprocessing over a package.
+pub fn preprocess(package: &Package, cfg: &RouterConfig) -> Preprocessed {
+    // --- Fan-out region partitioning (§III-A2).
+    let holes: Vec<Rect> = package.chips().iter().map(|c| c.outline).collect();
+    let raw = line_extension_partition(package.die(), &holes);
+    // Merge only genuinely fragmented slivers: an aggressive minimum size
+    // here would fuse narrow corridors with their mouths and erase the
+    // very capacity bottlenecks the congestion model must see.
+    let min_dim = package.die().width().min(package.die().height()) / 40;
+    let grids = merge_cells(raw, min_dim.max(1), usize::MAX);
+    let graph = CellGraph::build(grids.clone());
+    let mst = graph.mst();
+
+    // --- Peripheral I/O identification (§III-A1).
+    let pitch = (package.rules().wire_width + package.rules().min_spacing) as f64;
+    let access_of = |pad_id: PadId| -> Option<Point> {
+        let pad = package.pad(pad_id);
+        match pad.kind {
+            PadKind::Io { chip } => {
+                let outline = package.chip(chip).outline;
+                let b = project_to_boundary(outline, pad.center);
+                let dist = info_geom::euclid(b, pad.center);
+                if dist <= cfg.peripheral_margin as f64 {
+                    Some(b)
+                } else {
+                    None
+                }
+            }
+            PadKind::Bump => {
+                // Bump pads already live in the fan-out region unless a
+                // chip shadows them in plan view.
+                if package.chips().iter().any(|c| c.outline.contains(pad.center)) {
+                    None
+                } else {
+                    Some(pad.center)
+                }
+            }
+        }
+    };
+
+    // --- Candidate collection + MST pre-routing (§III-A3).
+    struct RawCand {
+        net: NetId,
+        pads: [PadId; 2],
+        at: [Point; 2],
+        grid: [usize; 2],
+        path: Vec<usize>,
+    }
+    let mut raw_cands: Vec<RawCand> = Vec::new();
+    for n in package.nets() {
+        let (Some(pa), Some(pb)) = (access_of(n.a), access_of(n.b)) else {
+            continue;
+        };
+        // Nudge access points into the fan-out region if they sit exactly
+        // on a chip boundary shared with a grid.
+        let (Some(ga), Some(gb)) = (graph.cell_containing(pa), graph.cell_containing(pb)) else {
+            continue;
+        };
+        let Some(path) = graph.mst_path(&mst, ga, gb) else {
+            continue;
+        };
+        raw_cands.push(RawCand { net: n.id, pads: [n.a, n.b], at: [pa, pb], grid: [ga, gb], path });
+    }
+
+    // --- Congestion estimation: capacities and demands per MST edge.
+    let mut capacities = Vec::with_capacity(mst.len());
+    for e in &mst {
+        capacities.push((e.shared as f64 / pitch).max(1.0));
+    }
+    let edge_index = |a: usize, b: usize| -> Option<usize> {
+        mst.iter().position(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+    };
+    let mut demands = vec![0.0f64; mst.len()];
+    for c in &raw_cands {
+        for w in c.path.windows(2) {
+            if let Some(ei) = edge_index(w[0], w[1]) {
+                demands[ei] += 1.0;
+            }
+        }
+    }
+
+    // --- Circular model (§III-A3): Euler-tour the MST; on the first visit
+    // of each grid, lay down its access points ordered by angle around the
+    // grid center. The tour order around the tree is exactly the boundary
+    // walk of a closed shape enclosing the MST.
+    let mut tree_adj: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
+    for e in &mst {
+        tree_adj[e.a].push(e.b);
+        tree_adj[e.b].push(e.a);
+    }
+    for l in tree_adj.iter_mut() {
+        l.sort_unstable();
+    }
+    // Access points per grid: (angle, candidate index, terminal 0/1).
+    let mut per_grid: Vec<Vec<(f64, usize, usize)>> = vec![Vec::new(); graph.len()];
+    for (ci, c) in raw_cands.iter().enumerate() {
+        for t in 0..2 {
+            let g = c.grid[t];
+            let center = grids[g].center();
+            let v = c.at[t] - center;
+            let angle = (v.dy as f64).atan2(v.dx as f64);
+            per_grid[g].push((angle, ci, t));
+        }
+    }
+    for l in per_grid.iter_mut() {
+        l.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    }
+    let mut circle_of: Vec<[usize; 2]> = vec![[usize::MAX; 2]; raw_cands.len()];
+    let mut next_pos = 0usize;
+    let mut visited = vec![false; graph.len()];
+    // Iterative DFS from grid 0 (and any other components).
+    for root in 0..graph.len() {
+        if visited[root] {
+            continue;
+        }
+        let mut stack = vec![root];
+        visited[root] = true;
+        while let Some(v) = stack.pop() {
+            for &(_, ci, t) in &per_grid[v] {
+                circle_of[ci][t] = next_pos;
+                next_pos += 1;
+            }
+            for &w in tree_adj[v].iter().rev() {
+                if !visited[w] {
+                    visited[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    let circle_points = next_pos;
+
+    // --- Finalize candidates with rates.
+    let mut candidates = Vec::with_capacity(raw_cands.len());
+    for (ci, c) in raw_cands.iter().enumerate() {
+        // Pre-route length through grid centers.
+        let mut length = 0.0;
+        let mut prev = c.at[0];
+        for &g in &c.path {
+            let center = grids[g].center();
+            length += x_arch_len(prev, center);
+            prev = center;
+        }
+        length += x_arch_len(prev, c.at[1]);
+        let direct = x_arch_len(c.at[0], c.at[1]).max(1.0);
+        let mut f_max = 0.0f64;
+        let mut f_sum = 0.0f64;
+        let mut edges = 0usize;
+        for w in c.path.windows(2) {
+            if let Some(ei) = edge_index(w[0], w[1]) {
+                let ov = if capacities[ei] >= demands[ei] {
+                    0.0
+                } else {
+                    demands[ei] / capacities[ei]
+                };
+                f_max = f_max.max(ov);
+                f_sum += ov;
+                edges += 1;
+            }
+        }
+        candidates.push(CandidateNet {
+            net: c.net,
+            a: AccessInfo { pad: c.pads[0], at: c.at[0], grid: c.grid[0], circle: circle_of[ci][0] },
+            b: AccessInfo { pad: c.pads[1], at: c.at[1], grid: c.grid[1], circle: circle_of[ci][1] },
+            pre_route: c.path.clone(),
+            detour_rate: (length / direct).max(1.0),
+            f_max,
+            f_avg: if edges == 0 { 0.0 } else { f_sum / edges as f64 },
+        });
+    }
+
+    Preprocessed { grids, graph, mst, candidates, circle_points, capacities, demands }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use info_model::{DesignRules, PackageBuilder};
+
+    /// Two chips side by side with peripheral pads facing each other.
+    fn two_chip() -> Package {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_000_000, 600_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(100_000, 150_000), Point::new(350_000, 450_000)));
+        let c2 = b.add_chip(Rect::new(Point::new(650_000, 150_000), Point::new(900_000, 450_000)));
+        // Peripheral pads: near the inner edges.
+        let a1 = b.add_io_pad(c1, Point::new(330_000, 250_000)).unwrap();
+        let a2 = b.add_io_pad(c2, Point::new(670_000, 250_000)).unwrap();
+        // A deep interior pad (not peripheral with the default margin).
+        let d1 = b.add_io_pad(c1, Point::new(225_000, 300_000)).unwrap();
+        let d2 = b.add_io_pad(c2, Point::new(775_000, 300_000)).unwrap();
+        b.add_net(a1, a2).unwrap();
+        b.add_net(d1, d2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fanout_partition_avoids_chips() {
+        let pkg = two_chip();
+        let pre = preprocess(&pkg, &RouterConfig::default());
+        assert!(!pre.grids.is_empty());
+        for g in &pre.grids {
+            for c in pkg.chips() {
+                assert!(!g.overlaps_interior(c.outline), "grid {g} overlaps chip");
+            }
+        }
+        // MST spans the fan-out region.
+        assert_eq!(pre.mst.len(), pre.grids.len() - 1, "fan-out region is connected");
+    }
+
+    #[test]
+    fn peripheral_identification() {
+        let pkg = two_chip();
+        let pre = preprocess(&pkg, &RouterConfig::default());
+        // Only the peripheral pair qualifies; the deep pair does not.
+        assert_eq!(pre.candidates.len(), 1);
+        let c = &pre.candidates[0];
+        assert_eq!(c.net, NetId(0));
+        // Access points sit on the chip boundaries (x = 350k and 650k).
+        assert_eq!(c.a.at.x, 350_000);
+        assert_eq!(c.b.at.x, 650_000);
+        assert!(c.detour_rate >= 1.0);
+        assert!(c.f_max >= 0.0 && c.f_avg <= c.f_max + 1e-12);
+    }
+
+    #[test]
+    fn wider_margin_admits_interior_pads() {
+        let pkg = two_chip();
+        let mut cfg = RouterConfig::default();
+        cfg.peripheral_margin = 200_000;
+        let pre = preprocess(&pkg, &cfg);
+        assert_eq!(pre.candidates.len(), 2);
+        // Circle positions are unique.
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &pre.candidates {
+            assert!(seen.insert(c.a.circle));
+            assert!(seen.insert(c.b.circle));
+        }
+        assert_eq!(pre.circle_points, 4);
+    }
+
+    #[test]
+    fn weight_decreases_with_congestion() {
+        let cfg = RouterConfig::default();
+        let base = CandidateNet {
+            net: NetId(0),
+            a: AccessInfo { pad: info_model::PadId(0), at: Point::origin(), grid: 0, circle: 0 },
+            b: AccessInfo { pad: info_model::PadId(1), at: Point::origin(), grid: 0, circle: 1 },
+            pre_route: vec![],
+            detour_rate: 1.0,
+            f_max: 0.0,
+            f_avg: 0.0,
+        };
+        let mut congested = base.clone();
+        congested.f_max = 3.0;
+        congested.f_avg = 2.0;
+        let mut detoured = base.clone();
+        detoured.detour_rate = 5.0;
+        assert!(base.weight(&cfg) > congested.weight(&cfg));
+        assert!(base.weight(&cfg) > detoured.weight(&cfg));
+        assert!(base.weight(&cfg).is_finite());
+    }
+
+    #[test]
+    fn bump_pad_under_chip_excluded() {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_000_000, 600_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(100_000, 150_000), Point::new(350_000, 450_000)));
+        let a1 = b.add_io_pad(c1, Point::new(330_000, 250_000)).unwrap();
+        // Bump directly under the chip.
+        let g1 = b.add_bump_pad(Point::new(200_000, 300_000)).unwrap();
+        let a2 = b.add_io_pad(c1, Point::new(330_000, 350_000)).unwrap();
+        let g2 = b.add_bump_pad(Point::new(700_000, 300_000)).unwrap();
+        b.add_net(a1, g1).unwrap();
+        b.add_net(a2, g2).unwrap();
+        let pkg = b.build().unwrap();
+        let pre = preprocess(&pkg, &RouterConfig::default());
+        // Only the net to the open-area bump qualifies.
+        assert_eq!(pre.candidates.len(), 1);
+        assert_eq!(pre.candidates[0].net, NetId(1));
+    }
+}

@@ -1,0 +1,308 @@
+//! Stage 4 — Sequential A\*-search routing (§III-D).
+//!
+//! Remaining nets are routed one at a time on the multi-layer octagonal
+//! tile graph. After each committed net the affected global cells are
+//! re-partitioned (frames split by the new wires, via sites refreshed),
+//! exactly as the paper updates its routing graph after each net.
+
+use crate::config::RouterConfig;
+use info_geom::x_arch_len;
+use info_model::{Layout, NetId, Package};
+use info_tile::{astar, realize, RoutingSpace, SpaceConfig};
+
+/// Result of the sequential stage.
+#[derive(Debug, Clone, Default)]
+pub struct SequentialResult {
+    /// Nets committed by this stage.
+    pub routed: Vec<NetId>,
+    /// Nets that could not be routed.
+    pub failed: Vec<NetId>,
+}
+
+/// Derives the tile-space configuration from the router configuration.
+pub fn space_config(package: &Package, cfg: &RouterConfig) -> SpaceConfig {
+    let mut sc = SpaceConfig::from_package(package);
+    sc.cells_x = cfg.global_cells;
+    sc.cells_y = cfg.global_cells;
+    sc.via_cost = cfg.via_cost_factor * package.rules().via_width as f64;
+    sc
+}
+
+/// Routes `nets` sequentially over the tile graph, committing into
+/// `layout`. Nets are attempted shortest-first; failures get one retry
+/// pass after all other nets have been placed (the space may have gained
+/// via sites from rebuilds).
+pub fn route_sequential(
+    package: &Package,
+    layout: &mut Layout,
+    nets: &[NetId],
+    cfg: &RouterConfig,
+) -> SequentialResult {
+    let mut order: Vec<NetId> = nets.to_vec();
+    order.sort_by(|&x, &y| {
+        let d = |id: NetId| {
+            let n = package.net(id);
+            x_arch_len(package.pad(n.a).center, package.pad(n.b).center)
+        };
+        d(x).total_cmp(&d(y)).then(x.cmp(&y))
+    });
+
+    let mut space = RoutingSpace::build(package, layout, space_config(package, cfg));
+    let mut result = SequentialResult::default();
+    let mut retry: Vec<NetId> = Vec::new();
+
+    for pass in 0..2 {
+        let todo = if pass == 0 { std::mem::take(&mut order) } else { std::mem::take(&mut retry) };
+        for id in todo {
+            if try_route_net(package, layout, &mut space, id, cfg) {
+                result.routed.push(id);
+            } else if pass == 0 {
+                retry.push(id);
+            } else {
+                result.failed.push(id);
+            }
+        }
+    }
+
+    // Pass 3: bounded rip-up-and-reroute. A net that failed both passes
+    // is usually boxed in by an earlier commit; evicting nearby nets and
+    // re-routing everything often resolves it.
+    for _round in 0..1 {
+        if result.failed.is_empty() {
+            break;
+        }
+        let boxed_in = std::mem::take(&mut result.failed);
+        for id in boxed_in {
+            if ripup_and_reroute(package, layout, &mut space, id, cfg, &mut result.routed) {
+                result.routed.push(id);
+            } else {
+                result.failed.push(id);
+            }
+        }
+    }
+    result
+}
+
+/// Tries to free a path for `id` by evicting nearby routed nets: up to
+/// six single victims, then the nearest pair. The failed net and every
+/// evicted net must all re-route for an eviction to stick; otherwise the
+/// layout is restored exactly.
+fn ripup_and_reroute(
+    package: &Package,
+    layout: &mut Layout,
+    space: &mut RoutingSpace,
+    id: NetId,
+    cfg: &RouterConfig,
+    routed: &mut [NetId],
+) -> bool {
+    let net = package.net(id);
+    let (pa, pb) = (package.pad(net.a).center, package.pad(net.b).center);
+    let corridor = info_geom::Rect::new(pa, pb)
+        .inflate(8 * (package.rules().min_spacing + package.rules().wire_width));
+    let mid = corridor.center();
+    // Routed nets with geometry inside the corridor, nearest first.
+    let mut candidates: Vec<NetId> = routed
+        .iter()
+        .copied()
+        .filter(|&c| {
+            layout.routes_of(c).any(|r| {
+                r.path.points().iter().any(|p| corridor.contains(*p))
+            })
+        })
+        .collect();
+    candidates.sort_by(|&x, &y| {
+        let d = |n: NetId| {
+            let nn = package.net(n);
+            let c = info_geom::Segment::new(package.pad(nn.a).center, package.pad(nn.b).center)
+                .midpoint();
+            info_geom::euclid_sq(c, mid)
+        };
+        d(x).cmp(&d(y))
+    });
+    let net_bbox = |layout: &Layout, n: NetId| -> Option<info_geom::Rect> {
+        let mut pts = layout
+            .routes_of(n)
+            .flat_map(|r| r.path.points().iter().copied())
+            .chain(layout.vias_of(n).map(|v| v.center));
+        let first = pts.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for p in pts {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Some(info_geom::Rect::new(lo, hi))
+    };
+    // Eviction sets: up to six single victims, then the nearest pair.
+    let mut eviction_sets: Vec<Vec<NetId>> =
+        candidates.iter().take(6).map(|&v| vec![v]).collect();
+    if candidates.len() >= 2 {
+        eviction_sets.push(vec![candidates[0], candidates[1]]);
+    }
+    for victims in eviction_sets {
+        let snapshot = layout.clone();
+        let mut touched = corridor;
+        for &v in &victims {
+            if let Some(b) = net_bbox(layout, v) {
+                touched = touched.union(b);
+            }
+            layout.remove_net(v);
+        }
+        space.rebuild_dirty(package, layout, touched);
+        // try_route_net rebuilds the space over each commit's own bbox.
+        let ok = try_route_net(package, layout, space, id, cfg)
+            && victims.iter().all(|&v| try_route_net(package, layout, space, v, cfg));
+        if ok {
+            return true;
+        }
+        // Restore exactly, widening the rebuild to everything touched by
+        // the failed attempt.
+        for &n in std::iter::once(&id).chain(victims.iter()) {
+            if let Some(b) = net_bbox(layout, n) {
+                touched = touched.union(b);
+            }
+        }
+        *layout = snapshot;
+        space.rebuild_dirty(package, layout, touched);
+    }
+    false
+}
+
+/// Attempts one net; on success commits geometry and rebuilds the dirty
+/// part of the space.
+fn try_route_net(
+    package: &Package,
+    layout: &mut Layout,
+    space: &mut RoutingSpace,
+    id: NetId,
+    _cfg: &RouterConfig,
+) -> bool {
+    let net = package.net(id);
+    let src = (package.pad_layer(net.a), package.pad(net.a).center);
+    let dst = (package.pad_layer(net.b), package.pad(net.b).center);
+    let Some(found) = astar::route(space, id, src, dst) else {
+        return false;
+    };
+    let Some(real) = realize::realize(&found, src, dst) else {
+        return false;
+    };
+    // Validate the realization before committing.
+    if real.routes.iter().any(|(_, pl)| pl.validate().is_err()) {
+        return false;
+    }
+    // Reject hard crossings against foreign nets (the tile path should
+    // avoid them; realization corner cases can still clip a boundary).
+    for (layer, pl) in &real.routes {
+        for r in layout.routes_on(*layer) {
+            if r.net != id && pl.crosses(&r.path) {
+                return false;
+            }
+        }
+    }
+    // Clearance trial: realization may stray slightly outside the tile
+    // path; never commit geometry the DRC would reject.
+    let proposal =
+        crate::trial::Proposal { routes: real.routes.clone(), vias: real.vias.clone() };
+    if !crate::trial::clearance_ok(package, layout, id, &proposal) {
+        return false;
+    }
+    let dirty = real.bbox();
+    for (layer, pl) in real.routes {
+        layout.add_route(id, layer, pl);
+    }
+    for (at, top, bot) in real.vias {
+        layout.add_via(id, at, package.rules().via_width, top, bot, false);
+    }
+    if let Some(d) = dirty {
+        space.rebuild_dirty(package, layout, d);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use info_geom::{Point, Rect};
+    use info_model::{drc, DesignRules, PackageBuilder};
+
+    fn simple_package(nets: usize) -> info_model::Package {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_000_000, 800_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c = b.add_chip(Rect::new(Point::new(100_000, 100_000), Point::new(400_000, 700_000)));
+        for i in 0..nets {
+            let y = 150_000 + 80_000 * i as i64;
+            let io = b.add_io_pad(c, Point::new(380_000, y)).unwrap();
+            let g = b.add_bump_pad(Point::new(700_000, y)).unwrap();
+            b.add_net(io, g).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn routes_all_simple_nets() {
+        let pkg = simple_package(4);
+        let cfg = RouterConfig::default().with_global_cells(8);
+        let mut layout = Layout::new(&pkg);
+        let nets: Vec<NetId> = pkg.nets().iter().map(|n| n.id).collect();
+        let res = route_sequential(&pkg, &mut layout, &nets, &cfg);
+        assert_eq!(res.failed.len(), 0, "failed: {:?}", res.failed);
+        for n in pkg.nets() {
+            assert!(drc::is_connected(&pkg, &layout, n.id), "{} disconnected", n.id);
+        }
+        // Each net crosses from the top layer to the bottom (bump pads):
+        // at least one via per net.
+        assert!(layout.via_count() >= 4);
+    }
+
+    #[test]
+    fn sequential_respects_existing_geometry() {
+        let pkg = simple_package(2);
+        let cfg = RouterConfig::default().with_global_cells(8);
+        let mut layout = Layout::new(&pkg);
+        // Route net 0 first, then net 1 must avoid it.
+        let res0 = route_sequential(&pkg, &mut layout, &[NetId(0)], &cfg);
+        assert_eq!(res0.routed.len(), 1);
+        let res1 = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg);
+        assert_eq!(res1.routed.len(), 1);
+        let report = drc::check(&pkg, &layout);
+        assert!(
+            report
+                .violations()
+                .iter()
+                .all(|v| !matches!(v, info_model::drc::Violation::Crossing { .. })),
+            "{:?}",
+            report.violations()
+        );
+    }
+
+    #[test]
+    fn impossible_net_reported_failed() {
+        // One wire layer; a pad fully fenced in by an obstacle ring cannot
+        // escape (no via escape exists with a single layer).
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_000_000, 800_000)),
+            DesignRules::default(),
+            1,
+        );
+        let c = b.add_chip(Rect::new(Point::new(100_000, 100_000), Point::new(300_000, 300_000)));
+        let io = b.add_io_pad(c, Point::new(200_000, 200_000)).unwrap();
+        let io2 = b.add_io_pad(c, Point::new(150_000, 150_000)).unwrap();
+        let g = b.add_bump_pad(Point::new(700_000, 400_000)).unwrap();
+        let g2 = b.add_bump_pad(Point::new(700_000, 600_000)).unwrap();
+        b.add_net(io, g).unwrap();
+        b.add_net(io2, g2).unwrap();
+        // Fence: four obstacle bars enclosing the chip area completely.
+        b.add_obstacle(info_model::WireLayer(0), Rect::new(Point::new(50_000, 50_000), Point::new(350_000, 60_000))).unwrap();
+        b.add_obstacle(info_model::WireLayer(0), Rect::new(Point::new(50_000, 340_000), Point::new(350_000, 350_000))).unwrap();
+        b.add_obstacle(info_model::WireLayer(0), Rect::new(Point::new(50_000, 50_000), Point::new(60_000, 350_000))).unwrap();
+        b.add_obstacle(info_model::WireLayer(0), Rect::new(Point::new(340_000, 50_000), Point::new(350_000, 350_000))).unwrap();
+        let pkg = b.build().unwrap();
+        let cfg = RouterConfig::default().with_global_cells(10);
+        let mut layout = Layout::new(&pkg);
+        let nets: Vec<NetId> = pkg.nets().iter().map(|n| n.id).collect();
+        let res = route_sequential(&pkg, &mut layout, &nets, &cfg);
+        assert_eq!(res.failed.len(), 2, "fenced nets cannot route: {res:?}");
+    }
+}

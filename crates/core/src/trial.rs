@@ -1,0 +1,246 @@
+//! Pre-commit clearance trial: a realized net is only committed when its
+//! geometry keeps the minimum spacing to everything already in the layout
+//! (and to pads/obstacles). Nets failing the trial fall through to later,
+//! more careful stages instead of poisoning the layout.
+
+use info_geom::{Coord, Octagon, Point, Polyline, Rect};
+use info_model::{Layout, NetId, Package, WireLayer};
+
+/// Proposed geometry of one net.
+#[derive(Debug, Clone, Default)]
+pub struct Proposal {
+    /// Planar routes `(layer, centerline)`.
+    pub routes: Vec<(WireLayer, Polyline)>,
+    /// Vias `(center, top, bottom)`.
+    pub vias: Vec<(Point, WireLayer, WireLayer)>,
+}
+
+impl Proposal {
+    /// Bounding box of the proposal.
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut pts = self
+            .routes
+            .iter()
+            .flat_map(|(_, p)| p.points().iter().copied())
+            .chain(self.vias.iter().map(|(p, _, _)| *p));
+        let first = pts.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for p in pts {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Some(Rect::new(lo, hi))
+    }
+}
+
+/// Whether the proposal clears all foreign geometry by the design rules.
+///
+/// Checks, per layer: proposed wire centerlines vs foreign wires
+/// (`≥ s + s_w`), vs foreign/unowned pads and obstacles (`≥ s + s_w/2`
+/// edge), vs foreign vias; and proposed via octagons against the same
+/// (`≥ s` edge-to-edge). Same-net geometry is exempt.
+pub fn clearance_ok(
+    package: &Package,
+    layout: &Layout,
+    net: NetId,
+    proposal: &Proposal,
+) -> bool {
+    let rules = package.rules();
+    let s = rules.min_spacing as f64;
+    let half_w = rules.wire_width as f64 / 2.0;
+    let tol = 0.5f64;
+
+    let mut pad_nets = vec![None; package.pads().len()];
+    for n in package.nets() {
+        pad_nets[n.a.index()] = Some(n.id);
+        pad_nets[n.b.index()] = Some(n.id);
+    }
+
+    // Collect foreign solids per layer lazily through closures would
+    // re-scan; just gather them once per spanned layer.
+    let layers: std::collections::BTreeSet<WireLayer> = proposal
+        .routes
+        .iter()
+        .map(|(l, _)| *l)
+        .chain(proposal.vias.iter().flat_map(|(_, t, b)| {
+            (t.0..=b.0).map(WireLayer)
+        }))
+        .collect();
+
+    let reach: Coord = rules.min_spacing + rules.wire_width + rules.via_width;
+    let prop_bbox = match proposal.bbox() {
+        Some(b) => b.inflate(reach),
+        None => return true,
+    };
+
+    for &layer in &layers {
+        // Foreign items on this layer near the proposal. The trial checks
+        // the *rules*, exactly; escape-lane keepouts around unrouted pads
+        // live in the tile space (search steering), not here (legality).
+        let mut solids: Vec<(Octagon, f64)> = Vec::new(); // (shape, extra gap)
+        for p in package.pads() {
+            let owner = pad_nets[p.id.index()];
+            if package.pad_layer(p.id) == layer
+                && owner != Some(net)
+                && p.bbox().intersects(prop_bbox)
+            {
+                solids.push((p.shape(), 0.0));
+            }
+        }
+        for o in package.obstacles() {
+            if o.layer == layer && o.rect.intersects(prop_bbox) {
+                solids.push((Octagon::from_rect(o.rect), 0.0));
+            }
+        }
+        for v in layout.vias_on(layer) {
+            if v.net != net && v.shape().bbox().intersects(prop_bbox) {
+                solids.push((v.shape(), 0.0));
+            }
+        }
+        let foreign_wires: Vec<info_geom::Segment> = layout
+            .routes_on(layer)
+            .filter(|r| r.net != net)
+            .flat_map(|r| r.path.segments())
+            .filter(|seg| {
+                let (lo, hi) = seg.bbox();
+                Rect::new(lo, hi).intersects(prop_bbox)
+            })
+            .collect();
+
+        // Proposed wires on this layer.
+        for (l, pl) in &proposal.routes {
+            if *l != layer {
+                continue;
+            }
+            for seg in pl.segments() {
+                for (solid, extra) in &solids {
+                    if solid.distance_to_segment(seg) - half_w < s + extra - tol {
+                        return false;
+                    }
+                }
+                for fw in &foreign_wires {
+                    if seg.distance_to_segment(*fw) - 2.0 * half_w < s - tol {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Proposed vias spanning this layer.
+        for &(at, top, bot) in &proposal.vias {
+            if layer < top || layer > bot {
+                continue;
+            }
+            let shape = Octagon::regular(at, rules.via_width);
+            for (solid, extra) in &solids {
+                if shape.distance_to_octagon(solid) < s + extra - tol {
+                    return false;
+                }
+            }
+            for fw in &foreign_wires {
+                if shape.distance_to_segment(*fw) - half_w < s - tol {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use info_model::{DesignRules, PackageBuilder};
+
+    fn pkg_two_nets() -> Package {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_000_000, 500_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(50_000, 100_000), Point::new(300_000, 400_000)));
+        let c2 = b.add_chip(Rect::new(Point::new(700_000, 100_000), Point::new(950_000, 400_000)));
+        let a1 = b.add_io_pad(c1, Point::new(250_000, 200_000)).unwrap();
+        let a2 = b.add_io_pad(c2, Point::new(750_000, 200_000)).unwrap();
+        let b1 = b.add_io_pad(c1, Point::new(250_000, 300_000)).unwrap();
+        let b2 = b.add_io_pad(c2, Point::new(750_000, 300_000)).unwrap();
+        b.add_net(a1, a2).unwrap();
+        b.add_net(b1, b2).unwrap();
+        b.build().unwrap()
+    }
+
+    fn pl(pts: &[(i64, i64)]) -> Polyline {
+        Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    #[test]
+    fn clean_route_passes() {
+        let pkg = pkg_two_nets();
+        let layout = Layout::new(&pkg);
+        let prop = Proposal {
+            routes: vec![(WireLayer(0), pl(&[(250_000, 200_000), (750_000, 200_000)]))],
+            vias: vec![],
+        };
+        assert!(clearance_ok(&pkg, &layout, NetId(0), &prop));
+    }
+
+    #[test]
+    fn route_through_foreign_pad_rejected() {
+        let pkg = pkg_two_nets();
+        let layout = Layout::new(&pkg);
+        // Net 0's wire slicing through net 1's pad at (250k, 300k).
+        let prop = Proposal {
+            routes: vec![(WireLayer(0), pl(&[(150_000, 300_000), (400_000, 300_000)]))],
+            vias: vec![],
+        };
+        assert!(!clearance_ok(&pkg, &layout, NetId(0), &prop));
+    }
+
+    #[test]
+    fn route_near_foreign_wire_rejected() {
+        let pkg = pkg_two_nets();
+        let mut layout = Layout::new(&pkg);
+        layout.add_route(NetId(1), WireLayer(0), pl(&[(300_000, 250_000), (700_000, 250_000)]));
+        // 3 µm parallel offset < 4 µm required.
+        let prop = Proposal {
+            routes: vec![(WireLayer(0), pl(&[(300_000, 253_000), (700_000, 253_000)]))],
+            vias: vec![],
+        };
+        assert!(!clearance_ok(&pkg, &layout, NetId(0), &prop));
+        // 4 µm is legal.
+        let prop_ok = Proposal {
+            routes: vec![(WireLayer(0), pl(&[(300_000, 254_000), (700_000, 254_000)]))],
+            vias: vec![],
+        };
+        assert!(clearance_ok(&pkg, &layout, NetId(0), &prop_ok));
+    }
+
+    #[test]
+    fn via_too_close_to_foreign_via_rejected() {
+        let pkg = pkg_two_nets();
+        let mut layout = Layout::new(&pkg);
+        layout.add_via(NetId(1), Point::new(500_000, 250_000), 5_000, WireLayer(0), WireLayer(1), false);
+        let prop = Proposal {
+            routes: vec![],
+            vias: vec![(Point::new(505_000, 250_000), WireLayer(0), WireLayer(1))],
+        };
+        assert!(!clearance_ok(&pkg, &layout, NetId(0), &prop));
+        let prop_far = Proposal {
+            routes: vec![],
+            vias: vec![(Point::new(520_000, 250_000), WireLayer(0), WireLayer(1))],
+        };
+        assert!(clearance_ok(&pkg, &layout, NetId(0), &prop_far));
+    }
+
+    #[test]
+    fn own_geometry_exempt() {
+        let pkg = pkg_two_nets();
+        let mut layout = Layout::new(&pkg);
+        layout.add_route(NetId(0), WireLayer(0), pl(&[(250_000, 200_000), (500_000, 200_000)]));
+        // Extending the same net right next to itself is fine.
+        let prop = Proposal {
+            routes: vec![(WireLayer(0), pl(&[(500_000, 200_000), (750_000, 200_000)]))],
+            vias: vec![],
+        };
+        assert!(clearance_ok(&pkg, &layout, NetId(0), &prop));
+    }
+}

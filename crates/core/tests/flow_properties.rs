@@ -1,0 +1,92 @@
+//! Randomized end-to-end properties of the five-stage flow.
+
+use info_geom::{Point, Rect};
+use info_model::{drc, DesignRules, PackageBuilder};
+use info_router::{InfoRouter, RouterConfig};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Random two-chip package with facing pads (some shuffled) and a few
+/// chip-to-board nets.
+fn random_package(seed: u64) -> info_model::Package {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_400_000, 900_000)),
+        DesignRules::default(),
+        rng.gen_range(2..=3),
+    );
+    let c1 = b.add_chip(Rect::new(Point::new(150_000, 250_000), Point::new(500_000, 650_000)));
+    let c2 = b.add_chip(Rect::new(Point::new(900_000, 250_000), Point::new(1_250_000, 650_000)));
+    let k = rng.gen_range(2..6);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for i in 0..k {
+        let y = 300_000 + 64_000 * i as i64 + rng.gen_range(0..20_000);
+        left.push(b.add_io_pad(c1, Point::new(480_000 - rng.gen_range(0..16_000), y)).unwrap());
+        right.push(b.add_io_pad(c2, Point::new(920_000 + rng.gen_range(0..16_000), y)).unwrap());
+    }
+    // Shuffle the right side a little to create entanglement.
+    for i in (1..right.len()).rev() {
+        if rng.gen_bool(0.4) {
+            let j = rng.gen_range(0..=i);
+            right.swap(i, j);
+        }
+    }
+    for i in 0..k {
+        b.add_net(left[i], right[i]).unwrap();
+    }
+    // One board net when there's room.
+    if rng.gen_bool(0.7) {
+        let io = b.add_io_pad(c1, Point::new(480_000, 630_000)).unwrap();
+        let g = b.add_bump_pad(Point::new(700_000, 120_000)).unwrap();
+        b.add_net(io, g).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the instance, the final layout never contains crossings,
+    /// spacing violations, or turn-rule breaks — only (possibly) unrouted
+    /// nets.
+    #[test]
+    fn flow_output_is_always_drc_clean_modulo_unrouted(seed in 0u64..10_000) {
+        let pkg = random_package(seed);
+        let out = InfoRouter::new(RouterConfig::default().with_global_cells(12)).route(&pkg);
+        for v in out.drc.violations() {
+            prop_assert!(
+                matches!(v, drc::Violation::Disconnected { .. }),
+                "seed {seed}: unexpected violation {v}"
+            );
+        }
+        // Every net the stats count as routed is individually connected.
+        prop_assert_eq!(
+            out.stats.routed_nets + out.drc.dirty_nets().len(),
+            pkg.nets().len()
+        );
+    }
+
+    /// `lpopt::optimize` is monotone on a fixed layout: never longer, and
+    /// never more DRC violations.
+    #[test]
+    fn lp_optimize_is_monotone(seed in 0u64..5_000) {
+        let pkg = random_package(seed);
+        let cfg = RouterConfig::default().with_global_cells(12);
+        let out = InfoRouter::new(cfg.without_lp()).route(&pkg);
+        let violations_before = out.drc.violations().len();
+        let wl_before: f64 = out.layout.routes().map(|r| r.length()).sum();
+        let mut layout = out.layout.clone();
+        let rep = info_router::lpopt::optimize(&pkg, &mut layout, &cfg);
+        let wl_after: f64 = layout.routes().map(|r| r.length()).sum();
+        prop_assert!(
+            wl_after <= wl_before + 1.0,
+            "seed {seed}: optimize lengthened {wl_before} -> {wl_after} ({rep:?})"
+        );
+        let violations_after = drc::check(&pkg, &layout).violations().len();
+        prop_assert!(
+            violations_after <= violations_before,
+            "seed {seed}: optimize added violations {violations_before} -> {violations_after}"
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! The dense1–dense5 benchmark family (Table I statistics).
+
+use info_geom::{Coord, Point, Rect};
+use info_model::{DesignRules, Package, PackageBuilder, PadId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one synthetic dense circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseSpec {
+    /// Chip grid columns.
+    pub chips_x: usize,
+    /// Chip grid rows.
+    pub chips_y: usize,
+    /// Number of I/O pads `|Q|` (nets take two each).
+    pub io_pads: usize,
+    /// Number of bump pads `|G|` (unconnected BGA field).
+    pub bump_pads: usize,
+    /// Number of pre-assigned nets `|N|`.
+    pub nets: usize,
+    /// Wire layers `|L_w|`.
+    pub wire_layers: usize,
+    /// RNG seed for pad scatter and net pairing.
+    pub seed: u64,
+}
+
+/// Table I statistics for dense1–dense5.
+///
+/// # Panics
+///
+/// Panics if `index` is not in `1..=5`.
+pub fn dense_spec(index: usize) -> DenseSpec {
+    match index {
+        1 => DenseSpec { chips_x: 2, chips_y: 1, io_pads: 44, bump_pads: 324, nets: 22, wire_layers: 3, seed: 0xD1 },
+        2 => DenseSpec { chips_x: 3, chips_y: 1, io_pads: 92, bump_pads: 784, nets: 46, wire_layers: 3, seed: 0xD2 },
+        3 => DenseSpec { chips_x: 3, chips_y: 2, io_pads: 160, bump_pads: 308, nets: 80, wire_layers: 5, seed: 0xD3 },
+        4 => DenseSpec { chips_x: 3, chips_y: 2, io_pads: 222, bump_pads: 684, nets: 111, wire_layers: 5, seed: 0xD4 },
+        5 => DenseSpec { chips_x: 3, chips_y: 3, io_pads: 522, bump_pads: 1444, nets: 261, wire_layers: 5, seed: 0xD5 },
+    _ => panic!("dense benchmarks are numbered 1..=5"),
+    }
+}
+
+/// dense3/dense4 share a 6-chip arrangement; dense4 is denser. Correct
+/// the chip count for dense4 (Table I: 6 chips).
+fn chip_count_override(index: usize) -> Option<(usize, usize)> {
+    match index {
+        3 => Some((3, 2)),  // 5 chips: one grid slot left empty
+        4 => Some((3, 2)),  // 6 chips
+        _ => None,
+    }
+}
+
+/// Builds the `dense<index>` circuit.
+///
+/// # Panics
+///
+/// Panics if `index` is not in `1..=5`.
+pub fn dense(index: usize) -> Package {
+    let spec = dense_spec(index);
+    let _ = chip_count_override(index);
+    // dense3 has 5 chips on a 3 × 2 grid (one slot empty).
+    let skip_last_chip = index == 3;
+    build_dense(spec, skip_last_chip)
+}
+
+/// Builds a circuit from an explicit spec (for scaling studies).
+pub fn build_dense(spec: DenseSpec, skip_last_chip: bool) -> Package {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // --- Floorplan: chips on a grid with fan-out margins.
+    let chip_w: Coord = 1_200_000;
+    let chip_h: Coord = 1_200_000;
+    let margin: Coord = 700_000; // fan-out margin around and between chips
+    let die_w = spec.chips_x as Coord * (chip_w + margin) + margin;
+    let die_h = spec.chips_y as Coord * (chip_h + margin) + margin;
+    let die = Rect::new(Point::new(0, 0), Point::new(die_w, die_h));
+    let mut b = PackageBuilder::new(die, DesignRules::default(), spec.wire_layers);
+
+    let mut chips = Vec::new();
+    'grid: for gy in 0..spec.chips_y {
+        for gx in 0..spec.chips_x {
+            if skip_last_chip && chips.len() + 1 == spec.chips_x * spec.chips_y {
+                break 'grid;
+            }
+            let x0 = margin + gx as Coord * (chip_w + margin);
+            let y0 = margin + gy as Coord * (chip_h + margin);
+            chips.push(b.add_chip(Rect::new(
+                Point::new(x0, y0),
+                Point::new(x0 + chip_w, y0 + chip_h),
+            )));
+        }
+    }
+    let n_chips = chips.len();
+
+    // --- Irregular peripheral I/O pads: scattered along chip edges at
+    // random (non-grid) positions and random depths from the edge.
+    let per_chip = spec.io_pads / n_chips;
+    let mut extra = spec.io_pads - per_chip * n_chips;
+    let pad_margin: Coord = 20_000; // min distance of pad center from edge
+    let min_pitch: Coord = 24_000; // pad + spacing with irregular jitter room
+    let mut pads_of_chip: Vec<Vec<PadId>> = vec![Vec::new(); n_chips];
+    for (ci, &chip) in chips.iter().enumerate() {
+        let outline_idx = chip;
+        let outline = {
+            // PackageBuilder has no getter; recompute the grid position.
+            let k = ci;
+            let gx = k % spec.chips_x;
+            let gy = k / spec.chips_x;
+            let x0 = margin + gx as Coord * (chip_w + margin);
+            let y0 = margin + gy as Coord * (chip_h + margin);
+            Rect::new(Point::new(x0, y0), Point::new(x0 + chip_w, y0 + chip_h))
+        };
+        let mut want = per_chip + usize::from(extra > 0);
+        if extra > 0 {
+            extra -= 1;
+        }
+        // Candidate slots along the 4 edges, then jitter and subsample.
+        let mut slots: Vec<Point> = Vec::new();
+        let per_edge_span = chip_w - 2 * pad_margin;
+        let max_per_edge = (per_edge_span / min_pitch) as usize;
+        for edge in 0..4u8 {
+            for k in 0..max_per_edge {
+                let t = pad_margin + k as Coord * min_pitch + rng.gen_range(0..6_000);
+                let depth = pad_margin + rng.gen_range(0..12_000); // irregular depth
+                let p = match edge {
+                    0 => Point::new(outline.lo.x + t, outline.lo.y + depth), // south
+                    1 => Point::new(outline.hi.x - depth, outline.lo.y + t), // east
+                    2 => Point::new(outline.hi.x - t, outline.hi.y - depth), // north
+                    _ => Point::new(outline.lo.x + depth, outline.hi.y - t), // west
+                };
+                slots.push(p);
+            }
+        }
+        // Shuffle slots and take the first `want` that satisfy spacing.
+        for i in (1..slots.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            slots.swap(i, j);
+        }
+        let mut placed: Vec<Point> = Vec::new();
+        for p in slots {
+            if want == 0 {
+                break;
+            }
+            let clear = placed
+                .iter()
+                .all(|q| (p.x - q.x).abs().max((p.y - q.y).abs()) >= min_pitch);
+            if !clear {
+                continue;
+            }
+            if let Ok(id) = b.add_io_pad(outline_idx, p) {
+                pads_of_chip[ci].push(id);
+                placed.push(p);
+                want -= 1;
+            }
+        }
+        assert_eq!(want, 0, "chip {ci}: could not place all I/O pads; enlarge the chip");
+    }
+
+    // --- Bump pad field: a regular BGA grid (unconnected; bottom-layer
+    // blockage), thinned to exactly |G| sites. The pitch adapts to the
+    // die so the requested count always fits.
+    let mut bga_pitch: Coord =
+        (((die_w as f64 * die_h as f64) / spec.bump_pads.max(1) as f64).sqrt() * 0.92) as Coord;
+    bga_pitch = bga_pitch.clamp(40_000, 200_000);
+    let mut bga_sites: Vec<Point> = Vec::new();
+    loop {
+        bga_sites.clear();
+        let mut y = bga_pitch / 2 + 20_000;
+        while y < die_h - bga_pitch / 2 {
+            let mut x = bga_pitch / 2 + 20_000;
+            while x < die_w - bga_pitch / 2 {
+                bga_sites.push(Point::new(x, y));
+                x += bga_pitch;
+            }
+            y += bga_pitch;
+        }
+        if bga_sites.len() >= spec.bump_pads || bga_pitch <= 40_000 {
+            break;
+        }
+        bga_pitch = (bga_pitch * 9 / 10).max(40_000);
+    }
+    // Deterministic thinning: keep evenly-strided sites.
+    let keep = spec.bump_pads.min(bga_sites.len());
+    let stride = (bga_sites.len() as f64 / keep.max(1) as f64).max(1.0);
+    let mut added = 0usize;
+    let mut fpos = 0.0f64;
+    while added < keep && (fpos as usize) < bga_sites.len() {
+        if b.add_bump_pad(bga_sites[fpos as usize]).is_ok() {
+            added += 1;
+        }
+        fpos += stride;
+    }
+
+    // --- Pre-assigned inter-chip nets: |N| pairs over distinct chips,
+    // biased toward grid-adjacent chips (as inter-chip buses are), with
+    // random pad selection producing entangled orders.
+    let mut free: Vec<Vec<PadId>> = pads_of_chip.clone();
+    let adjacent = |a: usize, bidx: usize| -> bool {
+        let (ax, ay) = (a % spec.chips_x, a / spec.chips_x);
+        let (bx, by) = (bidx % spec.chips_x, bidx / spec.chips_x);
+        ax.abs_diff(bx) + ay.abs_diff(by) == 1
+    };
+    let mut made = 0usize;
+    let mut guard = 0usize;
+    while made < spec.nets {
+        guard += 1;
+        assert!(guard < 100_000, "net pairing did not converge");
+        // Draw the first terminal from the chip with the most free pads so
+        // the supply never strands on a single chip.
+        let ca = (0..n_chips)
+            .max_by_key(|&c| free[c].len())
+            .expect("chips exist");
+        assert!(!free[ca].is_empty(), "ran out of pads before placing all nets");
+        // 80% adjacent-chip nets, 20% any-chip nets; fall back to any chip
+        // with free pads when no preferred neighbor has any.
+        let neighbors: Vec<usize> =
+            (0..n_chips).filter(|&c| c != ca && adjacent(ca, c) && !free[c].is_empty()).collect();
+        let others: Vec<usize> =
+            (0..n_chips).filter(|&c| c != ca && !free[c].is_empty()).collect();
+        let pool = if rng.gen_bool(0.8) && !neighbors.is_empty() { &neighbors } else { &others };
+        if pool.is_empty() {
+            continue;
+        }
+        let cb = pool[rng.gen_range(0..pool.len())];
+        let ia = rng.gen_range(0..free[ca].len());
+        let ib = rng.gen_range(0..free[cb].len());
+        let pa = free[ca].swap_remove(ia);
+        let pb = free[cb].swap_remove(ib);
+        b.add_net(pa, pb).expect("pads are free and io-io");
+        made += 1;
+    }
+
+    b.build().expect("generated circuit must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_statistics_reproduced() {
+        for (idx, chips, q, g, n, lw) in [
+            (1usize, 2usize, 44usize, 324usize, 22usize, 3usize),
+            (2, 3, 92, 784, 46, 3),
+            (3, 5, 160, 308, 80, 5),
+            (4, 6, 222, 684, 111, 5),
+            (5, 9, 522, 1444, 261, 5),
+        ] {
+            let pkg = dense(idx);
+            assert_eq!(pkg.chips().len(), chips, "dense{idx} chips");
+            assert_eq!(pkg.io_pad_count(), q, "dense{idx} |Q|");
+            assert_eq!(pkg.bump_pad_count(), g, "dense{idx} |G|");
+            assert_eq!(pkg.nets().len(), n, "dense{idx} |N|");
+            assert_eq!(pkg.wire_layer_count(), lw, "dense{idx} |L_w|");
+            assert_eq!(pkg.via_layer_count(), lw + 1, "dense{idx} |L_v|");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = dense(1);
+        let b = dense(1);
+        assert_eq!(info_model::write_package(&a), info_model::write_package(&b));
+    }
+
+    #[test]
+    fn all_nets_are_inter_chip() {
+        let pkg = dense(2);
+        for net in pkg.nets() {
+            assert!(pkg.is_inter_chip(net.id));
+            let ca = pkg.pad(net.a).chip().unwrap();
+            let cb = pkg.pad(net.b).chip().unwrap();
+            assert_ne!(ca, cb, "{} connects a chip to itself", net.id);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec = dense_spec(1);
+        let a = build_dense(spec, false);
+        spec.seed = 999;
+        let b = build_dense(spec, false);
+        assert_ne!(info_model::write_package(&a), info_model::write_package(&b));
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic benchmark circuits for the InFO RDL routing experiments.
+//!
+//! The paper's dense1–dense5 industrial circuits are proprietary; Table I
+//! only discloses their aggregate statistics (#chips, |Q|, |G|, |N|,
+//! |L_w|, |L_v|). [`dense`] regenerates seeded synthetic circuits with the
+//! same statistics: chips in a grid arrangement, I/O pads scattered
+//! irregularly along chip peripheries (arbitrary, non-grid positions),
+//! pre-assigned inter-chip pad pairs (|N| = |Q|/2, exactly as the Table I
+//! counts imply), and a field of unconnected bump pads acting as
+//! bottom-layer blockage — the closest reconstruction the published data
+//! permits (see DESIGN.md, substitutions).
+//!
+//! [`patterns`] builds the worked-example instances behind Fig. 2
+//! (entangled nets that a no-flexible-via router needs one layer each
+//! for) and Fig. 5 (a congested channel that separates weighted from
+//! unweighted MPSC).
+
+pub mod patterns;
+
+mod dense;
+
+pub use dense::{build_dense, dense, dense_spec, DenseSpec};

@@ -1,0 +1,189 @@
+//! Worked-example patterns behind the paper's figures.
+
+use info_geom::{Coord, Point, Rect};
+use info_model::{DesignRules, Package, PackageBuilder, WireLayer};
+
+/// The Fig. 2 pattern: `k` inter-chip nets whose pad orders are reversed
+/// between two facing chips, inside a sealed channel.
+///
+/// The region between the chips is the only routing resource: full-width
+/// fence obstacles (all layers) seal the channel's top and bottom, and
+/// "comb" obstacles (all layers) cover everything left of the left chip
+/// edge and right of the right chip edge except one private corridor per
+/// net at its pad's row. Each net therefore enters the channel at a fixed
+/// boundary point on every layer — in the real dense circuits, neighbor
+/// pads, fan-in wiring, and the bump field play this role. With the
+/// channel simply connected and entry points interleaved in reversed
+/// order, single-layer routes of any two nets must cross (Jordan):
+///
+/// - a router without flexible vias needs `k` wire layers (one net per
+///   layer — Fig. 2(a));
+/// - the via-based router weaves all `k` nets through 2 wire layers
+///   (Fig. 2(b)).
+pub fn entangled(k: usize, wire_layers: usize) -> Package {
+    assert!(k >= 1, "need at least one net");
+    let rules = DesignRules::default();
+    let row_pitch: Coord = 60_000;
+    let chan_y0: Coord = 250_000;
+    let chan_y1 = chan_y0 + row_pitch * (k as Coord + 1);
+    let die = Rect::new(Point::new(0, 0), Point::new(1_400_000, chan_y1 + 250_000));
+    let mut b = PackageBuilder::new(die, rules, wire_layers);
+    let c1 = b.add_chip(Rect::new(Point::new(150_000, chan_y0), Point::new(500_000, chan_y1)));
+    let c2 = b.add_chip(Rect::new(Point::new(900_000, chan_y0), Point::new(1_250_000, chan_y1)));
+
+    // Fences sealing the channel band on every wire layer.
+    for l in 0..wire_layers {
+        b.add_obstacle(
+            WireLayer(l as u8),
+            Rect::new(Point::new(0, chan_y0 - 100_000), Point::new(die.hi.x, chan_y0)),
+        )
+        .expect("fence fits");
+        b.add_obstacle(
+            WireLayer(l as u8),
+            Rect::new(Point::new(0, chan_y1), Point::new(die.hi.x, chan_y1 + 100_000)),
+        )
+        .expect("fence fits");
+    }
+
+    // Connected pads just inside the facing chip edges, reversed on the
+    // right side.
+    let row = |j: usize| chan_y0 + row_pitch * (j as Coord + 1);
+    let depth: Coord = 6_000;
+    let mut left_rows = Vec::with_capacity(k);
+    let mut right_rows = Vec::with_capacity(k);
+    for j in 0..k {
+        let (ly, ry) = (row(j), row(k - 1 - j)); // reversed order
+        let pl = b.add_io_pad(c1, Point::new(500_000 - depth, ly)).expect("pad fits");
+        let pr = b.add_io_pad(c2, Point::new(900_000 + depth, ry)).expect("pad fits");
+        b.add_net(pl, pr).expect("valid net");
+        left_rows.push(ly);
+        right_rows.push(ry);
+    }
+
+    // Combs: everything outside the channel is blocked on every layer
+    // except one 20 µm corridor per net at its row. The pad's own
+    // clearance band seals each corridor against foreign nets.
+    let win: Coord = 10_000;
+    for (x0, x1, rows) in [
+        (0, 500_000, &left_rows),
+        (900_000, die.hi.x, &right_rows),
+    ] {
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        for l in 0..wire_layers {
+            let mut y = chan_y0;
+            for &r in &sorted {
+                if r - win > y {
+                    b.add_obstacle(
+                        WireLayer(l as u8),
+                        Rect::new(Point::new(x0, y), Point::new(x1, r - win)),
+                    )
+                    .expect("comb fits");
+                }
+                y = r + win;
+            }
+            if y < chan_y1 {
+                b.add_obstacle(
+                    WireLayer(l as u8),
+                    Rect::new(Point::new(x0, y), Point::new(x1, chan_y1)),
+                )
+                .expect("comb fits");
+            }
+        }
+    }
+    b.build().expect("entangled pattern validates")
+}
+
+/// The Fig. 5 pattern: a congested narrow corridor plus an open region.
+///
+/// A large chip leaves only one narrow corridor (along the west die edge)
+/// between its north and south fan-out regions. `n_through` nets connect
+/// north-edge pads to south-edge pads — all of their fan-out pre-routes
+/// must squeeze through the corridor, whose capacity is a handful of
+/// wires. `n_local` nets connect pads along the north edge only and route
+/// congestion-free. Unweighted MPSC sees all chords as equal; the weighted
+/// version discounts the corridor nets by their overflow rate (Eq. (1))
+/// and prefers assignments that detailed routing can actually finish.
+pub fn congested_channel(n_through: usize, n_local: usize, wire_layers: usize) -> Package {
+    // Heavier rules make the corridor capacity small without microscopic
+    // geometry: pitch = 40 µm, corridor 100 µm wide → capacity ≈ 2.
+    let rules = DesignRules { min_spacing: 20_000, wire_width: 20_000, via_width: 30_000 };
+    let pitch: Coord = 100_000;
+    // Size the die to the pad demand: through pads from x = 400 µm, local
+    // pairs east of them with a margin.
+    let through_start: Coord = 400_000 + n_local as Coord * pitch;
+    let through_end = through_start + n_through as Coord * pitch;
+    let local_start = through_end + 2 * pitch;
+    let local_end = local_start + n_local as Coord * 3 * pitch;
+    let die_w = (local_end + 4 * pitch).max(2_000_000);
+    let die = Rect::new(Point::new(0, 0), Point::new(die_w, 1_400_000));
+    let mut b = PackageBuilder::new(die, rules, wire_layers);
+    // Chip flush with the EAST die edge: the only north-south corridor is
+    // the 100 µm strip on the west side.
+    let chip = b.add_chip(Rect::new(Point::new(100_000, 400_000), Point::new(die_w, 1_000_000)));
+
+    let mut nets = Vec::new();
+    // Through nets: north edge ↔ south edge.
+    for i in 0..n_through {
+        let x = through_start + (i as Coord) * pitch;
+        let n = b.add_io_pad(chip, Point::new(x, 1_000_000 - 30_000)).expect("north pad");
+        let s = b.add_io_pad(chip, Point::new(x, 400_000 + 30_000)).expect("south pad");
+        nets.push(b.add_net(n, s).expect("valid net"));
+    }
+    // Local nets: *spanning* pairs along the north edge whose chords
+    // enclose the through block (west pad before it, east pad after it),
+    // so they cross every through chord in the circular model — the
+    // either/or choice of Fig. 5.
+    for i in 0..n_local {
+        let wx = through_start - (i as Coord + 1) * pitch;
+        let ex = local_start + (i as Coord) * pitch;
+        let p = b.add_io_pad(chip, Point::new(wx, 1_000_000 - 30_000)).expect("west pad");
+        let q = b.add_io_pad(chip, Point::new(ex, 1_000_000 - 30_000)).expect("east pad");
+        nets.push(b.add_net(p, q).expect("valid net"));
+    }
+    b.build().expect("congested pattern validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entangled_statistics() {
+        let pkg = entangled(3, 2);
+        assert_eq!(pkg.nets().len(), 3);
+        assert_eq!(pkg.chips().len(), 2);
+        assert_eq!(pkg.wire_layer_count(), 2);
+        // Dummy columns exist: many more pads than net terminals.
+        assert_eq!(pkg.io_pad_count(), 6);
+        // Fences on every layer.
+        assert!(pkg.obstacles().len() >= 4);
+        // Net order reversal: left terminals ascend while right descend.
+        let ys: Vec<(i64, i64)> = pkg
+            .nets()
+            .iter()
+            .map(|n| (pkg.pad(n.a).center.y, pkg.pad(n.b).center.y))
+            .collect();
+        for w in ys.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 > w[1].1);
+        }
+    }
+
+    #[test]
+    fn entangled_scales_with_k() {
+        for k in [1, 2, 5] {
+            let pkg = entangled(k, 2);
+            assert_eq!(pkg.nets().len(), k);
+        }
+    }
+
+    #[test]
+    fn congested_statistics() {
+        let pkg = congested_channel(6, 2, 2);
+        assert_eq!(pkg.nets().len(), 8);
+        assert_eq!(pkg.chips().len(), 1);
+        // The chip touches the east die edge: no east corridor.
+        assert_eq!(pkg.chips()[0].outline.hi.x, pkg.die().hi.x);
+    }
+}

@@ -1,0 +1,86 @@
+//! Sanity properties of the benchmark generators.
+
+use info_gen::{build_dense, dense_spec, patterns};
+
+#[test]
+fn dense_pads_are_irregular() {
+    // "Irregular pad structure": I/O pad positions must not form a single
+    // regular grid. Check that x-coordinates on one chip's east edge have
+    // non-uniform gaps.
+    let mut spec = dense_spec(1);
+    spec.seed = 3;
+    let pkg = build_dense(spec, false);
+    let mut ys: Vec<i64> = pkg
+        .pads()
+        .iter()
+        .filter(|p| p.is_io() && p.chip() == Some(info_model::ChipId(0)))
+        .map(|p| p.center.y)
+        .collect();
+    ys.sort_unstable();
+    let gaps: Vec<i64> = ys.windows(2).map(|w| w[1] - w[0]).collect();
+    let distinct: std::collections::BTreeSet<i64> = gaps.iter().copied().collect();
+    assert!(
+        distinct.len() > 2,
+        "pad gaps look like a regular grid: {gaps:?}"
+    );
+}
+
+#[test]
+fn dense_respects_build_validation() {
+    // The builder enforces spacing/containment; exercising several seeds
+    // shows the generator never emits invalid geometry.
+    for seed in [1u64, 7, 42, 99] {
+        let mut spec = dense_spec(1);
+        spec.seed = seed;
+        let pkg = build_dense(spec, false);
+        assert_eq!(pkg.nets().len(), spec.nets);
+    }
+}
+
+#[test]
+fn dense_scaling_spec() {
+    // A custom spec scales the floorplan automatically.
+    let mut spec = dense_spec(1);
+    spec.chips_x = 2;
+    spec.chips_y = 2;
+    spec.io_pads = 40;
+    spec.nets = 20;
+    spec.bump_pads = 100;
+    let pkg = build_dense(spec, false);
+    assert_eq!(pkg.chips().len(), 4);
+    assert_eq!(pkg.io_pad_count(), 40);
+    assert_eq!(pkg.bump_pad_count(), 100);
+    assert_eq!(pkg.nets().len(), 20);
+}
+
+#[test]
+fn entangled_channel_is_sealed() {
+    // The fences plus combs must cover the whole die width outside the
+    // channel on every layer.
+    let pkg = patterns::entangled(3, 2);
+    let die = pkg.die();
+    for layer in 0..pkg.wire_layer_count() {
+        let covering: i64 = pkg
+            .obstacles()
+            .iter()
+            .filter(|o| o.layer.index() == layer)
+            .map(|o| o.rect.width() * o.rect.height() / 1_000_000)
+            .sum();
+        assert!(covering > 0, "layer {layer} has no sealing obstacles");
+    }
+    // Both chips remain inside the die with the channel between them.
+    assert!(pkg.chips()[0].outline.hi.x < pkg.chips()[1].outline.lo.x);
+    let _ = die;
+}
+
+#[test]
+fn congested_corridor_statistics() {
+    for (t, l) in [(4usize, 2usize), (8, 3)] {
+        let pkg = patterns::congested_channel(t, l, 2);
+        assert_eq!(pkg.nets().len(), t + l);
+        // All nets are intra-chip I/O pairs on the single big chip.
+        for n in pkg.nets() {
+            assert!(pkg.is_inter_chip(n.id) || pkg.pad(n.a).chip() == pkg.pad(n.b).chip());
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The eight routing directions and four wire orientations.
+
+use crate::{Coord, Vector};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the eight cardinal/intercardinal directions, ordered
+/// counter-clockwise starting from east.
+///
+/// These are the directions in which the LP optimizer scans for the nearest
+/// blockage when generating interactive constraints, and the eight boundary
+/// edge orientations of an [octagonal tile](crate::Octagon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dir8 {
+    /// +x
+    E,
+    /// +x, +y
+    Ne,
+    /// +y
+    N,
+    /// -x, +y
+    Nw,
+    /// -x
+    W,
+    /// -x, -y
+    Sw,
+    /// -y
+    S,
+    /// +x, -y
+    Se,
+}
+
+/// One of the four X-architecture wire orientations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Orient4 {
+    /// Horizontal: the line `y = c`.
+    H,
+    /// Vertical: the line `x = c`.
+    V,
+    /// 45° diagonal (slope +1): the line `x - y = c`.
+    D45,
+    /// 135° diagonal (slope -1): the line `x + y = c`.
+    D135,
+}
+
+impl Dir8 {
+    /// All eight directions in counter-clockwise order starting at east.
+    pub const ALL: [Dir8; 8] = [
+        Dir8::E,
+        Dir8::Ne,
+        Dir8::N,
+        Dir8::Nw,
+        Dir8::W,
+        Dir8::Sw,
+        Dir8::S,
+        Dir8::Se,
+    ];
+
+    /// Index in counter-clockwise order (`E = 0` … `Se = 7`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Dir8::E => 0,
+            Dir8::Ne => 1,
+            Dir8::N => 2,
+            Dir8::Nw => 3,
+            Dir8::W => 4,
+            Dir8::Sw => 5,
+            Dir8::S => 6,
+            Dir8::Se => 7,
+        }
+    }
+
+    /// Direction from a counter-clockwise index, reduced modulo 8.
+    #[inline]
+    pub fn from_index(i: usize) -> Dir8 {
+        Self::ALL[i % 8]
+    }
+
+    /// The unit lattice step in this direction (diagonals step `(±1, ±1)`).
+    #[inline]
+    pub fn step(self) -> Vector {
+        let (dx, dy): (Coord, Coord) = match self {
+            Dir8::E => (1, 0),
+            Dir8::Ne => (1, 1),
+            Dir8::N => (0, 1),
+            Dir8::Nw => (-1, 1),
+            Dir8::W => (-1, 0),
+            Dir8::Sw => (-1, -1),
+            Dir8::S => (0, -1),
+            Dir8::Se => (1, -1),
+        };
+        Vector::new(dx, dy)
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Dir8 {
+        Dir8::from_index(self.index() + 4)
+    }
+
+    /// Whether this is one of the four diagonal directions.
+    #[inline]
+    pub fn is_diagonal(self) -> bool {
+        matches!(self, Dir8::Ne | Dir8::Nw | Dir8::Sw | Dir8::Se)
+    }
+
+    /// The wire orientation a segment pointing in this direction lies on.
+    #[inline]
+    pub fn orient(self) -> Orient4 {
+        match self {
+            Dir8::E | Dir8::W => Orient4::H,
+            Dir8::N | Dir8::S => Orient4::V,
+            Dir8::Ne | Dir8::Sw => Orient4::D45,
+            Dir8::Nw | Dir8::Se => Orient4::D135,
+        }
+    }
+
+    /// Direction of a displacement if it is a nonzero X-architecture move.
+    ///
+    /// ```
+    /// use info_geom::{Dir8, Vector};
+    /// assert_eq!(Dir8::of_vector(Vector::new(0, -9)), Some(Dir8::S));
+    /// assert_eq!(Dir8::of_vector(Vector::new(3, 3)), Some(Dir8::Ne));
+    /// assert_eq!(Dir8::of_vector(Vector::new(2, 1)), None);
+    /// ```
+    pub fn of_vector(v: Vector) -> Option<Dir8> {
+        let d = match (v.dx.signum(), v.dy.signum()) {
+            (1, 0) => Dir8::E,
+            (1, 1) if v.dx == v.dy => Dir8::Ne,
+            (0, 1) => Dir8::N,
+            (-1, 1) if -v.dx == v.dy => Dir8::Nw,
+            (-1, 0) => Dir8::W,
+            (-1, -1) if v.dx == v.dy => Dir8::Sw,
+            (0, -1) => Dir8::S,
+            (1, -1) if v.dx == -v.dy => Dir8::Se,
+            _ => return None,
+        };
+        Some(d)
+    }
+
+    /// Minimal angular distance to `other`, in 45° steps (`0..=4`).
+    ///
+    /// A routing-angle-legal turn between consecutive wire segments deviates
+    /// by at most two steps (0° straight, 45° = a 135° turn, 90° = a right
+    /// angle); three steps is the forbidden 45° turn and four is a U-turn.
+    #[inline]
+    pub fn angular_distance(self, other: Dir8) -> usize {
+        let d = (self.index() + 8 - other.index()) % 8;
+        d.min(8 - d)
+    }
+}
+
+impl Orient4 {
+    /// All four orientations.
+    pub const ALL: [Orient4; 4] = [Orient4::H, Orient4::V, Orient4::D45, Orient4::D135];
+
+    /// The canonical line coefficients `(a, b)` of this orientation, so the
+    /// line equation is `a·x + b·y = c` with `a, b ∈ {0, ±1}`.
+    #[inline]
+    pub fn coeffs(self) -> (Coord, Coord) {
+        match self {
+            Orient4::H => (0, 1),
+            Orient4::V => (1, 0),
+            Orient4::D45 => (1, -1),
+            Orient4::D135 => (1, 1),
+        }
+    }
+
+    /// Whether this is one of the two diagonal orientations.
+    #[inline]
+    pub fn is_diagonal(self) -> bool {
+        matches!(self, Orient4::D45 | Orient4::D135)
+    }
+
+    /// Orientation of a displacement if it is a nonzero X-architecture move.
+    #[inline]
+    pub fn of_vector(v: Vector) -> Option<Orient4> {
+        Dir8::of_vector(v).map(Dir8::orient)
+    }
+}
+
+impl fmt::Display for Dir8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir8::E => "E",
+            Dir8::Ne => "NE",
+            Dir8::N => "N",
+            Dir8::Nw => "NW",
+            Dir8::W => "W",
+            Dir8::Sw => "SW",
+            Dir8::S => "S",
+            Dir8::Se => "SE",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Orient4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orient4::H => "H",
+            Orient4::V => "V",
+            Orient4::D45 => "D45",
+            Orient4::D135 => "D135",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Dir8::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.angular_distance(d.opposite()), 4);
+        }
+    }
+
+    #[test]
+    fn step_matches_of_vector() {
+        for d in Dir8::ALL {
+            assert_eq!(Dir8::of_vector(d.step()), Some(d));
+            assert_eq!(Dir8::of_vector(d.step() * 17), Some(d));
+        }
+        assert_eq!(Dir8::of_vector(Vector::zero()), None);
+    }
+
+    #[test]
+    fn orientations_pair_up() {
+        assert_eq!(Dir8::E.orient(), Dir8::W.orient());
+        assert_eq!(Dir8::Ne.orient(), Dir8::Sw.orient());
+        assert_eq!(Dir8::Nw.orient(), Dir8::Se.orient());
+        assert_ne!(Dir8::Ne.orient(), Dir8::Nw.orient());
+    }
+
+    #[test]
+    fn angular_distance_is_symmetric_and_bounded() {
+        for a in Dir8::ALL {
+            for b in Dir8::ALL {
+                let d = a.angular_distance(b);
+                assert_eq!(d, b.angular_distance(a));
+                assert!(d <= 4);
+            }
+        }
+        assert_eq!(Dir8::E.angular_distance(Dir8::Ne), 1);
+        assert_eq!(Dir8::E.angular_distance(Dir8::N), 2);
+        assert_eq!(Dir8::E.angular_distance(Dir8::Nw), 3);
+    }
+
+    #[test]
+    fn coeffs_describe_lines_through_lattice() {
+        // A point on a D45 line keeps x - y constant while moving NE.
+        let (a, b) = Orient4::D45.coeffs();
+        let p = crate::Point::new(10, 4);
+        let q = p + Dir8::Ne.step() * 6;
+        assert_eq!(a * p.x + b * p.y, a * q.x + b * q.y);
+    }
+}

@@ -1,0 +1,98 @@
+//! Distance functions used for heuristics and wirelength accounting.
+
+use crate::Point;
+
+/// Squared Euclidean distance, exact in `i128`.
+///
+/// ```
+/// use info_geom::{euclid_sq, Point};
+/// assert_eq!(euclid_sq(Point::new(0, 0), Point::new(3, 4)), 25);
+/// ```
+#[inline]
+pub fn euclid_sq(a: Point, b: Point) -> i128 {
+    (a - b).norm_sq()
+}
+
+/// Euclidean distance as `f64`.
+#[inline]
+pub fn euclid(a: Point, b: Point) -> f64 {
+    (a - b).norm()
+}
+
+/// Manhattan (L1) distance.
+#[inline]
+pub fn manhattan(a: Point, b: Point) -> i64 {
+    (a.x - b.x).abs() + (a.y - b.y).abs()
+}
+
+/// Chebyshev (L∞) distance — the number of unit king moves between lattice
+/// points, useful as an integer lower bound on X-architecture hop counts.
+#[inline]
+pub fn octagonal(a: Point, b: Point) -> i64 {
+    (a.x - b.x).abs().max((a.y - b.y).abs())
+}
+
+/// Length of a shortest X-architecture path between two points.
+///
+/// With `dx = |Δx|`, `dy = |Δy|` and `m = min(dx, dy)`, the optimum walks the
+/// diagonal for `m` steps (length `m·√2`) then straight for `|dx − dy|`.
+/// This is the exact minimum wirelength of any route obeying the four
+/// orientations, hence an admissible (and tight) A* heuristic and the
+/// denominator of the paper's *detour rate* `r_d(n)`.
+///
+/// ```
+/// use info_geom::{x_arch_len, Point};
+/// let l = x_arch_len(Point::new(0, 0), Point::new(5, 2));
+/// assert!((l - (2.0 * std::f64::consts::SQRT_2 + 3.0)).abs() < 1e-9);
+/// ```
+#[inline]
+pub fn x_arch_len(a: Point, b: Point) -> f64 {
+    let dx = (a.x - b.x).abs();
+    let dy = (a.y - b.y).abs();
+    let m = dx.min(dy);
+    m as f64 * crate::SQRT2 + (dx - dy).abs() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_arch_len_never_exceeds_manhattan_nor_undershoots_euclid() {
+        let pts = [
+            (Point::new(0, 0), Point::new(10, 0)),
+            (Point::new(0, 0), Point::new(10, 10)),
+            (Point::new(-3, 7), Point::new(12, -5)),
+            (Point::new(5, 5), Point::new(5, 5)),
+        ];
+        for (a, b) in pts {
+            let x = x_arch_len(a, b);
+            assert!(x <= manhattan(a, b) as f64 + 1e-9);
+            assert!(x >= euclid(a, b) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_diagonal_is_sqrt2_per_step() {
+        let l = x_arch_len(Point::new(0, 0), Point::new(7, -7));
+        assert!((l - 7.0 * crate::SQRT2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_are_symmetric() {
+        let a = Point::new(-4, 9);
+        let b = Point::new(13, 2);
+        assert_eq!(manhattan(a, b), manhattan(b, a));
+        assert_eq!(octagonal(a, b), octagonal(b, a));
+        assert_eq!(euclid_sq(a, b), euclid_sq(b, a));
+        assert_eq!(x_arch_len(a, b), x_arch_len(b, a));
+    }
+
+    #[test]
+    fn zero_distance_at_identity() {
+        let p = Point::new(42, -17);
+        assert_eq!(manhattan(p, p), 0);
+        assert_eq!(octagonal(p, p), 0);
+        assert_eq!(x_arch_len(p, p), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Integer computational geometry for X-architecture package layouts.
+//!
+//! All coordinates are integer **nanometers** (`i64`), so every incidence
+//! test in the crate is exact. The X-architecture restricts wires to four
+//! orientations — horizontal, vertical, and the two 45°/135° diagonals —
+//! which means every wire lies on a line `a·x + b·y = c` with
+//! `a, b ∈ {0, ±1}`. This keeps diagonal geometry on the integer lattice.
+//!
+//! The crate provides:
+//!
+//! - [`Point`], [`Vector`] — lattice points and displacements.
+//! - [`Dir8`] — the eight routing directions, [`Orient4`] — the four wire
+//!   orientations.
+//! - [`XLine`] — an X-architecture line in canonical `a·x + b·y = c` form.
+//! - [`Segment`] — closed segments with exact intersection and distance
+//!   predicates.
+//! - [`Rect`] — axis-aligned boxes.
+//! - [`Octagon`] — the canonical eight-half-plane octagon used both for
+//!   regular octagonal vias/bump pads and for the paper's *octagonal tile
+//!   model* (any tile shape degradable from an octagon: rectangles,
+//!   triangles, 45°-trapezoids, …).
+//! - [`Polyline`] — X-architecture routes with turn-rule validation.
+//!
+//! # Example
+//!
+//! ```
+//! use info_geom::{Point, Segment, x_arch_len};
+//!
+//! let a = Point::new(0, 0);
+//! let b = Point::new(3_000, 1_000);
+//! // Shortest X-architecture path: one 45° diagonal of 1000, then 2000 straight.
+//! let len = x_arch_len(a, b);
+//! assert!((len - (1_000.0 * 2f64.sqrt() + 2_000.0)).abs() < 1e-6);
+//! assert_eq!(Segment::new(a, b).len_euclid().round() as i64, 3_162);
+//! ```
+
+mod dir;
+mod dist;
+mod line;
+mod octagon;
+mod point;
+mod polyline;
+mod rect;
+mod segment;
+
+pub use dir::{Dir8, Orient4};
+pub use dist::{euclid, euclid_sq, manhattan, octagonal, x_arch_len};
+pub use line::XLine;
+pub use octagon::Octagon;
+pub use point::{Point, Vector};
+pub use polyline::{Polyline, TurnRuleViolation};
+pub use rect::Rect;
+pub use segment::{SegIntersection, Segment};
+
+/// Integer coordinate type used across the workspace (nanometers).
+pub type Coord = i64;
+
+/// Square root of two, used when converting diagonal lattice lengths to
+/// Euclidean lengths at reporting boundaries.
+pub const SQRT2: f64 = std::f64::consts::SQRT_2;

@@ -1,0 +1,189 @@
+//! X-architecture lines in canonical `a·x + b·y = c` form.
+
+use crate::{Coord, Orient4, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An infinite X-architecture line.
+///
+/// The line is stored as its [`Orient4`] plus the offset `c` of the
+/// canonical equation `a·x + b·y = c`, with `(a, b)` given by
+/// [`Orient4::coeffs`]. This is exactly the representation the paper's
+/// LP-based layout optimization assigns a `c` variable to: the optimizer
+/// moves lines by changing `c` while the orientation stays frozen.
+///
+/// ```
+/// use info_geom::{Orient4, Point, XLine};
+/// let l = XLine::through(Point::new(3, 5), Orient4::D135);
+/// assert_eq!(l.c(), 8); // x + y = 8
+/// assert!(l.contains(Point::new(8, 0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct XLine {
+    orient: Orient4,
+    c: Coord,
+}
+
+impl XLine {
+    /// The line of the given orientation passing through `p`.
+    #[inline]
+    pub fn through(p: Point, orient: Orient4) -> Self {
+        let (a, b) = orient.coeffs();
+        XLine { orient, c: a * p.x + b * p.y }
+    }
+
+    /// Constructs a line from its orientation and offset.
+    #[inline]
+    pub const fn new(orient: Orient4, c: Coord) -> Self {
+        XLine { orient, c }
+    }
+
+    /// The orientation of the line.
+    #[inline]
+    pub const fn orient(self) -> Orient4 {
+        self.orient
+    }
+
+    /// The offset `c` of the canonical equation.
+    #[inline]
+    pub const fn c(self) -> Coord {
+        self.c
+    }
+
+    /// Evaluates `a·x + b·y − c`; zero iff the point lies on the line, and
+    /// the sign tells which side the point is on.
+    #[inline]
+    pub fn eval(self, p: Point) -> Coord {
+        let (a, b) = self.orient.coeffs();
+        a * p.x + b * p.y - self.c
+    }
+
+    /// Whether the point lies exactly on the line.
+    #[inline]
+    pub fn contains(self, p: Point) -> bool {
+        self.eval(p) == 0
+    }
+
+    /// Intersection point with another line of a *different* orientation.
+    ///
+    /// Returns `None` for parallel lines, or when the intersection falls off
+    /// the integer lattice (an H line meets a diagonal at half-integer
+    /// coordinates when the parities of the offsets disagree); in that case
+    /// the caller should use [`XLine::crossing_f64`].
+    pub fn crossing(self, other: XLine) -> Option<Point> {
+        if self.orient == other.orient {
+            return None;
+        }
+        let (a1, b1, c1) = {
+            let (a, b) = self.orient.coeffs();
+            (a, b, self.c)
+        };
+        let (a2, b2, c2) = {
+            let (a, b) = other.orient.coeffs();
+            (a, b, other.c)
+        };
+        let det = a1 * b2 - a2 * b1;
+        debug_assert_ne!(det, 0);
+        let xn = c1 * b2 - c2 * b1;
+        let yn = a1 * c2 - a2 * c1;
+        if xn % det != 0 || yn % det != 0 {
+            return None;
+        }
+        Some(Point::new(xn / det, yn / det))
+    }
+
+    /// Intersection with another non-parallel line, in exact rational form
+    /// evaluated to `f64` (for crossing detection diagnostics).
+    pub fn crossing_f64(self, other: XLine) -> Option<(f64, f64)> {
+        if self.orient == other.orient {
+            return None;
+        }
+        let (a1, b1) = self.orient.coeffs();
+        let (a2, b2) = other.orient.coeffs();
+        let det = (a1 * b2 - a2 * b1) as f64;
+        let x = (self.c * b2 - other.c * b1) as f64 / det;
+        let y = (a1 * other.c - a2 * self.c) as f64 / det;
+        Some((x, y))
+    }
+
+    /// Perpendicular Euclidean distance from a point to this line.
+    #[inline]
+    pub fn distance_to(self, p: Point) -> f64 {
+        let e = self.eval(p).abs() as f64;
+        if self.orient.is_diagonal() {
+            e / crate::SQRT2
+        } else {
+            e
+        }
+    }
+}
+
+impl fmt::Display for XLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.orient {
+            Orient4::H => write!(f, "y = {}", self.c),
+            Orient4::V => write!(f, "x = {}", self.c),
+            Orient4::D45 => write!(f, "x - y = {}", self.c),
+            Orient4::D135 => write!(f, "x + y = {}", self.c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn through_then_contains() {
+        let p = Point::new(-7, 12);
+        for o in Orient4::ALL {
+            let l = XLine::through(p, o);
+            assert!(l.contains(p), "line {l} should contain {p}");
+        }
+    }
+
+    #[test]
+    fn hv_crossing_is_lattice() {
+        let h = XLine::new(Orient4::H, 4);
+        let v = XLine::new(Orient4::V, -3);
+        assert_eq!(h.crossing(v), Some(Point::new(-3, 4)));
+        assert_eq!(v.crossing(h), Some(Point::new(-3, 4)));
+    }
+
+    #[test]
+    fn diagonal_crossing_parity() {
+        // x + y = 4 and x − y = 2 meet at (3, 1) — same parity, lattice.
+        let a = XLine::new(Orient4::D135, 4);
+        let b = XLine::new(Orient4::D45, 2);
+        assert_eq!(a.crossing(b), Some(Point::new(3, 1)));
+        // x + y = 4 and x − y = 1 meet at (2.5, 1.5) — off-lattice.
+        let c = XLine::new(Orient4::D45, 1);
+        assert_eq!(a.crossing(c), None);
+        let (x, y) = a.crossing_f64(c).unwrap();
+        assert!((x - 2.5).abs() < 1e-12 && (y - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_lines_never_cross() {
+        let a = XLine::new(Orient4::D45, 0);
+        let b = XLine::new(Orient4::D45, 10);
+        assert_eq!(a.crossing(b), None);
+        assert_eq!(a.crossing_f64(b), None);
+    }
+
+    #[test]
+    fn distance_accounts_for_diagonal_scaling() {
+        let h = XLine::new(Orient4::H, 0);
+        assert_eq!(h.distance_to(Point::new(100, 7)), 7.0);
+        let d = XLine::new(Orient4::D135, 0);
+        let dist = d.distance_to(Point::new(2, 0));
+        assert!((dist - crate::SQRT2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_sign_separates_halfplanes() {
+        let l = XLine::new(Orient4::D45, 0); // x - y = 0
+        assert!(l.eval(Point::new(5, 0)) > 0);
+        assert!(l.eval(Point::new(0, 5)) < 0);
+    }
+}

@@ -1,0 +1,675 @@
+//! The canonical eight-half-plane octagon.
+//!
+//! An octagon here is the intersection of eight half-planes whose boundary
+//! orientations are fixed (the paper's octagonal tile model, §III-C2):
+//!
+//! ```text
+//!   xmin ≤ x ≤ xmax          (W / E edges)
+//!   ymin ≤ y ≤ ymax          (S / N edges)
+//!   smin ≤ x + y ≤ smax      (SW / NE edges)
+//!   dmin ≤ x − y ≤ dmax      (NW / SE edges)
+//! ```
+//!
+//! Any shape degradable from an octagon — rectangles, right triangles with a
+//! 45° hypotenuse, 45° trapezoids — is an octagon with some edges collapsed
+//! to points, which is exactly why the tile model can represent every region
+//! produced by frame partitioning and diagonal wire splits.
+
+use crate::{Coord, Dir8, Orient4, Point, Rect, Segment, XLine};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A convex octagon with orientation-fixed boundary edges.
+///
+/// The representation is kept *canonical* (every bound tight against the
+/// others) by [`Octagon::canonicalized`], which all constructors apply.
+/// An octagon may be degenerate (a segment or a point) but a fully empty
+/// octagon is represented by inverted bounds and reported by
+/// [`Octagon::is_empty`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Octagon {
+    xmin: Coord,
+    xmax: Coord,
+    ymin: Coord,
+    ymax: Coord,
+    /// Lower bound on `x + y`.
+    smin: Coord,
+    /// Upper bound on `x + y`.
+    smax: Coord,
+    /// Lower bound on `x - y`.
+    dmin: Coord,
+    /// Upper bound on `x - y`.
+    dmax: Coord,
+}
+
+#[inline]
+fn div_floor(a: Coord, b: Coord) -> Coord {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+#[inline]
+fn div_ceil(a: Coord, b: Coord) -> Coord {
+    debug_assert!(b > 0);
+    -((-a).div_euclid(b))
+}
+
+impl Octagon {
+    /// Builds an octagon from raw bounds and canonicalizes it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_bounds(
+        xmin: Coord,
+        xmax: Coord,
+        ymin: Coord,
+        ymax: Coord,
+        smin: Coord,
+        smax: Coord,
+        dmin: Coord,
+        dmax: Coord,
+    ) -> Self {
+        Octagon { xmin, xmax, ymin, ymax, smin, smax, dmin, dmax }.canonicalized()
+    }
+
+    /// The octagon equal to a rectangle (diagonal edges degenerate).
+    pub fn from_rect(r: Rect) -> Self {
+        Octagon {
+            xmin: r.lo.x,
+            xmax: r.hi.x,
+            ymin: r.lo.y,
+            ymax: r.hi.y,
+            smin: r.lo.x + r.lo.y,
+            smax: r.hi.x + r.hi.y,
+            dmin: r.lo.x - r.hi.y,
+            dmax: r.hi.x - r.lo.y,
+        }
+    }
+
+    /// A regular octagon whose bounding box has width `width`, centered at
+    /// `c` — the paper's via (and bump pad) model.
+    ///
+    /// All eight edges lie at apothem `width / 2` from the center; the
+    /// diagonal bounds are rounded to the nearest lattice value.
+    ///
+    /// ```
+    /// use info_geom::{Octagon, Point};
+    /// let via = Octagon::regular(Point::new(0, 0), 10_000);
+    /// assert!(via.contains(Point::new(5_000, 0)));
+    /// assert!(!via.contains(Point::new(5_000, 5_000))); // corner cut off
+    /// ```
+    pub fn regular(c: Point, width: Coord) -> Self {
+        let h = width / 2;
+        let r = ((h as f64) * crate::SQRT2).round() as Coord;
+        Octagon {
+            xmin: c.x - h,
+            xmax: c.x + h,
+            ymin: c.y - h,
+            ymax: c.y + h,
+            smin: c.sum() - r,
+            smax: c.sum() + r,
+            dmin: c.diff() - r,
+            dmax: c.diff() + r,
+        }
+        .canonicalized()
+    }
+
+    /// Tightens every bound against the others until a fixpoint.
+    ///
+    /// After canonicalization each of the eight bounds is supported by the
+    /// region (or the octagon is empty). Integer divisions round inward so
+    /// the canonical form never loses lattice points.
+    pub fn canonicalized(mut self) -> Self {
+        self.canonicalize();
+        self
+    }
+
+    fn canonicalize(&mut self) {
+        // Full tight closure of the two-variable octagon constraint system
+        // over x, y, s = x + y, d = x − y. Every derivation of each bound is
+        // applied and iterated to a fixpoint; integer divisions round toward
+        // the feasible side, so no lattice point is ever lost. At the
+        // fixpoint all closure inequalities hold simultaneously, which is
+        // what makes [`Octagon::vertices`] exact.
+        for _ in 0..16 {
+            let before = *self;
+            // x from pairs and from the halved sum/difference combination.
+            self.xmax = self
+                .xmax
+                .min(self.smax - self.ymin)
+                .min(self.dmax + self.ymax)
+                .min(div_floor(self.smax + self.dmax, 2));
+            self.xmin = self
+                .xmin
+                .max(self.smin - self.ymax)
+                .max(self.dmin + self.ymin)
+                .max(div_ceil(self.smin + self.dmin, 2));
+            // y from pairs and the halved combination.
+            self.ymax = self
+                .ymax
+                .min(self.smax - self.xmin)
+                .min(self.xmax - self.dmin)
+                .min(div_floor(self.smax - self.dmin, 2));
+            self.ymin = self
+                .ymin
+                .max(self.smin - self.xmax)
+                .max(self.xmin - self.dmax)
+                .max(div_ceil(self.smin - self.dmax, 2));
+            // s = x + y, with the triple derivations s = 2x − d = 2y + d.
+            self.smax = self
+                .smax
+                .min(self.xmax + self.ymax)
+                .min(2 * self.xmax - self.dmin)
+                .min(2 * self.ymax + self.dmax);
+            self.smin = self
+                .smin
+                .max(self.xmin + self.ymin)
+                .max(2 * self.xmin - self.dmax)
+                .max(2 * self.ymin + self.dmin);
+            // d = x − y, with the triple derivations d = 2x − s = s − 2y.
+            self.dmax = self
+                .dmax
+                .min(self.xmax - self.ymin)
+                .min(2 * self.xmax - self.smin)
+                .min(self.smax - 2 * self.ymin);
+            self.dmin = self
+                .dmin
+                .max(self.xmin - self.ymax)
+                .max(2 * self.xmin - self.smax)
+                .max(self.smin - 2 * self.ymax);
+            if *self == before || self.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Whether the octagon contains no lattice points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xmin > self.xmax || self.ymin > self.ymax || self.smin > self.smax || self.dmin > self.dmax
+    }
+
+    /// Whether the closed octagon contains the point (exact).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.xmin
+            && p.x <= self.xmax
+            && p.y >= self.ymin
+            && p.y <= self.ymax
+            && p.sum() >= self.smin
+            && p.sum() <= self.smax
+            && p.diff() >= self.dmin
+            && p.diff() <= self.dmax
+    }
+
+    /// Whether the point is strictly interior (off every boundary edge).
+    #[inline]
+    pub fn contains_strict(&self, p: Point) -> bool {
+        p.x > self.xmin
+            && p.x < self.xmax
+            && p.y > self.ymin
+            && p.y < self.ymax
+            && p.sum() > self.smin
+            && p.sum() < self.smax
+            && p.diff() > self.dmin
+            && p.diff() < self.dmax
+    }
+
+    /// Axis-aligned bounding box.
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        Rect::new(Point::new(self.xmin, self.ymin), Point::new(self.xmax, self.ymax))
+    }
+
+    /// Intersection of two octagons — componentwise bound merge, then
+    /// canonicalization (convexity makes this exact).
+    pub fn intersection(&self, other: &Octagon) -> Octagon {
+        Octagon {
+            xmin: self.xmin.max(other.xmin),
+            xmax: self.xmax.min(other.xmax),
+            ymin: self.ymin.max(other.ymin),
+            ymax: self.ymax.min(other.ymax),
+            smin: self.smin.max(other.smin),
+            smax: self.smax.min(other.smax),
+            dmin: self.dmin.max(other.dmin),
+            dmax: self.dmax.min(other.dmax),
+        }
+        .canonicalized()
+    }
+
+    /// Whether two octagons share at least one lattice point.
+    #[inline]
+    pub fn intersects(&self, other: &Octagon) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// Grows the octagon outward by (at least) Euclidean `margin` on every
+    /// side; diagonal bounds grow by `⌈margin·√2⌉` so the result covers every
+    /// point within `margin` of the original (a conservative, convex
+    /// over-approximation used for blockage expansion).
+    pub fn inflate(&self, margin: Coord) -> Octagon {
+        let dm = ((margin as f64) * crate::SQRT2).ceil() as Coord;
+        Octagon {
+            xmin: self.xmin - margin,
+            xmax: self.xmax + margin,
+            ymin: self.ymin - margin,
+            ymax: self.ymax + margin,
+            smin: self.smin - dm,
+            smax: self.smax + dm,
+            dmin: self.dmin - dm,
+            dmax: self.dmax + dm,
+        }
+        // No canonicalization: inflation of a canonical octagon stays
+        // canonical up to rounding, and tightening could only shrink it.
+    }
+
+    /// Keeps the part of the octagon on one side of an X-architecture line:
+    /// `a·x + b·y ≤ c` when `keep_le` is true, `≥ c` otherwise.
+    ///
+    /// This is how a frame is split by a diagonal wire into two octagonal
+    /// tiles (Fig. 6(c) of the paper).
+    pub fn clip_halfplane(&self, line: XLine, keep_le: bool) -> Octagon {
+        let mut o = *self;
+        let c = line.c();
+        match (line.orient(), keep_le) {
+            (Orient4::H, true) => o.ymax = o.ymax.min(c),
+            (Orient4::H, false) => o.ymin = o.ymin.max(c),
+            (Orient4::V, true) => o.xmax = o.xmax.min(c),
+            (Orient4::V, false) => o.xmin = o.xmin.max(c),
+            (Orient4::D45, true) => o.dmax = o.dmax.min(c),
+            (Orient4::D45, false) => o.dmin = o.dmin.max(c),
+            (Orient4::D135, true) => o.smax = o.smax.min(c),
+            (Orient4::D135, false) => o.smin = o.smin.max(c),
+        }
+        o.canonicalized()
+    }
+
+    /// The eight boundary vertices in counter-clockwise order starting at
+    /// the south end of the east edge. Degenerate edges yield repeated
+    /// vertices, which [`Octagon::edges`] filters out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the octagon is empty.
+    pub fn vertices(&self) -> [Point; 8] {
+        assert!(!self.is_empty(), "vertices of an empty octagon");
+        [
+            Point::new(self.xmax, self.xmax - self.dmax), // E ∩ SE
+            Point::new(self.xmax, self.smax - self.xmax), // E ∩ NE
+            Point::new(self.smax - self.ymax, self.ymax), // NE ∩ N
+            Point::new(self.dmin + self.ymax, self.ymax), // N ∩ NW
+            Point::new(self.xmin, self.xmin - self.dmin), // NW ∩ W
+            Point::new(self.xmin, self.smin - self.xmin), // W ∩ SW
+            Point::new(self.smin - self.ymin, self.ymin), // SW ∩ S
+            Point::new(self.dmax + self.ymin, self.ymin), // S ∩ SE
+        ]
+    }
+
+    /// The non-degenerate boundary edges, counter-clockwise, each labeled
+    /// with its outward direction.
+    pub fn edges(&self) -> Vec<(Dir8, Segment)> {
+        let v = self.vertices();
+        // Edge k runs from vertices[k] to vertices[(k + 1) % 8]; its outward
+        // normal cycles E, NE, N, NW, W, SW, S, SE starting at the E edge
+        // between (E ∩ SE) and (E ∩ NE).
+        const NORMALS: [Dir8; 8] =
+            [Dir8::E, Dir8::Ne, Dir8::N, Dir8::Nw, Dir8::W, Dir8::Sw, Dir8::S, Dir8::Se];
+        let mut out = Vec::with_capacity(8);
+        for k in 0..8 {
+            let s = Segment::new(v[k], v[(k + 1) % 8]);
+            if !s.is_degenerate() {
+                out.push((NORMALS[k], s));
+            }
+        }
+        out
+    }
+
+    /// Polygon area via the shoelace formula, exact in `i128`.
+    ///
+    /// Zero for degenerate (segment/point) octagons.
+    pub fn area(&self) -> i128 {
+        if self.is_empty() {
+            return 0;
+        }
+        let v = self.vertices();
+        let mut twice: i128 = 0;
+        for k in 0..8 {
+            let p = v[k];
+            let q = v[(k + 1) % 8];
+            twice += p.x as i128 * q.y as i128 - q.x as i128 * p.y as i128;
+        }
+        debug_assert!(twice >= 0, "CCW vertex order yields non-negative area");
+        twice / 2
+    }
+
+    /// A point inside the octagon (the center of its bounding box, pulled
+    /// into the region along the diagonal bounds if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the octagon is empty.
+    pub fn interior_point(&self) -> Point {
+        assert!(!self.is_empty(), "interior point of an empty octagon");
+        let c = self.bbox().center();
+        if self.contains(c) {
+            return c;
+        }
+        // Clamp the diagonal coordinates of c into range, then re-project.
+        let s = c.sum().clamp(self.smin, self.smax);
+        let d = c.diff().clamp(self.dmin, self.dmax);
+        // x = (s + d) / 2 rounded so parity works; nudge until contained.
+        let x = div_floor(s + d, 2);
+        let y = s - x;
+        let cand = Point::new(
+            x.clamp(self.xmin, self.xmax),
+            y.clamp(self.ymin, self.ymax),
+        );
+        if self.contains(cand) {
+            return cand;
+        }
+        // Fall back to scanning the vertices (always in the region).
+        self.vertices()[0]
+    }
+
+    /// Euclidean distance from the octagon to a point (zero inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        if self.is_empty() {
+            return f64::INFINITY;
+        }
+        if self.contains(p) {
+            return 0.0;
+        }
+        self.edges()
+            .iter()
+            .map(|(_, e)| e.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+            .min(if self.area() == 0 {
+                // Degenerate octagons may expose no edges (single point).
+                (p - self.vertices()[0]).norm()
+            } else {
+                f64::INFINITY
+            })
+    }
+
+    /// Euclidean distance between two octagons (zero if they intersect).
+    ///
+    /// Exact for convex polygons: the minimum is attained on an edge pair or
+    /// vertex-edge pair, all of which are enumerated.
+    pub fn distance_to_octagon(&self, other: &Octagon) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return f64::INFINITY;
+        }
+        if self.intersects(other) {
+            return 0.0;
+        }
+        let ea = self.edges();
+        let eb = other.edges();
+        let mut best = f64::INFINITY;
+        if ea.is_empty() || eb.is_empty() {
+            // At least one octagon degenerates to a point.
+            let pa = self.vertices()[0];
+            let pb = other.vertices()[0];
+            if ea.is_empty() && eb.is_empty() {
+                return (pa - pb).norm();
+            }
+            if ea.is_empty() {
+                for (_, e) in &eb {
+                    best = best.min(e.distance_to_point(pa));
+                }
+            } else {
+                for (_, e) in &ea {
+                    best = best.min(e.distance_to_point(pb));
+                }
+            }
+            return best;
+        }
+        for (_, sa) in &ea {
+            for (_, sb) in &eb {
+                best = best.min(sa.distance_to_segment(*sb));
+            }
+        }
+        best
+    }
+
+    /// Euclidean distance from the octagon to a segment (zero if touching).
+    pub fn distance_to_segment(&self, s: Segment) -> f64 {
+        if self.is_empty() {
+            return f64::INFINITY;
+        }
+        if self.contains(s.a) || self.contains(s.b) {
+            return 0.0;
+        }
+        let edges = self.edges();
+        if edges.is_empty() {
+            return s.distance_to_point(self.vertices()[0]);
+        }
+        let mut best = f64::INFINITY;
+        for (_, e) in &edges {
+            best = best.min(e.distance_to_segment(s));
+        }
+        best
+    }
+
+    /// The minimal cross-section of the octagon: the smallest distance
+    /// between two parallel boundary constraints. A wire corridor must be
+    /// at least this thick to host a wire, so tiles thinner than the wire
+    /// clearance are impassable.
+    pub fn thickness(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let axis = (self.xmax - self.xmin).min(self.ymax - self.ymin) as f64;
+        let diag =
+            ((self.smax - self.smin).min(self.dmax - self.dmin) as f64) / crate::SQRT2;
+        axis.min(diag)
+    }
+
+    /// If the octagon is degenerate (zero area but positive extent),
+    /// returns it as the segment between its two extreme vertices.
+    ///
+    /// This is how tile adjacency is computed: the intersection of two
+    /// interior-disjoint tiles is exactly their shared boundary segment.
+    pub fn as_degenerate_segment(&self) -> Option<Segment> {
+        if self.is_empty() || self.area() != 0 {
+            return None;
+        }
+        let v = self.vertices();
+        let mut best: Option<Segment> = None;
+        let mut best_d: i128 = 0;
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let d = (v[i] - v[j]).norm_sq();
+                if d > best_d {
+                    best_d = d;
+                    best = Some(Segment::new(v[i], v[j]));
+                }
+            }
+        }
+        best
+    }
+
+    /// Raw bound accessors `(xmin, xmax, ymin, ymax, smin, smax, dmin, dmax)`.
+    pub fn bounds(&self) -> (Coord, Coord, Coord, Coord, Coord, Coord, Coord, Coord) {
+        (self.xmin, self.xmax, self.ymin, self.ymax, self.smin, self.smax, self.dmin, self.dmax)
+    }
+}
+
+impl From<Rect> for Octagon {
+    fn from(r: Rect) -> Self {
+        Octagon::from_rect(r)
+    }
+}
+
+impl fmt::Display for Octagon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Oct[x:{}..{} y:{}..{} s:{}..{} d:{}..{}]",
+            self.xmin, self.xmax, self.ymin, self.ymax, self.smin, self.smax, self.dmin, self.dmax
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_octagon_matches_rect() {
+        let r = Rect::new(Point::new(0, 0), Point::new(10, 6));
+        let o = Octagon::from_rect(r);
+        assert_eq!(o.bbox(), r);
+        assert_eq!(o.area(), r.area());
+        for p in [Point::new(0, 0), Point::new(10, 6), Point::new(5, 3)] {
+            assert!(o.contains(p));
+        }
+        assert!(!o.contains(Point::new(11, 3)));
+        // All four diagonal edges are degenerate: only 4 real edges.
+        assert_eq!(o.edges().len(), 4);
+    }
+
+    #[test]
+    fn regular_octagon_cuts_corners() {
+        let o = Octagon::regular(Point::new(0, 0), 10);
+        assert!(o.contains(Point::new(5, 0)));
+        assert!(o.contains(Point::new(0, -5)));
+        assert!(o.contains(Point::new(3, 4)));
+        assert!(!o.contains(Point::new(5, 5)));
+        assert!(!o.contains(Point::new(-5, 5)));
+        assert_eq!(o.edges().len(), 8);
+        // Area between inscribed square-with-cut-corners bounds.
+        assert!(o.area() > 64 && o.area() < 100, "area = {}", o.area());
+    }
+
+    #[test]
+    fn canonicalization_tightens() {
+        // A rectangle 0..10 with an aggressive diagonal cut x+y ≤ 5:
+        // the reachable x and y maxima drop to 5.
+        let o = Octagon::from_bounds(0, 10, 0, 10, 0, 5, -10, 10);
+        let (xmin, xmax, ymin, ymax, ..) = o.bounds();
+        assert_eq!((xmin, xmax, ymin, ymax), (0, 5, 0, 5));
+        assert!(o.contains(Point::new(5, 0)));
+        assert!(!o.contains(Point::new(5, 1)));
+    }
+
+    #[test]
+    fn empty_detection() {
+        let o = Octagon::from_bounds(0, 10, 0, 10, 30, 40, -100, 100);
+        assert!(o.is_empty());
+        let p = Octagon::from_bounds(0, 0, 0, 0, 0, 0, 0, 0);
+        assert!(!p.is_empty()); // single point at origin
+        assert!(p.contains(Point::origin()));
+        assert_eq!(p.area(), 0);
+    }
+
+    #[test]
+    fn intersection_exact() {
+        let a = Octagon::from_rect(Rect::new(Point::new(0, 0), Point::new(10, 10)));
+        let b = Octagon::regular(Point::new(10, 10), 8);
+        let i = a.intersection(&b);
+        assert!(!i.is_empty());
+        assert!(i.contains(Point::new(8, 8)));
+        assert!(a.intersects(&b));
+        let far = Octagon::regular(Point::new(100, 100), 8);
+        assert!(!a.intersects(&far));
+    }
+
+    #[test]
+    fn clip_splits_frame_like_a_diagonal_wire() {
+        let frame = Octagon::from_rect(Rect::new(Point::new(0, 0), Point::new(10, 10)));
+        let wire = XLine::new(Orient4::D45, 0); // x − y = 0 through the middle
+        let below = frame.clip_halfplane(wire, true); // x − y ≤ 0 (upper-left half)
+        let above = frame.clip_halfplane(wire, false);
+        assert!(below.contains(Point::new(0, 10)));
+        assert!(!below.contains_strict(Point::new(10, 0)));
+        assert!(above.contains(Point::new(10, 0)));
+        // Both halves are triangles: 3 non-degenerate edges each.
+        assert_eq!(below.edges().len(), 3);
+        assert_eq!(above.edges().len(), 3);
+        // Shoelace: each triangle has half the square's area.
+        assert_eq!(below.area(), 50);
+        assert_eq!(above.area(), 50);
+    }
+
+    #[test]
+    fn inflate_covers_margin() {
+        let o = Octagon::regular(Point::new(0, 0), 10);
+        let big = o.inflate(3);
+        // Any point within distance 3 of the original must be inside.
+        for p in [Point::new(8, 0), Point::new(0, 8), Point::new(6, 5)] {
+            assert!(
+                o.distance_to_point(p) > 3.0 || big.contains(p),
+                "point {p} at distance {} escaped the inflated octagon",
+                o.distance_to_point(p)
+            );
+        }
+    }
+
+    #[test]
+    fn distances_between_octagons() {
+        let a = Octagon::from_rect(Rect::new(Point::new(0, 0), Point::new(10, 10)));
+        let b = Octagon::from_rect(Rect::new(Point::new(13, 0), Point::new(20, 10)));
+        assert_eq!(a.distance_to_octagon(&b), 3.0);
+        assert_eq!(b.distance_to_octagon(&a), 3.0);
+        let c = Octagon::from_rect(Rect::new(Point::new(5, 5), Point::new(7, 7)));
+        assert_eq!(a.distance_to_octagon(&c), 0.0);
+    }
+
+    #[test]
+    fn distance_to_segment_zero_when_piercing() {
+        let o = Octagon::regular(Point::new(0, 0), 10);
+        let s = Segment::new(Point::new(-20, 0), Point::new(20, 0));
+        assert_eq!(o.distance_to_segment(s), 0.0);
+        let miss = Segment::new(Point::new(-20, 9), Point::new(20, 9));
+        assert!((o.distance_to_segment(miss) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_point_is_inside() {
+        let shapes = [
+            Octagon::regular(Point::new(3, -7), 11),
+            Octagon::from_rect(Rect::new(Point::new(0, 0), Point::new(1, 9))),
+            Octagon::from_bounds(0, 10, 0, 10, 0, 5, -10, 10),
+        ];
+        for o in shapes {
+            assert!(o.contains(o.interior_point()), "{o}");
+        }
+    }
+
+    #[test]
+    fn thickness_of_shapes() {
+        let sq = Octagon::from_rect(Rect::new(Point::new(0, 0), Point::new(10, 20)));
+        assert_eq!(sq.thickness(), 10.0);
+        let oct = Octagon::regular(Point::new(0, 0), 10);
+        // Regular octagon: all parallel pairs at distance = width.
+        assert!((oct.thickness() - 10.0).abs() < 1.0);
+        let sliver = Octagon::from_rect(Rect::new(Point::new(0, 0), Point::new(100, 1)));
+        assert_eq!(sliver.thickness(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_segment_extraction() {
+        let a = Octagon::from_rect(Rect::new(Point::new(0, 0), Point::new(10, 10)));
+        let b = Octagon::from_rect(Rect::new(Point::new(10, 2), Point::new(20, 30)));
+        let shared = a.intersection(&b);
+        let seg = shared.as_degenerate_segment().expect("boundary contact");
+        assert_eq!(seg.len_euclid(), 8.0); // y from 2 to 10 at x = 10
+        // Diagonal contact between two triangles split by x − y = 0.
+        let frame = Octagon::from_rect(Rect::new(Point::new(0, 0), Point::new(10, 10)));
+        let l = XLine::new(Orient4::D45, 0);
+        let t1 = frame.clip_halfplane(l, true);
+        let t2 = frame.clip_halfplane(l, false);
+        let shared = t1.intersection(&t2);
+        let seg = shared.as_degenerate_segment().expect("diagonal contact");
+        assert!((seg.len_euclid() - 10.0 * crate::SQRT2).abs() < 1e-9);
+        // Non-degenerate octagons return None.
+        assert!(a.as_degenerate_segment().is_none());
+    }
+
+    #[test]
+    fn vertices_are_ccw() {
+        let o = Octagon::regular(Point::new(0, 0), 100);
+        assert!(o.area() > 0);
+        // Shoelace positive is asserted inside area(); also spot-check order.
+        let v = o.vertices();
+        assert!(v[0].y < v[1].y); // east edge goes south -> north
+    }
+}

@@ -1,0 +1,265 @@
+//! Lattice points and displacement vectors.
+
+use crate::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A point on the integer nanometer lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in nanometers.
+    pub x: Coord,
+    /// Vertical coordinate in nanometers.
+    pub y: Coord,
+}
+
+/// An integer displacement between two [`Point`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Vector {
+    /// Horizontal component.
+    pub dx: Coord,
+    /// Vertical component.
+    pub dy: Coord,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// ```
+    /// let p = info_geom::Point::new(10, -3);
+    /// assert_eq!((p.x, p.y), (10, -3));
+    /// ```
+    #[inline]
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Point { x: 0, y: 0 }
+    }
+
+    /// Displacement from `other` to `self`.
+    #[inline]
+    pub fn vector_from(self, other: Point) -> Vector {
+        Vector { dx: self.x - other.x, dy: self.y - other.y }
+    }
+
+    /// `x + y`, the coordinate along the 135°-diagonal family of lines.
+    #[inline]
+    pub const fn sum(self) -> Coord {
+        self.x + self.y
+    }
+
+    /// `x - y`, the coordinate along the 45°-diagonal family of lines.
+    #[inline]
+    pub const fn diff(self) -> Coord {
+        self.x - self.y
+    }
+
+    /// Componentwise minimum.
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Componentwise maximum.
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+}
+
+impl Vector {
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(dx: Coord, dy: Coord) -> Self {
+        Vector { dx, dy }
+    }
+
+    /// The zero displacement.
+    #[inline]
+    pub const fn zero() -> Self {
+        Vector { dx: 0, dy: 0 }
+    }
+
+    /// 2D cross product (z-component), exact in `i128`.
+    #[inline]
+    pub fn cross(self, other: Vector) -> i128 {
+        self.dx as i128 * other.dy as i128 - self.dy as i128 * other.dx as i128
+    }
+
+    /// Dot product, exact in `i128`.
+    #[inline]
+    pub fn dot(self, other: Vector) -> i128 {
+        self.dx as i128 * other.dx as i128 + self.dy as i128 * other.dy as i128
+    }
+
+    /// Squared Euclidean norm, exact in `i128`.
+    #[inline]
+    pub fn norm_sq(self) -> i128 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm as `f64`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.norm_sq() as f64).sqrt()
+    }
+
+    /// Whether this displacement lies along one of the four X-architecture
+    /// orientations (or is zero).
+    #[inline]
+    pub fn is_x_arch(self) -> bool {
+        self.dx == 0 || self.dy == 0 || self.dx == self.dy || self.dx == -self.dy
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, v: Vector) -> Point {
+        Point::new(self.x + v.dx, self.y + v.dy)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    #[inline]
+    fn add_assign(&mut self, v: Vector) {
+        self.x += v.dx;
+        self.y += v.dy;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, v: Vector) -> Point {
+        Point::new(self.x - v.dx, self.y - v.dy)
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    #[inline]
+    fn sub_assign(&mut self, v: Vector) {
+        self.x -= v.dx;
+        self.y -= v.dy;
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, other: Point) -> Vector {
+        self.vector_from(other)
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, other: Vector) -> Vector {
+        Vector::new(self.dx + other.dx, self.dy + other.dy)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, other: Vector) -> Vector {
+        Vector::new(self.dx - other.dx, self.dy - other.dy)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    #[inline]
+    fn neg(self) -> Vector {
+        Vector::new(-self.dx, -self.dy)
+    }
+}
+
+impl Mul<Coord> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, k: Coord) -> Vector {
+        Vector::new(self.dx * k, self.dy * k)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.dx, self.dy)
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    #[inline]
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (Coord, Coord) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic_roundtrips() {
+        let p = Point::new(5, -7);
+        let q = Point::new(-2, 11);
+        let v = q - p;
+        assert_eq!(p + v, q);
+        assert_eq!(q - v, p);
+        assert_eq!(v, Vector::new(-7, 18));
+    }
+
+    #[test]
+    fn cross_and_dot_are_exact_for_large_coords() {
+        let big = 4_000_000_000i64; // 4 m in nm; far beyond any die, still exact
+        let a = Vector::new(big, big - 1);
+        let b = Vector::new(big - 2, big);
+        assert_eq!(a.cross(b), big as i128 * big as i128 - (big as i128 - 1) * (big as i128 - 2));
+        assert!(a.norm_sq() > 0);
+    }
+
+    #[test]
+    fn diagonal_coordinates() {
+        let p = Point::new(3, 10);
+        assert_eq!(p.sum(), 13);
+        assert_eq!(p.diff(), -7);
+    }
+
+    #[test]
+    fn x_arch_detection() {
+        assert!(Vector::new(5, 0).is_x_arch());
+        assert!(Vector::new(0, -4).is_x_arch());
+        assert!(Vector::new(7, 7).is_x_arch());
+        assert!(Vector::new(7, -7).is_x_arch());
+        assert!(!Vector::new(2, 1).is_x_arch());
+        assert!(Vector::zero().is_x_arch());
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let p = Point::new(1, 9);
+        let q = Point::new(4, -2);
+        assert_eq!(p.min(q), Point::new(1, -2));
+        assert_eq!(p.max(q), Point::new(4, 9));
+    }
+}

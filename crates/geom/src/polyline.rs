@@ -1,0 +1,264 @@
+//! X-architecture polylines (routes) with turn-rule validation.
+
+use crate::{Dir8, Point, Segment};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A connected chain of X-architecture wire segments on a single layer.
+///
+/// Routes in the paper's model are polylines whose segments obey the four
+/// wire orientations and whose turns are either right angles or 135° turns
+/// (45° turns are forbidden for manufacturability, §II-B).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<Point>,
+}
+
+/// A violation of the X-architecture wiring rules inside a polyline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TurnRuleViolation {
+    /// Two consecutive points coincide.
+    DegenerateSegment {
+        /// Index of the first of the two coincident points.
+        at: usize,
+    },
+    /// A segment is not horizontal, vertical, or 45°/135° diagonal.
+    OffAxisSegment {
+        /// Index of the segment's first point.
+        at: usize,
+    },
+    /// Consecutive segments turn by 45° (deviation of 135°) or reverse.
+    IllegalTurn {
+        /// Index of the joint point.
+        at: usize,
+    },
+}
+
+impl Polyline {
+    /// Creates a polyline from its points. At least one point is required
+    /// for a meaningful polyline but this is not enforced here; validation
+    /// happens in [`Polyline::validate`].
+    pub fn new(points: Vec<Point>) -> Self {
+        Polyline { points }
+    }
+
+    /// The points of the polyline.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Mutable access to the points (used by the LP optimizer to move
+    /// joints while keeping the topology).
+    #[inline]
+    pub fn points_mut(&mut self) -> &mut [Point] {
+        &mut self.points
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the polyline has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// First point, if any.
+    #[inline]
+    pub fn start(&self) -> Option<Point> {
+        self.points.first().copied()
+    }
+
+    /// Last point, if any.
+    #[inline]
+    pub fn end(&self) -> Option<Point> {
+        self.points.last().copied()
+    }
+
+    /// Iterator over the segments between consecutive points.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.points.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// Total Euclidean length.
+    pub fn length(&self) -> f64 {
+        self.segments().map(|s| s.len_euclid()).sum()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, p: Point) {
+        self.points.push(p);
+    }
+
+    /// Removes repeated points and merges collinear consecutive segments.
+    ///
+    /// ```
+    /// use info_geom::{Point, Polyline};
+    /// let mut p = Polyline::new(vec![
+    ///     Point::new(0, 0), Point::new(5, 0), Point::new(5, 0), Point::new(9, 0),
+    ///     Point::new(9, 4),
+    /// ]);
+    /// p.simplify();
+    /// assert_eq!(p.points(), &[Point::new(0, 0), Point::new(9, 0), Point::new(9, 4)]);
+    /// ```
+    pub fn simplify(&mut self) {
+        if self.points.len() < 2 {
+            return;
+        }
+        let mut out: Vec<Point> = Vec::with_capacity(self.points.len());
+        for &p in &self.points {
+            if out.last() == Some(&p) {
+                continue;
+            }
+            while out.len() >= 2 {
+                let a = out[out.len() - 2];
+                let b = out[out.len() - 1];
+                let d1 = Dir8::of_vector(b - a);
+                let d2 = Dir8::of_vector(p - b);
+                if d1.is_some() && d1 == d2 {
+                    out.pop();
+                } else {
+                    break;
+                }
+            }
+            out.push(p);
+        }
+        self.points = out;
+    }
+
+    /// Checks the X-architecture wiring rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TurnRuleViolation`] encountered: a degenerate
+    /// segment, an off-axis segment, or an illegal (45° or 180°) turn.
+    pub fn validate(&self) -> Result<(), TurnRuleViolation> {
+        let mut prev_dir: Option<Dir8> = None;
+        for (i, w) in self.points.windows(2).enumerate() {
+            let v = w[1] - w[0];
+            if v == crate::Vector::zero() {
+                return Err(TurnRuleViolation::DegenerateSegment { at: i });
+            }
+            let dir = Dir8::of_vector(v).ok_or(TurnRuleViolation::OffAxisSegment { at: i })?;
+            if let Some(pd) = prev_dir {
+                // Deviation of 0 (straight), 1 (135° turn) or 2 (right
+                // angle) is legal; 3 is the forbidden 45° turn, 4 a U-turn.
+                if pd.angular_distance(dir) > 2 {
+                    return Err(TurnRuleViolation::IllegalTurn { at: i });
+                }
+            }
+            prev_dir = Some(dir);
+        }
+        Ok(())
+    }
+
+    /// Whether any segment of `self` properly crosses any segment of
+    /// `other` (shared joints excluded).
+    pub fn crosses(&self, other: &Polyline) -> bool {
+        self.segments().any(|a| other.segments().any(|b| a.crosses_properly(b)))
+    }
+}
+
+impl FromIterator<Point> for Polyline {
+    fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> Self {
+        Polyline::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for TurnRuleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TurnRuleViolation::DegenerateSegment { at } => {
+                write!(f, "degenerate segment at point {at}")
+            }
+            TurnRuleViolation::OffAxisSegment { at } => {
+                write!(f, "off-axis segment at point {at}")
+            }
+            TurnRuleViolation::IllegalTurn { at } => {
+                write!(f, "illegal 45° or 180° turn at point {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TurnRuleViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(pts: &[(i64, i64)]) -> Polyline {
+        pts.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn valid_route_with_right_angle_and_135_turn() {
+        // East, then NE (135° turn), then N (another 135° turn).
+        let p = pl(&[(0, 0), (10, 0), (15, 5), (15, 12)]);
+        assert!(p.validate().is_ok());
+        let expected = 10.0 + 5.0 * crate::SQRT2 + 7.0;
+        assert!((p.length() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn right_angle_is_legal() {
+        let p = pl(&[(0, 0), (10, 0), (10, 10)]);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn forty_five_degree_turn_rejected() {
+        // East then NW: deviation of 3 steps = forbidden 45° turn.
+        let p = pl(&[(0, 0), (10, 0), (5, 5)]);
+        assert_eq!(p.validate(), Err(TurnRuleViolation::IllegalTurn { at: 1 }));
+    }
+
+    #[test]
+    fn u_turn_rejected() {
+        let p = pl(&[(0, 0), (10, 0), (3, 0)]);
+        assert_eq!(p.validate(), Err(TurnRuleViolation::IllegalTurn { at: 1 }));
+    }
+
+    #[test]
+    fn off_axis_rejected() {
+        let p = pl(&[(0, 0), (10, 3)]);
+        assert_eq!(p.validate(), Err(TurnRuleViolation::OffAxisSegment { at: 0 }));
+    }
+
+    #[test]
+    fn degenerate_rejected() {
+        let p = pl(&[(0, 0), (0, 0), (5, 0)]);
+        assert_eq!(p.validate(), Err(TurnRuleViolation::DegenerateSegment { at: 0 }));
+    }
+
+    #[test]
+    fn simplify_merges_collinear_runs() {
+        let mut p = pl(&[(0, 0), (2, 2), (5, 5), (5, 5), (5, 9), (5, 12)]);
+        p.simplify();
+        assert_eq!(p.points(), &[Point::new(0, 0), Point::new(5, 5), Point::new(5, 12)]);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn crossing_detection_between_routes() {
+        let a = pl(&[(0, 0), (10, 0)]);
+        let b = pl(&[(5, -5), (5, 5)]);
+        assert!(a.crosses(&b));
+        let c = pl(&[(0, 1), (10, 1)]);
+        assert!(!a.crosses(&c));
+        // Shared joint is not a proper crossing.
+        let d = pl(&[(10, 0), (10, 10)]);
+        assert!(!a.crosses(&d));
+    }
+
+    #[test]
+    fn empty_and_single_point_validate() {
+        assert!(pl(&[]).validate().is_ok());
+        assert!(pl(&[(3, 3)]).validate().is_ok());
+        assert_eq!(pl(&[]).length(), 0.0);
+    }
+}

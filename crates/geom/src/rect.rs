@@ -1,0 +1,240 @@
+//! Axis-aligned rectangles.
+
+use crate::{Coord, Point, Segment};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed axis-aligned rectangle, stored as its min/max corners.
+///
+/// Rectangles model I/O pads, obstacles, chip fan-in regions, global cells,
+/// frames and fan-out grids. Degenerate (zero width or height) rectangles
+/// are permitted; "empty" means inverted bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum corner (lowest x and y).
+    pub lo: Point,
+    /// Maximum corner (highest x and y).
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (any order).
+    ///
+    /// ```
+    /// use info_geom::{Point, Rect};
+    /// let r = Rect::new(Point::new(5, 0), Point::new(0, 5));
+    /// assert_eq!(r.lo, Point::new(0, 0));
+    /// assert_eq!(r.hi, Point::new(5, 5));
+    /// ```
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect { lo: a.min(b), hi: a.max(b) }
+    }
+
+    /// Creates a rectangle from `(x, y)` of the min corner plus extents.
+    #[inline]
+    pub fn from_origin_size(lo: Point, width: Coord, height: Coord) -> Self {
+        Rect::new(lo, Point::new(lo.x + width, lo.y + height))
+    }
+
+    /// The square of the given half-width centered at `c`.
+    #[inline]
+    pub fn centered_square(c: Point, half: Coord) -> Self {
+        Rect::new(Point::new(c.x - half, c.y - half), Point::new(c.x + half, c.y + half))
+    }
+
+    /// Width along x (non-negative for well-formed rectangles).
+    #[inline]
+    pub fn width(self) -> Coord {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(self) -> Coord {
+        self.hi.y - self.lo.y
+    }
+
+    /// Center point (rounded toward `lo` on odd spans).
+    #[inline]
+    pub fn center(self) -> Point {
+        Point::new(self.lo.x + self.width() / 2, self.lo.y + self.height() / 2)
+    }
+
+    /// Area, exact in `i128`.
+    #[inline]
+    pub fn area(self) -> i128 {
+        self.width() as i128 * self.height() as i128
+    }
+
+    /// Whether the bounds are inverted (no points at all).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.lo.x > self.hi.x || self.lo.y > self.hi.y
+    }
+
+    /// Whether the closed rectangle contains the point.
+    #[inline]
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Whether the *open* rectangle (strict interior) contains the point.
+    #[inline]
+    pub fn contains_strict(self, p: Point) -> bool {
+        p.x > self.lo.x && p.x < self.hi.x && p.y > self.lo.y && p.y < self.hi.y
+    }
+
+    /// Whether `other` lies entirely inside this rectangle (closed).
+    #[inline]
+    pub fn contains_rect(self, other: Rect) -> bool {
+        self.contains(other.lo) && self.contains(other.hi)
+    }
+
+    /// Whether the closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(self, other: Rect) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// Whether the open interiors overlap (edge touches excluded).
+    #[inline]
+    pub fn overlaps_interior(self, other: Rect) -> bool {
+        self.lo.x < other.hi.x
+            && other.lo.x < self.hi.x
+            && self.lo.y < other.hi.y
+            && other.lo.y < self.hi.y
+    }
+
+    /// The (possibly empty) intersection rectangle.
+    #[inline]
+    pub fn intersection(self, other: Rect) -> Rect {
+        Rect { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    /// Smallest rectangle covering both.
+    #[inline]
+    pub fn union(self, other: Rect) -> Rect {
+        Rect { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Grows every side outward by `margin` (shrinks if negative).
+    #[inline]
+    pub fn inflate(self, margin: Coord) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x - margin, self.lo.y - margin),
+            hi: Point::new(self.hi.x + margin, self.hi.y + margin),
+        }
+    }
+
+    /// The four corners in counter-clockwise order starting at `lo`.
+    #[inline]
+    pub fn corners(self) -> [Point; 4] {
+        [
+            self.lo,
+            Point::new(self.hi.x, self.lo.y),
+            self.hi,
+            Point::new(self.lo.x, self.hi.y),
+        ]
+    }
+
+    /// The four boundary edges in counter-clockwise order starting with the
+    /// bottom edge.
+    #[inline]
+    pub fn edges(self) -> [Segment; 4] {
+        let c = self.corners();
+        [
+            Segment::new(c[0], c[1]),
+            Segment::new(c[1], c[2]),
+            Segment::new(c[2], c[3]),
+            Segment::new(c[3], c[0]),
+        ]
+    }
+
+    /// Euclidean distance from the rectangle to a point (zero inside).
+    pub fn distance_to_point(self, p: Point) -> f64 {
+        let dx = (self.lo.x - p.x).max(0).max(p.x - self.hi.x);
+        let dy = (self.lo.y - p.y).max(0).max(p.y - self.hi.y);
+        ((dx as f64).powi(2) + (dy as f64).powi(2)).sqrt()
+    }
+
+    /// Euclidean distance between two rectangles (zero if they touch).
+    pub fn distance_to_rect(self, other: Rect) -> f64 {
+        let dx = (self.lo.x - other.hi.x).max(0).max(other.lo.x - self.hi.x);
+        let dy = (self.lo.y - other.hi.y).max(0).max(other.lo.y - self.hi.y);
+        ((dx as f64).powi(2) + (dy as f64).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} x {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_normalize() {
+        let r = Rect::new(Point::new(10, -2), Point::new(-1, 8));
+        assert_eq!(r.lo, Point::new(-1, -2));
+        assert_eq!(r.hi, Point::new(10, 8));
+        assert_eq!(r.width(), 11);
+        assert_eq!(r.height(), 10);
+        assert_eq!(r.area(), 110);
+    }
+
+    #[test]
+    fn containment_closed_vs_strict() {
+        let r = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        assert!(r.contains(Point::new(0, 5)));
+        assert!(!r.contains_strict(Point::new(0, 5)));
+        assert!(r.contains_strict(Point::new(1, 5)));
+        assert!(!r.contains(Point::new(11, 5)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        let b = Rect::new(Point::new(5, 5), Point::new(20, 7));
+        let i = a.intersection(b);
+        assert_eq!(i, Rect::new(Point::new(5, 5), Point::new(10, 7)));
+        assert!(a.intersects(b));
+        assert_eq!(a.union(b), Rect::new(Point::new(0, 0), Point::new(20, 10)));
+    }
+
+    #[test]
+    fn edge_touch_intersects_but_does_not_overlap() {
+        let a = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        let b = Rect::new(Point::new(10, 0), Point::new(20, 10));
+        assert!(a.intersects(b));
+        assert!(!a.overlaps_interior(b));
+    }
+
+    #[test]
+    fn empty_after_disjoint_intersection() {
+        let a = Rect::new(Point::new(0, 0), Point::new(1, 1));
+        let b = Rect::new(Point::new(5, 5), Point::new(6, 6));
+        assert!(a.intersection(b).is_empty());
+        assert!(!a.intersects(b));
+    }
+
+    #[test]
+    fn distances() {
+        let r = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        assert_eq!(r.distance_to_point(Point::new(5, 5)), 0.0);
+        assert_eq!(r.distance_to_point(Point::new(13, 14)), 5.0);
+        let far = Rect::new(Point::new(13, 14), Point::new(20, 20));
+        assert_eq!(r.distance_to_rect(far), 5.0);
+        let touch = Rect::new(Point::new(10, 0), Point::new(12, 2));
+        assert_eq!(r.distance_to_rect(touch), 0.0);
+    }
+
+    #[test]
+    fn inflate_grows_all_sides() {
+        let r = Rect::new(Point::new(0, 0), Point::new(4, 4)).inflate(3);
+        assert_eq!(r, Rect::new(Point::new(-3, -3), Point::new(7, 7)));
+    }
+}

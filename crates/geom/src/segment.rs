@@ -1,0 +1,402 @@
+//! Closed line segments with exact intersection and distance predicates.
+
+use crate::{Dir8, Orient4, Point, Vector, XLine};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed segment between two lattice points.
+///
+/// Wire segments in an RDL are always X-architecture segments (see
+/// [`Segment::orient`]), but the type itself supports arbitrary endpoints so
+/// DRC can reason about malformed inputs too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+/// Classification of how two segments intersect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegIntersection {
+    /// The segments do not touch.
+    None,
+    /// They meet in exactly one point (returned with exact `f64`
+    /// coordinates; lattice intersections have integral values).
+    Point(f64, f64),
+    /// They overlap along a shared sub-segment of positive length.
+    Overlap(Segment),
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Displacement from `a` to `b`.
+    #[inline]
+    pub fn delta(self) -> Vector {
+        self.b - self.a
+    }
+
+    /// Whether the segment has zero length.
+    #[inline]
+    pub fn is_degenerate(self) -> bool {
+        self.a == self.b
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn len_euclid(self) -> f64 {
+        self.delta().norm()
+    }
+
+    /// The wire orientation, if this is a nonzero X-architecture segment.
+    #[inline]
+    pub fn orient(self) -> Option<Orient4> {
+        Orient4::of_vector(self.delta())
+    }
+
+    /// The routing direction from `a` to `b`, if X-architecture.
+    #[inline]
+    pub fn dir(self) -> Option<Dir8> {
+        Dir8::of_vector(self.delta())
+    }
+
+    /// The supporting [`XLine`], if this is a nonzero X-architecture segment.
+    #[inline]
+    pub fn supporting_line(self) -> Option<XLine> {
+        self.orient().map(|o| XLine::through(self.a, o))
+    }
+
+    /// The segment with endpoints swapped.
+    #[inline]
+    pub fn reversed(self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+
+    /// Midpoint, rounded toward `a` on odd spans.
+    #[inline]
+    pub fn midpoint(self) -> Point {
+        Point::new(self.a.x + (self.b.x - self.a.x) / 2, self.a.y + (self.b.y - self.a.y) / 2)
+    }
+
+    /// Axis-aligned bounding box as `(min, max)` corners.
+    #[inline]
+    pub fn bbox(self) -> (Point, Point) {
+        (self.a.min(self.b), self.a.max(self.b))
+    }
+
+    /// Whether `p` lies on this closed segment (exact).
+    pub fn contains(self, p: Point) -> bool {
+        let d = self.delta();
+        let ap = p - self.a;
+        if d.cross(ap) != 0 {
+            return false;
+        }
+        let t = d.dot(ap);
+        t >= 0 && t <= d.norm_sq()
+    }
+
+    /// Exact intersection classification of two closed segments.
+    ///
+    /// Endpoint touches count as [`SegIntersection::Point`]; collinear
+    /// overlaps of positive length are reported as
+    /// [`SegIntersection::Overlap`]. Degenerate (zero-length) segments are
+    /// treated as points.
+    pub fn intersect(self, other: Segment) -> SegIntersection {
+        // Degenerate cases first.
+        match (self.is_degenerate(), other.is_degenerate()) {
+            (true, true) => {
+                return if self.a == other.a {
+                    SegIntersection::Point(self.a.x as f64, self.a.y as f64)
+                } else {
+                    SegIntersection::None
+                };
+            }
+            (true, false) => {
+                return if other.contains(self.a) {
+                    SegIntersection::Point(self.a.x as f64, self.a.y as f64)
+                } else {
+                    SegIntersection::None
+                };
+            }
+            (false, true) => {
+                return if self.contains(other.a) {
+                    SegIntersection::Point(other.a.x as f64, other.a.y as f64)
+                } else {
+                    SegIntersection::None
+                };
+            }
+            (false, false) => {}
+        }
+
+        let d1 = self.delta();
+        let d2 = other.delta();
+        let denom = d1.cross(d2);
+        let ao = other.a - self.a;
+
+        if denom == 0 {
+            // Parallel. Collinear only if other.a lies on our supporting line.
+            if d1.cross(ao) != 0 {
+                return SegIntersection::None;
+            }
+            // Project onto d1 to find overlap interval.
+            let len_sq = d1.norm_sq();
+            let t0 = d1.dot(ao);
+            let t1 = d1.dot(other.b - self.a);
+            let (tmin, tmax) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+            let lo = tmin.max(0);
+            let hi = tmax.min(len_sq);
+            if lo > hi {
+                return SegIntersection::None;
+            }
+            if lo == hi {
+                // Touch at a single endpoint. Recover the lattice point.
+                let p = if lo == 0 {
+                    self.a
+                } else if lo == len_sq {
+                    self.b
+                } else if other.contains(self.a) {
+                    self.a
+                } else {
+                    self.b
+                };
+                return SegIntersection::Point(p.x as f64, p.y as f64);
+            }
+            // Endpoints of the overlap are endpoints of one of the inputs.
+            let mut pts: Vec<Point> = Vec::with_capacity(2);
+            for p in [self.a, self.b, other.a, other.b] {
+                if self.contains(p) && other.contains(p) && !pts.contains(&p) {
+                    pts.push(p);
+                }
+            }
+            debug_assert!(pts.len() >= 2, "positive-length overlap must expose two endpoints");
+            pts.sort();
+            return SegIntersection::Overlap(Segment::new(pts[0], *pts.last().expect("nonempty")));
+        }
+
+        // General position: solve self.a + t·d1 = other.a + u·d2 for
+        // t, u ∈ [0, 1] using exact integer arithmetic.
+        let t_num = ao.cross(d2);
+        let u_num = ao.cross(d1);
+        let inside = |num: i128, den: i128| -> bool {
+            if den > 0 {
+                (0..=den).contains(&num)
+            } else {
+                (den..=0).contains(&num)
+            }
+        };
+        if !inside(t_num, denom) || !inside(u_num, denom) {
+            return SegIntersection::None;
+        }
+        let t = t_num as f64 / denom as f64;
+        let x = self.a.x as f64 + t * d1.dx as f64;
+        let y = self.a.y as f64 + t * d1.dy as f64;
+        SegIntersection::Point(x, y)
+    }
+
+    /// Whether the two segments share any point (including endpoint touches
+    /// and overlaps).
+    #[inline]
+    pub fn touches(self, other: Segment) -> bool {
+        !matches!(self.intersect(other), SegIntersection::None)
+    }
+
+    /// Whether the segments *cross properly*: they intersect in a single
+    /// point interior to both. This is the paper's wire-crossing test used
+    /// by the LP legalizer — shared endpoints (route joints) do not count.
+    pub fn crosses_properly(self, other: Segment) -> bool {
+        if self.is_degenerate() || other.is_degenerate() {
+            return false;
+        }
+        let d1 = self.delta();
+        let d2 = other.delta();
+        let denom = d1.cross(d2);
+        if denom == 0 {
+            return false;
+        }
+        let ao = other.a - self.a;
+        let t_num = ao.cross(d2);
+        let u_num = ao.cross(d1);
+        let strictly_inside = |num: i128, den: i128| -> bool {
+            if den > 0 {
+                num > 0 && num < den
+            } else {
+                num < 0 && num > den
+            }
+        };
+        strictly_inside(t_num, denom) && strictly_inside(u_num, denom)
+    }
+
+    /// Euclidean distance from a point to this closed segment.
+    pub fn distance_to_point(self, p: Point) -> f64 {
+        let d = self.delta();
+        let len_sq = d.norm_sq();
+        if len_sq == 0 {
+            return (p - self.a).norm();
+        }
+        let t = d.dot(p - self.a);
+        if t <= 0 {
+            (p - self.a).norm()
+        } else if t >= len_sq {
+            (p - self.b).norm()
+        } else {
+            // Perpendicular distance: |cross| / |d|.
+            let num = d.cross(p - self.a).unsigned_abs() as f64;
+            num / (len_sq as f64).sqrt()
+        }
+    }
+
+    /// Euclidean distance between two closed segments (zero if they touch).
+    pub fn distance_to_segment(self, other: Segment) -> f64 {
+        if self.touches(other) {
+            return 0.0;
+        }
+        let d1 = self
+            .distance_to_point(other.a)
+            .min(self.distance_to_point(other.b));
+        let d2 = other
+            .distance_to_point(self.a)
+            .min(other.distance_to_point(self.b));
+        d1.min(d2)
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} -> {}]", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: i64, ay: i64, bx: i64, by: i64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn orientation_detection() {
+        assert_eq!(seg(0, 0, 5, 0).orient(), Some(Orient4::H));
+        assert_eq!(seg(0, 0, 0, 5).orient(), Some(Orient4::V));
+        assert_eq!(seg(0, 0, 5, 5).orient(), Some(Orient4::D45));
+        assert_eq!(seg(0, 0, 5, -5).orient(), Some(Orient4::D135));
+        assert_eq!(seg(0, 0, 5, 3).orient(), None);
+        assert_eq!(seg(2, 2, 2, 2).orient(), None);
+    }
+
+    #[test]
+    fn proper_crossing_detected() {
+        let h = seg(0, 0, 10, 0);
+        let v = seg(5, -5, 5, 5);
+        assert!(h.crosses_properly(v));
+        assert!(v.crosses_properly(h));
+        match h.intersect(v) {
+            SegIntersection::Point(x, y) => {
+                assert_eq!((x, y), (5.0, 0.0));
+            }
+            other => panic!("expected point intersection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn endpoint_touch_is_not_proper() {
+        let a = seg(0, 0, 10, 0);
+        let b = seg(10, 0, 10, 10);
+        assert!(!a.crosses_properly(b));
+        assert!(a.touches(b));
+    }
+
+    #[test]
+    fn t_touch_is_not_proper() {
+        // b's endpoint lies interior to a: a "T" junction, not a crossing.
+        let a = seg(0, 0, 10, 0);
+        let b = seg(5, 0, 5, 10);
+        assert!(!a.crosses_properly(b));
+        assert!(a.touches(b));
+    }
+
+    #[test]
+    fn diagonal_crossing_off_lattice() {
+        let a = seg(0, 0, 3, 3);
+        let b = seg(0, 1, 3, -2);
+        // Lines x−y=0 and x+y=1 meet at (0.5, 0.5).
+        match a.intersect(b) {
+            SegIntersection::Point(x, y) => {
+                assert!((x - 0.5).abs() < 1e-12 && (y - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected point, got {other:?}"),
+        }
+        assert!(a.crosses_properly(b));
+    }
+
+    #[test]
+    fn collinear_overlap_reported() {
+        let a = seg(0, 0, 10, 0);
+        let b = seg(4, 0, 20, 0);
+        match a.intersect(b) {
+            SegIntersection::Overlap(s) => {
+                assert_eq!(s, seg(4, 0, 10, 0));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+        assert!(!a.crosses_properly(b));
+    }
+
+    #[test]
+    fn collinear_endpoint_touch() {
+        let a = seg(0, 0, 10, 0);
+        let b = seg(10, 0, 20, 0);
+        match a.intersect(b) {
+            SegIntersection::Point(x, y) => assert_eq!((x, y), (10.0, 0.0)),
+            other => panic!("expected point, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_parallel() {
+        let a = seg(0, 0, 10, 0);
+        let b = seg(0, 1, 10, 1);
+        assert_eq!(a.intersect(b), SegIntersection::None);
+        assert!((a.distance_to_segment(b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_distance_clamps_to_endpoints() {
+        let s = seg(0, 0, 10, 0);
+        assert_eq!(s.distance_to_point(Point::new(-3, 4)), 5.0);
+        assert_eq!(s.distance_to_point(Point::new(13, 4)), 5.0);
+        assert_eq!(s.distance_to_point(Point::new(5, 4)), 4.0);
+        assert_eq!(s.distance_to_point(Point::new(7, 0)), 0.0);
+    }
+
+    #[test]
+    fn degenerate_segments_behave_as_points() {
+        let p = seg(3, 3, 3, 3);
+        let s = seg(0, 0, 6, 6);
+        assert!(matches!(p.intersect(s), SegIntersection::Point(..)));
+        assert!(matches!(s.intersect(p), SegIntersection::Point(..)));
+        assert!(!p.crosses_properly(s));
+        assert_eq!(p.intersect(seg(4, 4, 4, 4)), SegIntersection::None);
+    }
+
+    #[test]
+    fn contains_is_exact_on_diagonals() {
+        let s = seg(0, 0, 8, 8);
+        assert!(s.contains(Point::new(5, 5)));
+        assert!(!s.contains(Point::new(5, 6)));
+        assert!(!s.contains(Point::new(9, 9)));
+    }
+
+    #[test]
+    fn segment_distance_zero_when_touching() {
+        let a = seg(0, 0, 10, 10);
+        let b = seg(10, 10, 20, 10);
+        assert_eq!(a.distance_to_segment(b), 0.0);
+    }
+}

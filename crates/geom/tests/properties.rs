@@ -1,0 +1,199 @@
+//! Property-based tests for the geometry kernel.
+
+use info_geom::{
+    euclid, x_arch_len, manhattan, Dir8, Octagon, Orient4, Point, Polyline, Rect, SegIntersection,
+    Segment, XLine,
+};
+use proptest::prelude::*;
+
+const R: i64 = 10_000;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-R..R, -R..R).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Segment::new(a, b))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+fn arb_octagon() -> impl Strategy<Value = Octagon> {
+    prop_oneof![
+        arb_rect().prop_map(Octagon::from_rect),
+        (arb_point(), 2i64..2_000).prop_map(|(c, w)| Octagon::regular(c, w)),
+        (arb_rect(), -R..R, any::<bool>(), any::<bool>()).prop_map(|(r, c, d45, le)| {
+            let o = Octagon::from_rect(r);
+            let orient = if d45 { Orient4::D45 } else { Orient4::D135 };
+            o.clip_halfplane(XLine::new(orient, c), le)
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn segment_intersection_is_symmetric(a in arb_segment(), b in arb_segment()) {
+        let ab = a.intersect(b);
+        let ba = b.intersect(a);
+        match (ab, ba) {
+            (SegIntersection::None, SegIntersection::None) => {}
+            (SegIntersection::Point(x1, y1), SegIntersection::Point(x2, y2)) => {
+                prop_assert!((x1 - x2).abs() < 1e-6 && (y1 - y2).abs() < 1e-6);
+            }
+            (SegIntersection::Overlap(s1), SegIntersection::Overlap(s2)) => {
+                prop_assert_eq!(s1, s2);
+            }
+            other => prop_assert!(false, "asymmetric intersection: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn proper_crossing_implies_point_intersection(a in arb_segment(), b in arb_segment()) {
+        if a.crosses_properly(b) {
+            prop_assert!(matches!(a.intersect(b), SegIntersection::Point(..)));
+            prop_assert!(b.crosses_properly(a));
+        }
+    }
+
+    #[test]
+    fn segment_distance_zero_iff_touching(a in arb_segment(), b in arb_segment()) {
+        let d = a.distance_to_segment(b);
+        prop_assert_eq!(d == 0.0, a.touches(b));
+        prop_assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn segment_contains_endpoint(s in arb_segment()) {
+        prop_assert!(s.contains(s.a));
+        prop_assert!(s.contains(s.b));
+        prop_assert!(s.contains(s.midpoint()) || !s.delta().is_x_arch() && s.contains(s.midpoint()) || true);
+        // midpoint of an even-span x-arch segment is on the segment
+        if s.delta().dx % 2 == 0 && s.delta().dy % 2 == 0 {
+            prop_assert!(s.contains(s.midpoint()));
+        }
+    }
+
+    #[test]
+    fn x_arch_len_sandwiched(a in arb_point(), b in arb_point()) {
+        let x = x_arch_len(a, b);
+        prop_assert!(x <= manhattan(a, b) as f64 + 1e-6);
+        prop_assert!(x >= euclid(a, b) - 1e-6);
+    }
+
+    #[test]
+    fn x_arch_len_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(x_arch_len(a, c) <= x_arch_len(a, b) + x_arch_len(b, c) + 1e-6);
+    }
+
+    #[test]
+    fn rect_intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        let i = a.intersection(b);
+        if !i.is_empty() {
+            prop_assert!(a.contains_rect(i));
+            prop_assert!(b.contains_rect(i));
+        }
+    }
+
+    #[test]
+    fn octagon_canonical_bounds_supported(o in arb_octagon()) {
+        if !o.is_empty() {
+            // Every vertex must satisfy all eight constraints.
+            for v in o.vertices() {
+                prop_assert!(o.contains(v), "vertex {} escapes {}", v, o);
+            }
+            prop_assert!(o.contains(o.interior_point()));
+            prop_assert!(o.area() >= 0);
+        }
+    }
+
+    #[test]
+    fn octagon_intersection_sound(a in arb_octagon(), b in arb_octagon(), p in arb_point()) {
+        let i = a.intersection(&b);
+        // Soundness: p in both => p in intersection; p in intersection => in both.
+        if a.contains(p) && b.contains(p) {
+            prop_assert!(i.contains(p));
+        }
+        if !i.is_empty() && i.contains(p) {
+            prop_assert!(a.contains(p) && b.contains(p));
+        }
+    }
+
+    #[test]
+    fn octagon_inflate_covers_neighborhood(o in arb_octagon(), p in arb_point(), m in 1i64..100) {
+        if !o.is_empty() {
+            let big = o.inflate(m);
+            if o.distance_to_point(p) <= m as f64 {
+                prop_assert!(big.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn octagon_point_distance_consistent_with_contains(o in arb_octagon(), p in arb_point()) {
+        if !o.is_empty() {
+            let d = o.distance_to_point(p);
+            prop_assert_eq!(d == 0.0, o.contains(p), "d = {} for {} in {}", d, p, o);
+        }
+    }
+
+    #[test]
+    fn clip_halfplane_partition(o in arb_octagon(), c in -R..R, p in arb_point()) {
+        if !o.is_empty() {
+            let l = XLine::new(Orient4::D45, c);
+            let le = o.clip_halfplane(l, true);
+            let ge = o.clip_halfplane(l, false);
+            if o.contains(p) {
+                // Every point of o lands in at least one half (both on the line).
+                let in_le = !le.is_empty() && le.contains(p);
+                let in_ge = !ge.is_empty() && ge.contains(p);
+                prop_assert!(in_le || in_ge);
+                if in_le && in_ge {
+                    prop_assert_eq!(l.eval(p), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xline_crossing_on_both_lines(p in arb_point(), q in arb_point()) {
+        for o1 in Orient4::ALL {
+            for o2 in Orient4::ALL {
+                let l1 = XLine::through(p, o1);
+                let l2 = XLine::through(q, o2);
+                if let Some(x) = l1.crossing(l2) {
+                    prop_assert!(l1.contains(x) && l2.contains(x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn polyline_simplify_preserves_endpoints_and_length(
+        pts in proptest::collection::vec((0i64..50, 0i64..50), 2..12)
+    ) {
+        // Build an x-arch staircase from arbitrary points: walk L-shaped.
+        let mut walk = vec![Point::new(pts[0].0, pts[0].1)];
+        for &(x, y) in &pts[1..] {
+            let last = *walk.last().unwrap();
+            let corner = Point::new(x, last.y);
+            if corner != last { walk.push(corner); }
+            let dest = Point::new(x, y);
+            if dest != *walk.last().unwrap() { walk.push(dest); }
+        }
+        let mut p = Polyline::new(walk.clone());
+        let len_before = p.length();
+        p.simplify();
+        let len_after = p.length();
+        prop_assert!((len_before - len_after).abs() < 1e-6);
+        prop_assert_eq!(p.start(), Some(walk[0]));
+        prop_assert_eq!(p.end(), Some(*walk.last().unwrap()));
+    }
+
+    #[test]
+    fn dir8_of_vector_consistent(d in 0usize..8, k in 1i64..1000) {
+        let dir = Dir8::from_index(d);
+        prop_assert_eq!(Dir8::of_vector(dir.step() * k), Some(dir));
+    }
+}

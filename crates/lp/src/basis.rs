@@ -1,0 +1,323 @@
+//! Basis factorization engines for the revised simplex method.
+//!
+//! The simplex driver is generic over a [`BasisEngine`]: the production
+//! engine is [`LuBasis`] (sparse LU plus product-form eta updates); the
+//! [`DenseBasis`] engine maintains an explicit inverse and exists to
+//! cross-check the sparse machinery in tests and to solve tiny problems.
+
+use crate::lu::{LuFactors, SingularMatrix};
+use crate::sparse::SparseVec;
+
+/// Abstraction over "solve with the current basis matrix".
+///
+/// Row/column conventions match [`LuFactors::ftran`]/[`LuFactors::btran`]:
+/// `ftran` maps a right-hand side in row space to a solution indexed by
+/// basis position; `btran` maps a cost vector indexed by basis position to
+/// duals in row space.
+pub trait BasisEngine {
+    /// Replaces the factorization with one of the given basis columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when the columns do not form a basis.
+    fn refactorize(&mut self, m: usize, cols: &[&SparseVec]) -> Result<(), SingularMatrix>;
+
+    /// Solves `B·x = b` in place (`b` row-indexed in, basis-position-indexed out).
+    fn ftran(&self, b: &mut [f64]);
+
+    /// Solves `Bᵀ·x = c` in place (`c` basis-position-indexed in, row-indexed out).
+    fn btran(&self, c: &mut [f64]);
+
+    /// Records the pivot that replaces the basic variable at position `r`,
+    /// where `w = B⁻¹·a_q` is the FTRAN'd entering column.
+    fn update(&mut self, r: usize, w: &SparseVec);
+
+    /// Whether enough updates have accumulated that the caller should
+    /// refactorize for speed/stability.
+    fn wants_refactorize(&self) -> bool;
+}
+
+/// Production engine: sparse LU with product-form (eta) updates.
+#[derive(Debug, Default)]
+pub struct LuBasis {
+    lu: Option<LuFactors>,
+    /// Eta file: each entry `(r, w)` records a pivot at basis position `r`
+    /// with FTRAN'd entering column `w` (which includes the pivot element
+    /// at index `r`).
+    etas: Vec<(usize, SparseVec)>,
+    max_etas: usize,
+}
+
+impl LuBasis {
+    /// Creates an engine that asks for refactorization after `max_etas`
+    /// accumulated pivots.
+    pub fn new(max_etas: usize) -> Self {
+        LuBasis { lu: None, etas: Vec::new(), max_etas }
+    }
+}
+
+impl BasisEngine for LuBasis {
+    fn refactorize(&mut self, m: usize, cols: &[&SparseVec]) -> Result<(), SingularMatrix> {
+        self.lu = Some(LuFactors::factorize(m, cols)?);
+        self.etas.clear();
+        Ok(())
+    }
+
+    fn ftran(&self, b: &mut [f64]) {
+        self.lu.as_ref().expect("refactorize before ftran").ftran(b);
+        for (r, w) in &self.etas {
+            let pivot = w.get(*r);
+            debug_assert!(pivot.abs() > 0.0);
+            let vr = b[*r] / pivot;
+            for (i, wi) in w.iter() {
+                if i != *r {
+                    b[i] -= wi * vr;
+                }
+            }
+            b[*r] = vr;
+        }
+    }
+
+    fn btran(&self, c: &mut [f64]) {
+        for (r, w) in self.etas.iter().rev() {
+            let pivot = w.get(*r);
+            let mut acc = c[*r];
+            for (i, wi) in w.iter() {
+                if i != *r {
+                    acc -= wi * c[i];
+                }
+            }
+            c[*r] = acc / pivot;
+        }
+        self.lu.as_ref().expect("refactorize before btran").btran(c);
+    }
+
+    fn update(&mut self, r: usize, w: &SparseVec) {
+        self.etas.push((r, w.clone()));
+    }
+
+    fn wants_refactorize(&self) -> bool {
+        self.etas.len() >= self.max_etas
+    }
+}
+
+/// Test/oracle engine: explicit dense inverse updated by elementary row
+/// operations. Quadratic memory — use only for small problems.
+#[derive(Debug, Default)]
+pub struct DenseBasis {
+    m: usize,
+    /// Row-major `B⁻¹`.
+    inv: Vec<Vec<f64>>,
+}
+
+impl DenseBasis {
+    /// Creates an empty dense engine.
+    pub fn new() -> Self {
+        DenseBasis::default()
+    }
+}
+
+impl BasisEngine for DenseBasis {
+    fn refactorize(&mut self, m: usize, cols: &[&SparseVec]) -> Result<(), SingularMatrix> {
+        // Gauss–Jordan inversion with partial pivoting on [B | I].
+        let mut a: Vec<Vec<f64>> = vec![vec![0.0; m]; m];
+        for (j, col) in cols.iter().enumerate() {
+            for (i, v) in col.iter() {
+                a[i][j] = v;
+            }
+        }
+        let mut inv: Vec<Vec<f64>> = (0..m)
+            .map(|i| (0..m).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        for k in 0..m {
+            let (piv_row, piv_val) = (k..m)
+                .map(|i| (i, a[i][k]))
+                .max_by(|x, y| x.1.abs().total_cmp(&y.1.abs()))
+                .expect("nonempty");
+            if piv_val.abs() < 1e-10 {
+                return Err(SingularMatrix { step: k });
+            }
+            a.swap(k, piv_row);
+            inv.swap(k, piv_row);
+            let scale = 1.0 / a[k][k];
+            for j in 0..m {
+                a[k][j] *= scale;
+                inv[k][j] *= scale;
+            }
+            for i in 0..m {
+                if i != k && a[i][k] != 0.0 {
+                    let f = a[i][k];
+                    for j in 0..m {
+                        a[i][j] -= f * a[k][j];
+                        inv[i][j] -= f * inv[k][j];
+                    }
+                }
+            }
+        }
+        self.m = m;
+        self.inv = inv;
+        Ok(())
+    }
+
+    fn ftran(&self, b: &mut [f64]) {
+        let mut out = vec![0.0; self.m];
+        for (i, row) in self.inv.iter().enumerate() {
+            out[i] = row.iter().zip(b.iter()).map(|(a, x)| a * x).sum();
+        }
+        b.copy_from_slice(&out);
+    }
+
+    fn btran(&self, c: &mut [f64]) {
+        let mut out = vec![0.0; self.m];
+        for (i, row) in self.inv.iter().enumerate() {
+            let ci = c[i];
+            if ci != 0.0 {
+                for (j, a) in row.iter().enumerate() {
+                    out[j] += a * ci;
+                }
+            }
+        }
+        c.copy_from_slice(&out);
+    }
+
+    fn update(&mut self, r: usize, w: &SparseVec) {
+        // B_new = B·E with E's column r equal to w, so
+        // B_new⁻¹ = E⁻¹·B⁻¹: scale row r by 1/w_r, then subtract w_i times
+        // the new row r from every other row i with w_i ≠ 0.
+        let pivot = w.get(r);
+        debug_assert!(pivot.abs() > 0.0);
+        let scale = 1.0 / pivot;
+        for j in 0..self.m {
+            self.inv[r][j] *= scale;
+        }
+        let row_r = self.inv[r].clone();
+        for (i, wi) in w.iter() {
+            if i != r {
+                for j in 0..self.m {
+                    self.inv[i][j] -= wi * row_r[j];
+                }
+            }
+        }
+    }
+
+    fn wants_refactorize(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols_3() -> Vec<SparseVec> {
+        vec![
+            SparseVec::from_entries([(0, 2.0), (1, 1.0)]),
+            SparseVec::from_entries([(1, 3.0), (2, -1.0)]),
+            SparseVec::from_entries([(0, 1.0), (2, 4.0)]),
+        ]
+    }
+
+    fn engines_agree(engine_a: &dyn BasisEngine, engine_b: &dyn BasisEngine, m: usize) {
+        let b: Vec<f64> = (0..m).map(|i| 1.0 + i as f64).collect();
+        let mut fa = b.clone();
+        let mut fb = b.clone();
+        engine_a.ftran(&mut fa);
+        engine_b.ftran(&mut fb);
+        for i in 0..m {
+            assert!((fa[i] - fb[i]).abs() < 1e-8, "ftran mismatch at {i}: {} vs {}", fa[i], fb[i]);
+        }
+        let mut ba = b.clone();
+        let mut bb = b;
+        engine_a.btran(&mut ba);
+        engine_b.btran(&mut bb);
+        for i in 0..m {
+            assert!((ba[i] - bb[i]).abs() < 1e-8, "btran mismatch at {i}: {} vs {}", ba[i], bb[i]);
+        }
+    }
+
+    #[test]
+    fn lu_and_dense_agree_after_refactorize() {
+        let cols = cols_3();
+        let refs: Vec<&SparseVec> = cols.iter().collect();
+        let mut lu = LuBasis::new(8);
+        let mut de = DenseBasis::new();
+        lu.refactorize(3, &refs).unwrap();
+        de.refactorize(3, &refs).unwrap();
+        engines_agree(&lu, &de, 3);
+    }
+
+    #[test]
+    fn lu_and_dense_agree_after_updates() {
+        let cols = cols_3();
+        let refs: Vec<&SparseVec> = cols.iter().collect();
+        let mut lu = LuBasis::new(8);
+        let mut de = DenseBasis::new();
+        lu.refactorize(3, &refs).unwrap();
+        de.refactorize(3, &refs).unwrap();
+
+        // Replace basis position 1 with a new column a = (1, 1, 1).
+        let a = SparseVec::from_entries([(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let mut w_lu: Vec<f64> = vec![0.0; 3];
+        a.scatter_into(&mut w_lu);
+        lu.ftran(&mut w_lu);
+        let w = SparseVec::from_dense(&w_lu);
+        lu.update(1, &w);
+        de.update(1, &w);
+        engines_agree(&lu, &de, 3);
+
+        // And a second pivot at position 0 with column (0, 2, 0).
+        let a2 = SparseVec::from_entries([(1, 2.0)]);
+        let mut w2: Vec<f64> = vec![0.0; 3];
+        a2.scatter_into(&mut w2);
+        lu.ftran(&mut w2);
+        let w2 = SparseVec::from_dense(&w2);
+        lu.update(0, &w2);
+        de.update(0, &w2);
+        engines_agree(&lu, &de, 3);
+    }
+
+    #[test]
+    fn eta_update_matches_refactorization() {
+        // After replacing a column, the eta-updated engine must solve the
+        // *new* basis exactly like a fresh factorization of it.
+        let cols = cols_3();
+        let refs: Vec<&SparseVec> = cols.iter().collect();
+        let mut lu = LuBasis::new(8);
+        lu.refactorize(3, &refs).unwrap();
+
+        let a = SparseVec::from_entries([(0, 1.0), (2, 2.0)]);
+        let mut w: Vec<f64> = vec![0.0; 3];
+        a.scatter_into(&mut w);
+        lu.ftran(&mut w);
+        lu.update(2, &SparseVec::from_dense(&w));
+
+        let new_cols = vec![cols[0].clone(), cols[1].clone(), a];
+        let new_refs: Vec<&SparseVec> = new_cols.iter().collect();
+        let mut fresh = LuBasis::new(8);
+        fresh.refactorize(3, &new_refs).unwrap();
+        engines_agree(&lu, &fresh, 3);
+    }
+
+    #[test]
+    fn wants_refactorize_after_max_etas() {
+        let cols = cols_3();
+        let refs: Vec<&SparseVec> = cols.iter().collect();
+        let mut lu = LuBasis::new(2);
+        lu.refactorize(3, &refs).unwrap();
+        assert!(!lu.wants_refactorize());
+        let w = SparseVec::from_entries([(0, 1.0)]);
+        lu.update(0, &w);
+        lu.update(0, &w);
+        assert!(lu.wants_refactorize());
+    }
+
+    #[test]
+    fn dense_detects_singular() {
+        let cols = vec![
+            SparseVec::from_entries([(0, 1.0), (1, 2.0)]),
+            SparseVec::from_entries([(0, 2.0), (1, 4.0)]),
+        ];
+        let refs: Vec<&SparseVec> = cols.iter().collect();
+        assert!(DenseBasis::new().refactorize(2, &refs).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for LP solving.
+
+use std::fmt;
+
+/// Errors reported by the LP solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// The iteration limit was reached before convergence.
+    IterationLimit {
+        /// Number of simplex iterations performed.
+        iterations: usize,
+    },
+    /// The basis matrix became numerically singular and could not be
+    /// repaired by refactorization.
+    SingularBasis {
+        /// Elimination step at which the failure occurred.
+        step: usize,
+    },
+    /// The model itself is malformed (bad bounds, NaN coefficients, …).
+    InvalidModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "iteration limit reached after {iterations} iterations")
+            }
+            LpError::SingularBasis { step } => {
+                write!(f, "basis matrix singular at elimination step {step}")
+            }
+            LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl From<crate::lu::SingularMatrix> for LpError {
+    fn from(e: crate::lu::SingularMatrix) -> Self {
+        LpError::SingularBasis { step: e.step }
+    }
+}

@@ -1,0 +1,237 @@
+//! Sparse vectors and column-major matrices.
+
+use std::fmt;
+
+/// A sparse vector stored as parallel `(index, value)` arrays.
+///
+/// Indices are kept sorted and unique by the constructors; values with
+/// magnitude below [`SparseVec::DROP_TOL`] are dropped.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVec {
+    idx: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl SparseVec {
+    /// Magnitude below which entries are treated as exact zeros.
+    pub const DROP_TOL: f64 = 1e-13;
+
+    /// Creates an empty sparse vector.
+    pub fn new() -> Self {
+        SparseVec::default()
+    }
+
+    /// Builds from entries; duplicates are summed, indices sorted, and tiny
+    /// values dropped.
+    pub fn from_entries<I: IntoIterator<Item = (usize, f64)>>(entries: I) -> Self {
+        let mut pairs: Vec<(usize, f64)> = entries.into_iter().collect();
+        pairs.sort_by_key(|&(i, _)| i);
+        let mut v = SparseVec::new();
+        for (i, x) in pairs {
+            if let Some(last) = v.idx.last() {
+                if *last == i {
+                    *v.val.last_mut().expect("parallel arrays") += x;
+                    continue;
+                }
+            }
+            v.idx.push(i);
+            v.val.push(x);
+        }
+        v.compact();
+        v
+    }
+
+    /// Gathers the nonzeros of a dense slice.
+    pub fn from_dense(dense: &[f64]) -> Self {
+        let mut v = SparseVec::new();
+        for (i, &x) in dense.iter().enumerate() {
+            if x.abs() > Self::DROP_TOL {
+                v.idx.push(i);
+                v.val.push(x);
+            }
+        }
+        v
+    }
+
+    fn compact(&mut self) {
+        let mut w = 0;
+        for r in 0..self.idx.len() {
+            if self.val[r].abs() > Self::DROP_TOL {
+                self.idx[w] = self.idx[r];
+                self.val[w] = self.val[r];
+                w += 1;
+            }
+        }
+        self.idx.truncate(w);
+        self.val.truncate(w);
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether the vector has no nonzeros.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Iterates over `(index, value)` pairs in ascending index order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.idx.iter().copied().zip(self.val.iter().copied())
+    }
+
+    /// Value at `i` (zero when not stored).
+    pub fn get(&self, i: usize) -> f64 {
+        match self.idx.binary_search(&i) {
+            Ok(k) => self.val[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Scatters into a dense buffer (which must be large enough).
+    pub fn scatter_into(&self, dense: &mut [f64]) {
+        for (i, x) in self.iter() {
+            dense[i] = x;
+        }
+    }
+
+    /// Dot product with a dense vector.
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        self.iter().map(|(i, x)| x * dense[i]).sum()
+    }
+}
+
+impl FromIterator<(usize, f64)> for SparseVec {
+    fn from_iter<T: IntoIterator<Item = (usize, f64)>>(iter: T) -> Self {
+        SparseVec::from_entries(iter)
+    }
+}
+
+/// A column-major sparse matrix: each column is a [`SparseVec`] of row
+/// entries. This is the natural layout for the simplex method, which
+/// repeatedly asks for individual constraint columns.
+#[derive(Debug, Clone, Default)]
+pub struct ColMatrix {
+    nrows: usize,
+    cols: Vec<SparseVec>,
+}
+
+impl ColMatrix {
+    /// Creates an empty matrix with a fixed row count.
+    pub fn new(nrows: usize) -> Self {
+        ColMatrix { nrows, cols: Vec::new() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Total stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.cols.iter().map(SparseVec::nnz).sum()
+    }
+
+    /// Appends a column, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index in the column is out of range.
+    pub fn push_col(&mut self, col: SparseVec) -> usize {
+        if let Some(&max) = col.idx.last() {
+            assert!(max < self.nrows, "row index {max} out of range ({})", self.nrows);
+        }
+        self.cols.push(col);
+        self.cols.len() - 1
+    }
+
+    /// Borrow of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &SparseVec {
+        &self.cols[j]
+    }
+
+    /// `y += A[:, j] * x`.
+    pub fn axpy_col(&self, j: usize, x: f64, y: &mut [f64]) {
+        for (i, a) in self.cols[j].iter() {
+            y[i] += a * x;
+        }
+    }
+}
+
+impl fmt::Display for SparseVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, (i, x)) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}: {x}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_dedupe_and_sort() {
+        let v = SparseVec::from_entries([(3, 1.0), (1, 2.0), (3, 4.0), (2, 0.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(1), 2.0);
+        assert_eq!(v.get(3), 5.0);
+        assert_eq!(v.get(2), 0.0);
+        let indices: Vec<usize> = v.iter().map(|(i, _)| i).collect();
+        assert_eq!(indices, vec![1, 3]);
+    }
+
+    #[test]
+    fn cancellation_drops_entries() {
+        let v = SparseVec::from_entries([(0, 1.0), (0, -1.0)]);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let dense = [0.0, 3.0, 0.0, -2.0];
+        let v = SparseVec::from_dense(&dense);
+        assert_eq!(v.nnz(), 2);
+        let mut back = [0.0; 4];
+        v.scatter_into(&mut back);
+        assert_eq!(back, dense);
+        assert_eq!(v.dot_dense(&[1.0, 1.0, 1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn matrix_columns() {
+        let mut m = ColMatrix::new(3);
+        let j0 = m.push_col(SparseVec::from_entries([(0, 1.0), (2, -1.0)]));
+        let j1 = m.push_col(SparseVec::from_entries([(1, 2.0)]));
+        assert_eq!((j0, j1), (0, 1));
+        assert_eq!(m.nnz(), 3);
+        let mut y = vec![0.0; 3];
+        m.axpy_col(0, 2.0, &mut y);
+        m.axpy_col(1, 1.0, &mut y);
+        assert_eq!(y, vec![2.0, 2.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut m = ColMatrix::new(2);
+        m.push_col(SparseVec::from_entries([(5, 1.0)]));
+    }
+}

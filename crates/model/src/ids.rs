@@ -1,0 +1,134 @@
+//! Typed identifiers for package entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a chip in the package.
+    ChipId,
+    "chip"
+);
+id_type!(
+    /// Identifier of a pad (I/O or bump).
+    PadId,
+    "pad"
+);
+id_type!(
+    /// Identifier of a pre-assigned net.
+    NetId,
+    "net"
+);
+id_type!(
+    /// Identifier of a rectangular routing obstacle.
+    ObstacleId,
+    "obs"
+);
+id_type!(
+    /// Identifier of a via in a layout.
+    ViaId,
+    "via"
+);
+id_type!(
+    /// Identifier of a planar route in a layout.
+    RouteId,
+    "route"
+);
+
+/// Index of a wire layer: `0` is the **top** RDL (where I/O pads attach)
+/// and `count − 1` the **bottom** RDL (where bump pads attach).
+///
+/// Via layers are implicit: via layer `k` sits between wire layers `k − 1`
+/// and `k`, with via layer `0` connecting I/O pads to wire layer `0` and
+/// via layer `count` connecting wire layer `count − 1` to the bump pads —
+/// hence the paper's `|L_v| = |L_w| + 1` in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WireLayer(pub u8);
+
+impl WireLayer {
+    /// The top RDL.
+    pub const TOP: WireLayer = WireLayer(0);
+
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The wire layer directly below, if any given `count` layers exist.
+    pub fn below(self, count: usize) -> Option<WireLayer> {
+        if (self.0 as usize) + 1 < count {
+            Some(WireLayer(self.0 + 1))
+        } else {
+            None
+        }
+    }
+
+    /// The wire layer directly above, if any.
+    pub fn above(self) -> Option<WireLayer> {
+        self.0.checked_sub(1).map(WireLayer)
+    }
+}
+
+impl fmt::Display for WireLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        let p = PadId::from_index(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.to_string(), "pad7");
+        assert_eq!(ChipId(3).to_string(), "chip3");
+    }
+
+    #[test]
+    fn layer_navigation() {
+        let top = WireLayer::TOP;
+        assert_eq!(top.above(), None);
+        assert_eq!(top.below(3), Some(WireLayer(1)));
+        assert_eq!(WireLayer(2).below(3), None);
+        assert_eq!(WireLayer(2).above(), Some(WireLayer(1)));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NetId(1) < NetId(2));
+        assert!(WireLayer(0) < WireLayer(1));
+    }
+}

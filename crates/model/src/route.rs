@@ -1,0 +1,124 @@
+//! Routing result primitives: planar routes and vias.
+
+use crate::ids::{NetId, RouteId, ViaId, WireLayer};
+use info_geom::{Coord, Octagon, Point, Polyline};
+use serde::{Deserialize, Serialize};
+
+/// A planar route: an X-architecture polyline of one net on one wire layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Identifier within the layout.
+    pub id: RouteId,
+    /// The net this route belongs to.
+    pub net: NetId,
+    /// The wire layer the route lies on.
+    pub layer: WireLayer,
+    /// The centerline geometry.
+    pub path: Polyline,
+}
+
+impl Route {
+    /// Euclidean length of the centerline.
+    pub fn length(&self) -> f64 {
+        self.path.length()
+    }
+}
+
+/// An RDL via: a regular octagon spanning one or more adjacent wire layers.
+///
+/// A via with `top == bottom` is degenerate and connects nothing; a valid
+/// via has `top.index() < bottom.index()` and electrically joins every wire
+/// layer in `top..=bottom` (a *stacked* via when the span exceeds two
+/// layers, which is what Via Insertion's projection through layers
+/// produces, §III-C3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Via {
+    /// Identifier within the layout.
+    pub id: ViaId,
+    /// The net this via belongs to.
+    pub net: NetId,
+    /// Center position.
+    pub center: Point,
+    /// Bounding-box width of the octagon (`s_v`).
+    pub width: Coord,
+    /// Topmost wire layer the via touches.
+    pub top: WireLayer,
+    /// Bottommost wire layer the via touches.
+    pub bottom: WireLayer,
+    /// Pre-assigned (fixed) vias cannot be moved by layout optimization;
+    /// flexible vias can.
+    pub fixed: bool,
+}
+
+impl Via {
+    /// The via's octagonal footprint (identical on every spanned layer).
+    pub fn shape(&self) -> Octagon {
+        Octagon::regular(self.center, self.width)
+    }
+
+    /// Whether the via touches the given wire layer.
+    pub fn spans(&self, layer: WireLayer) -> bool {
+        layer >= self.top && layer <= self.bottom
+    }
+
+    /// Whether the span is well-formed (strictly top above bottom).
+    pub fn span_valid(&self) -> bool {
+        self.top < self.bottom
+    }
+
+    /// Number of via layers this (possibly stacked) via occupies.
+    pub fn span_len(&self) -> usize {
+        self.bottom.index().saturating_sub(self.top.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn via_span_queries() {
+        let v = Via {
+            id: ViaId(0),
+            net: NetId(0),
+            center: Point::new(0, 0),
+            width: 5_000,
+            top: WireLayer(0),
+            bottom: WireLayer(2),
+            fixed: false,
+        };
+        assert!(v.span_valid());
+        assert_eq!(v.span_len(), 2);
+        assert!(v.spans(WireLayer(0)));
+        assert!(v.spans(WireLayer(1)));
+        assert!(v.spans(WireLayer(2)));
+        assert!(!v.spans(WireLayer(3)));
+        assert!(v.shape().contains(Point::new(2_000, 0)));
+    }
+
+    #[test]
+    fn degenerate_span_invalid() {
+        let v = Via {
+            id: ViaId(0),
+            net: NetId(0),
+            center: Point::new(0, 0),
+            width: 5_000,
+            top: WireLayer(1),
+            bottom: WireLayer(1),
+            fixed: true,
+        };
+        assert!(!v.span_valid());
+        assert_eq!(v.span_len(), 0);
+    }
+
+    #[test]
+    fn route_length() {
+        let r = Route {
+            id: RouteId(0),
+            net: NetId(0),
+            layer: WireLayer(0),
+            path: Polyline::new(vec![Point::new(0, 0), Point::new(3_000, 0), Point::new(3_000, 4_000)]),
+        };
+        assert!((r.length() - 7_000.0).abs() < 1e-9);
+    }
+}

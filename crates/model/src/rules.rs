@@ -1,0 +1,73 @@
+//! Design rules (§II-B of the paper).
+
+use info_geom::Coord;
+use serde::{Deserialize, Serialize};
+
+/// The three numeric design rules of the RDL process, in nanometers.
+///
+/// - **Minimum spacing** between any two components of different nets on
+///   the same wire layer.
+/// - **Wire width** of every metal segment.
+/// - **Via width**: the bounding-box width of the regular-octagon via.
+///
+/// The structural rules (X-architecture orientations, the non-crossing
+/// constraint, and the 90°/135°-only turn rule) are enforced by
+/// [`crate::drc`] and by construction in the routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DesignRules {
+    /// Minimum spacing `s` between components of different nets.
+    pub min_spacing: Coord,
+    /// Wire width `s_w`.
+    pub wire_width: Coord,
+    /// Via width `s_v` (bounding box of the octagonal via).
+    pub via_width: Coord,
+}
+
+impl DesignRules {
+    /// Typical InFO-class rules: 2 µm spacing, 2 µm wires, 5 µm vias.
+    pub const fn info_defaults() -> Self {
+        DesignRules { min_spacing: 2_000, wire_width: 2_000, via_width: 5_000 }
+    }
+
+    /// Center-to-center clearance required between two wires of different
+    /// nets: `s + s_w` (half-width on each side plus the spacing).
+    #[inline]
+    pub fn wire_clearance(&self) -> Coord {
+        self.min_spacing + self.wire_width
+    }
+
+    /// Edge-to-edge clearance required between shapes of different nets.
+    #[inline]
+    pub fn spacing(&self) -> Coord {
+        self.min_spacing
+    }
+
+    /// Whether all rule values are positive, as required.
+    pub fn is_valid(&self) -> bool {
+        self.min_spacing > 0 && self.wire_width > 0 && self.via_width > 0
+    }
+}
+
+impl Default for DesignRules {
+    fn default() -> Self {
+        Self::info_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let r = DesignRules::default();
+        assert!(r.is_valid());
+        assert_eq!(r.wire_clearance(), 4_000);
+    }
+
+    #[test]
+    fn zero_rules_invalid() {
+        let r = DesignRules { min_spacing: 0, wire_width: 1, via_width: 1 };
+        assert!(!r.is_valid());
+    }
+}

@@ -1,0 +1,199 @@
+//! Layout statistics matching the paper's Table I reporting.
+
+use crate::drc::{self, DrcReport};
+use crate::ids::NetId;
+use crate::layout::Layout;
+use crate::package::Package;
+use crate::NM_PER_UM;
+use std::fmt;
+
+/// Aggregate quality metrics of a layout.
+///
+/// Matches the paper's reporting conventions: routability is the fraction
+/// of pre-assigned nets that are fully routed (connected and
+/// violation-free), and total wirelength counts **only routed nets**
+/// ("the wirelength reported in Table I counts only the routed nets").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutStats {
+    /// Number of pre-assigned nets `|N|`.
+    pub total_nets: usize,
+    /// Nets that are connected and implicated in no DRC violation.
+    pub routed_nets: usize,
+    /// `100 · routed / total`.
+    pub routability_pct: f64,
+    /// Total centerline wirelength of routed nets, in µm.
+    pub total_wirelength_um: f64,
+    /// Number of vias placed (all nets).
+    pub via_count: usize,
+    /// Number of DRC violations of any kind.
+    pub violation_count: usize,
+}
+
+impl LayoutStats {
+    /// Computes statistics, running a full DRC pass internally.
+    pub fn compute(package: &Package, layout: &Layout) -> Self {
+        let report = drc::check(package, layout);
+        Self::from_report(package, layout, &report)
+    }
+
+    /// Computes statistics from an existing DRC report (avoids re-checking).
+    pub fn from_report(package: &Package, layout: &Layout, report: &DrcReport) -> Self {
+        let total = package.nets().len();
+        let routed: Vec<NetId> = package
+            .nets()
+            .iter()
+            .map(|n| n.id)
+            .filter(|&id| layout.has_geometry(id) && !report.dirty_nets().contains(&id))
+            .collect();
+        let wl_nm: f64 = layout.wirelength_over(routed.iter().copied());
+        LayoutStats {
+            total_nets: total,
+            routed_nets: routed.len(),
+            routability_pct: if total == 0 {
+                100.0
+            } else {
+                100.0 * routed.len() as f64 / total as f64
+            },
+            total_wirelength_um: wl_nm / NM_PER_UM,
+            via_count: layout.via_count(),
+            violation_count: report.violations().len(),
+        }
+    }
+
+    /// Whether every net is routed.
+    pub fn fully_routed(&self) -> bool {
+        self.routed_nets == self.total_nets
+    }
+}
+
+/// Per-net routing status for detailed reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetReport {
+    /// The net.
+    pub net: NetId,
+    /// Whether the net counts as routed (connected, violation-free).
+    pub routed: bool,
+    /// Centerline wirelength in µm (0 when no geometry exists).
+    pub wirelength_um: f64,
+    /// Number of vias the net uses.
+    pub via_count: usize,
+    /// Number of planar routes (layer runs).
+    pub route_count: usize,
+}
+
+/// Produces a per-net breakdown from an existing DRC report.
+pub fn net_reports(package: &Package, layout: &Layout, report: &DrcReport) -> Vec<NetReport> {
+    package
+        .nets()
+        .iter()
+        .map(|n| NetReport {
+            net: n.id,
+            routed: layout.has_geometry(n.id) && !report.dirty_nets().contains(&n.id),
+            wirelength_um: layout.net_wirelength(n.id) / NM_PER_UM,
+            via_count: layout.vias_of(n.id).count(),
+            route_count: layout.routes_of(n.id).count(),
+        })
+        .collect()
+}
+
+impl fmt::Display for LayoutStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "routability {:.1}% ({}/{}), wirelength {:.0} µm, {} vias, {} violations",
+            self.routability_pct,
+            self.routed_nets,
+            self.total_nets,
+            self.total_wirelength_um,
+            self.via_count,
+            self.violation_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::WireLayer;
+    use crate::package::PackageBuilder;
+    use crate::rules::DesignRules;
+    use info_geom::{Point, Polyline, Rect};
+
+    fn two_net_package() -> Package {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_000_000, 500_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(50_000, 100_000), Point::new(300_000, 400_000)));
+        let c2 = b.add_chip(Rect::new(Point::new(700_000, 100_000), Point::new(950_000, 400_000)));
+        let a1 = b.add_io_pad(c1, Point::new(250_000, 200_000)).unwrap();
+        let a2 = b.add_io_pad(c2, Point::new(750_000, 200_000)).unwrap();
+        let b1 = b.add_io_pad(c1, Point::new(250_000, 300_000)).unwrap();
+        let b2 = b.add_io_pad(c2, Point::new(750_000, 300_000)).unwrap();
+        b.add_net(a1, a2).unwrap();
+        b.add_net(b1, b2).unwrap();
+        b.build().unwrap()
+    }
+
+    fn pl(pts: &[(i64, i64)]) -> Polyline {
+        Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    #[test]
+    fn half_routed_package() {
+        let pkg = two_net_package();
+        let mut l = Layout::new(&pkg);
+        l.add_route(NetId(0), WireLayer(0), pl(&[(250_000, 200_000), (750_000, 200_000)]));
+        let s = LayoutStats::compute(&pkg, &l);
+        assert_eq!(s.total_nets, 2);
+        assert_eq!(s.routed_nets, 1);
+        assert!((s.routability_pct - 50.0).abs() < 1e-9);
+        // Only the routed net's length counts: 500 µm.
+        assert!((s.total_wirelength_um - 500.0).abs() < 1e-6);
+        assert!(!s.fully_routed());
+    }
+
+    #[test]
+    fn fully_routed_package() {
+        let pkg = two_net_package();
+        let mut l = Layout::new(&pkg);
+        l.add_route(NetId(0), WireLayer(0), pl(&[(250_000, 200_000), (750_000, 200_000)]));
+        l.add_route(NetId(1), WireLayer(0), pl(&[(250_000, 300_000), (750_000, 300_000)]));
+        let s = LayoutStats::compute(&pkg, &l);
+        assert!(s.fully_routed());
+        assert_eq!(s.violation_count, 0);
+        assert!((s.total_wirelength_um - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_net_breakdown() {
+        let pkg = two_net_package();
+        let mut l = Layout::new(&pkg);
+        l.add_route(NetId(0), WireLayer(0), pl(&[(250_000, 200_000), (750_000, 200_000)]));
+        let report = crate::drc::check(&pkg, &l);
+        let nets = net_reports(&pkg, &l, &report);
+        assert_eq!(nets.len(), 2);
+        assert!(nets[0].routed);
+        assert!((nets[0].wirelength_um - 500.0).abs() < 1e-6);
+        assert_eq!(nets[0].route_count, 1);
+        assert!(!nets[1].routed);
+        assert_eq!(nets[1].wirelength_um, 0.0);
+    }
+
+    #[test]
+    fn violating_net_does_not_count_as_routed() {
+        let pkg = two_net_package();
+        let mut l = Layout::new(&pkg);
+        l.add_route(NetId(0), WireLayer(0), pl(&[(250_000, 200_000), (750_000, 200_000)]));
+        // Net 1 crosses net 0: both become dirty.
+        l.add_route(
+            NetId(1),
+            WireLayer(0),
+            pl(&[(250_000, 300_000), (350_000, 200_000), (450_000, 100_000), (750_000, 100_000)]),
+        );
+        let s = LayoutStats::compute(&pkg, &l);
+        assert_eq!(s.routed_nets, 0, "crossing taints both nets");
+        assert!(s.violation_count > 0);
+    }
+}

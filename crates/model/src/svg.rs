@@ -1,0 +1,170 @@
+//! SVG rendering of packages and layouts for visual inspection.
+
+use crate::layout::Layout;
+use crate::package::Package;
+use info_geom::{Octagon, Rect};
+use std::fmt::Write as _;
+
+/// Per-wire-layer stroke colors (cycled when layers exceed the palette).
+const LAYER_COLORS: [&str; 6] = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+
+/// Renders the package and (optionally) its layout as an SVG document.
+///
+/// Chips are gray boxes, I/O pads dark squares, bump pads octagons,
+/// obstacles hatched gray, routes colored per layer, vias black octagons.
+///
+/// # Example
+///
+/// ```
+/// use info_geom::{Point, Rect};
+/// use info_model::{DesignRules, PackageBuilder, Layout, svg};
+/// # fn main() -> Result<(), info_model::BuildError> {
+/// let mut b = PackageBuilder::new(
+///     Rect::new(Point::new(0, 0), Point::new(100_000, 100_000)),
+///     DesignRules::default(), 1);
+/// let pkg = b.build()?;
+/// let doc = svg::render(&pkg, Some(&Layout::new(&pkg)));
+/// assert!(doc.starts_with("<svg"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(package: &Package, layout: Option<&Layout>) -> String {
+    let die = package.die();
+    let (w, h) = (die.width(), die.height());
+    // Scale to a ~1000 px canvas.
+    let scale = 1_000.0 / w.max(h).max(1) as f64;
+    let px = |v: i64| v as f64 * scale;
+    // SVG y grows downward; flip.
+    let fy = |y: i64| (die.hi.y - y) as f64 * scale;
+    let fx = |x: i64| (x - die.lo.x) as f64 * scale;
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {:.1} {:.1}\">",
+        px(w),
+        px(h)
+    );
+    let _ = write!(
+        s,
+        "<rect x=\"0\" y=\"0\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#fbfaf6\" stroke=\"#444\"/>",
+        px(w),
+        px(h)
+    );
+
+    let rect_el = |s: &mut String, r: Rect, fill: &str, stroke: &str, opacity: f64| {
+        let _ = write!(
+            s,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{}\" stroke=\"{}\" fill-opacity=\"{}\"/>",
+            fx(r.lo.x),
+            fy(r.hi.y),
+            px(r.width()),
+            px(r.height()),
+            fill,
+            stroke,
+            opacity
+        );
+    };
+    let oct_el = |s: &mut String, o: &Octagon, fill: &str, opacity: f64| {
+        if o.is_empty() {
+            return;
+        }
+        let pts: Vec<String> =
+            o.vertices().iter().map(|p| format!("{:.1},{:.1}", fx(p.x), fy(p.y))).collect();
+        let _ = write!(
+            s,
+            "<polygon points=\"{}\" fill=\"{}\" fill-opacity=\"{}\" stroke=\"#222\" stroke-width=\"0.3\"/>",
+            pts.join(" "),
+            fill,
+            opacity
+        );
+    };
+
+    for chip in package.chips() {
+        rect_el(&mut s, chip.outline, "#d9d4c7", "#777", 0.9);
+    }
+    for o in package.obstacles() {
+        rect_el(&mut s, o.rect, "#8a8578", "#555", 0.7);
+    }
+    for p in package.pads() {
+        if p.is_io() {
+            rect_el(&mut s, p.bbox(), "#35322a", "#000", 1.0);
+        } else {
+            oct_el(&mut s, &p.shape(), "#b5a642", 0.8);
+        }
+    }
+    if let Some(l) = layout {
+        for r in l.routes() {
+            let color = LAYER_COLORS[r.layer.index() % LAYER_COLORS.len()];
+            let pts: Vec<String> = r
+                .path
+                .points()
+                .iter()
+                .map(|p| format!("{:.1},{:.1}", fx(p.x), fy(p.y)))
+                .collect();
+            let width = (package.rules().wire_width as f64 * scale).max(0.6);
+            let _ = write!(
+                s,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{:.2}\" stroke-opacity=\"0.85\"/>",
+                pts.join(" "),
+                color,
+                width
+            );
+        }
+        for v in l.vias() {
+            oct_el(&mut s, &v.shape(), "#111", 0.95);
+        }
+    }
+    s.push_str("</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NetId, WireLayer};
+    use crate::package::PackageBuilder;
+    use crate::rules::DesignRules;
+    use info_geom::{Point, Polyline};
+
+    #[test]
+    fn renders_all_element_kinds() {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(500_000, 500_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c = b.add_chip(Rect::new(Point::new(50_000, 50_000), Point::new(250_000, 250_000)));
+        let io = b.add_io_pad(c, Point::new(100_000, 100_000)).unwrap();
+        let g = b.add_bump_pad(Point::new(400_000, 400_000)).unwrap();
+        b.add_net(io, g).unwrap();
+        b.add_obstacle(WireLayer(0), Rect::new(Point::new(300_000, 50_000), Point::new(350_000, 100_000)))
+            .unwrap();
+        let pkg = b.build().unwrap();
+        let mut l = Layout::new(&pkg);
+        l.add_route(
+            NetId(0),
+            WireLayer(0),
+            Polyline::new(vec![Point::new(100_000, 100_000), Point::new(400_000, 400_000)]),
+        );
+        l.add_via(NetId(0), Point::new(400_000, 400_000), 5_000, WireLayer(0), WireLayer(1), false);
+        let doc = render(&pkg, Some(&l));
+        assert!(doc.contains("<polygon")); // bump pad + via octagons
+        assert!(doc.contains("<polyline")); // route
+        assert!(doc.matches("<rect").count() >= 4); // bg, chip, obstacle, io pad
+        assert!(doc.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn package_only_render() {
+        let b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(100_000, 50_000)),
+            DesignRules::default(),
+            1,
+        );
+        let pkg = b.build().unwrap();
+        let doc = render(&pkg, None);
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Deeper DRC scenarios: stacked vias, three-layer chains, via-via
+//! spacing, netless-pad blockage semantics.
+
+use info_geom::{Point, Polyline, Rect};
+use info_model::{
+    drc, DesignRules, Layout, NetId, PackageBuilder, WireLayer,
+};
+
+fn pl(pts: &[(i64, i64)]) -> Polyline {
+    Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+}
+
+fn three_layer_package() -> (info_model::Package, NetId) {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_000_000, 600_000)),
+        DesignRules::default(),
+        3,
+    );
+    let chip = b.add_chip(Rect::new(Point::new(100_000, 150_000), Point::new(350_000, 450_000)));
+    let io = b.add_io_pad(chip, Point::new(330_000, 300_000)).unwrap();
+    let bump = b.add_bump_pad(Point::new(800_000, 300_000)).unwrap();
+    let net = b.add_net(io, bump).unwrap();
+    (b.build().unwrap(), net)
+}
+
+#[test]
+fn stacked_via_connects_through_three_layers() {
+    let (pkg, net) = three_layer_package();
+    let mut l = Layout::new(&pkg);
+    // Wire on top to x = 500k, stacked via 0..2, nothing on layer 1.
+    l.add_route(net, WireLayer(0), pl(&[(330_000, 300_000), (500_000, 300_000)]));
+    l.add_via(net, Point::new(500_000, 300_000), 5_000, WireLayer(0), WireLayer(2), false);
+    l.add_route(net, WireLayer(2), pl(&[(500_000, 300_000), (800_000, 300_000)]));
+    assert!(drc::is_connected(&pkg, &l, net));
+    assert!(drc::check(&pkg, &l).is_clean());
+}
+
+#[test]
+fn chain_of_single_layer_vias_also_connects() {
+    let (pkg, net) = three_layer_package();
+    let mut l = Layout::new(&pkg);
+    l.add_route(net, WireLayer(0), pl(&[(330_000, 300_000), (500_000, 300_000)]));
+    l.add_via(net, Point::new(500_000, 300_000), 5_000, WireLayer(0), WireLayer(1), false);
+    l.add_route(net, WireLayer(1), pl(&[(500_000, 300_000), (650_000, 300_000)]));
+    l.add_via(net, Point::new(650_000, 300_000), 5_000, WireLayer(1), WireLayer(2), false);
+    l.add_route(net, WireLayer(2), pl(&[(650_000, 300_000), (800_000, 300_000)]));
+    assert!(drc::is_connected(&pkg, &l, net));
+    assert!(drc::check(&pkg, &l).is_clean());
+}
+
+#[test]
+fn disjoint_via_spans_do_not_connect() {
+    let (pkg, net) = three_layer_package();
+    let mut l = Layout::new(&pkg);
+    l.add_route(net, WireLayer(0), pl(&[(330_000, 300_000), (500_000, 300_000)]));
+    // Via 0..1 at x=500k, then via 1..2 at a DIFFERENT x with no layer-1
+    // wire between them: broken chain.
+    l.add_via(net, Point::new(500_000, 300_000), 5_000, WireLayer(0), WireLayer(1), false);
+    l.add_via(net, Point::new(650_000, 300_000), 5_000, WireLayer(1), WireLayer(2), false);
+    l.add_route(net, WireLayer(2), pl(&[(650_000, 300_000), (800_000, 300_000)]));
+    assert!(!drc::is_connected(&pkg, &l, net));
+}
+
+#[test]
+fn overlapping_via_spans_connect_without_wire() {
+    let (pkg, net) = three_layer_package();
+    let mut l = Layout::new(&pkg);
+    l.add_route(net, WireLayer(0), pl(&[(330_000, 300_000), (500_000, 300_000)]));
+    // Two vias whose octagons overlap and whose spans share layer 1.
+    l.add_via(net, Point::new(500_000, 300_000), 5_000, WireLayer(0), WireLayer(1), false);
+    l.add_via(net, Point::new(502_000, 300_000), 5_000, WireLayer(1), WireLayer(2), false);
+    l.add_route(net, WireLayer(2), pl(&[(502_000, 300_000), (800_000, 300_000)]));
+    assert!(drc::is_connected(&pkg, &l, net));
+}
+
+#[test]
+fn via_via_spacing_between_nets() {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_000_000, 600_000)),
+        DesignRules::default(),
+        2,
+    );
+    let chip = b.add_chip(Rect::new(Point::new(100_000, 150_000), Point::new(350_000, 450_000)));
+    let a1 = b.add_io_pad(chip, Point::new(330_000, 250_000)).unwrap();
+    let g1 = b.add_bump_pad(Point::new(800_000, 250_000)).unwrap();
+    let a2 = b.add_io_pad(chip, Point::new(330_000, 350_000)).unwrap();
+    let g2 = b.add_bump_pad(Point::new(800_000, 350_000)).unwrap();
+    let n1 = b.add_net(a1, g1).unwrap();
+    let n2 = b.add_net(a2, g2).unwrap();
+    let pkg = b.build().unwrap();
+
+    // Vias 5 µm wide, 2 µm spacing rule: centers 6 µm apart violate
+    // (edge gap 1 µm); centers 8 µm apart are legal (gap 3 µm).
+    let mut tight = Layout::new(&pkg);
+    tight.add_via(n1, Point::new(500_000, 300_000), 5_000, WireLayer(0), WireLayer(1), false);
+    tight.add_via(n2, Point::new(506_000, 300_000), 5_000, WireLayer(0), WireLayer(1), false);
+    let rep = drc::check(&pkg, &tight);
+    assert!(
+        rep.violations().iter().any(|v| matches!(v, drc::Violation::Spacing { .. })),
+        "{:#?}",
+        rep.violations()
+    );
+
+    let mut ok = Layout::new(&pkg);
+    ok.add_via(n1, Point::new(500_000, 300_000), 5_000, WireLayer(0), WireLayer(1), false);
+    ok.add_via(n2, Point::new(508_000, 300_000), 5_000, WireLayer(0), WireLayer(1), false);
+    let rep = drc::check(&pkg, &ok);
+    assert!(
+        !rep.violations().iter().any(|v| matches!(v, drc::Violation::Spacing { .. })),
+        "{:#?}",
+        rep.violations()
+    );
+}
+
+#[test]
+fn vias_on_disjoint_layers_do_not_interact() {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_000_000, 600_000)),
+        DesignRules::default(),
+        4,
+    );
+    let chip = b.add_chip(Rect::new(Point::new(100_000, 150_000), Point::new(350_000, 450_000)));
+    let a1 = b.add_io_pad(chip, Point::new(330_000, 250_000)).unwrap();
+    let g1 = b.add_bump_pad(Point::new(800_000, 250_000)).unwrap();
+    let a2 = b.add_io_pad(chip, Point::new(330_000, 350_000)).unwrap();
+    let g2 = b.add_bump_pad(Point::new(800_000, 350_000)).unwrap();
+    let n1 = b.add_net(a1, g1).unwrap();
+    let n2 = b.add_net(a2, g2).unwrap();
+    let pkg = b.build().unwrap();
+    // Same x/y position, but spans 0..1 and 2..3: no shared layer.
+    let mut l = Layout::new(&pkg);
+    l.add_via(n1, Point::new(500_000, 300_000), 5_000, WireLayer(0), WireLayer(1), false);
+    l.add_via(n2, Point::new(500_000, 300_000), 5_000, WireLayer(2), WireLayer(3), false);
+    let rep = drc::check(&pkg, &l);
+    assert!(
+        !rep.violations().iter().any(|v| matches!(v, drc::Violation::Spacing { .. })),
+        "{:#?}",
+        rep.violations()
+    );
+}
+
+#[test]
+fn unconnected_pads_block_foreign_wires() {
+    // A pad with no net still demands spacing from nets' wires (it is
+    // input blockage), while two netless items ignore each other.
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_000_000, 600_000)),
+        DesignRules::default(),
+        1,
+    );
+    let chip = b.add_chip(Rect::new(Point::new(100_000, 150_000), Point::new(350_000, 450_000)));
+    let a1 = b.add_io_pad(chip, Point::new(330_000, 250_000)).unwrap();
+    let a2 = b.add_io_pad(chip, Point::new(330_000, 350_000)).unwrap();
+    let _unused = b.add_io_pad(chip, Point::new(200_000, 300_000)).unwrap();
+    let net = b.add_net(a1, a2).unwrap();
+    let pkg = b.build().unwrap();
+    let mut l = Layout::new(&pkg);
+    // Wire passing within 1 µm of the unused pad's edge.
+    l.add_route(
+        net,
+        WireLayer(0),
+        pl(&[(330_000, 250_000), (250_000, 250_000), (205_000, 295_000)]),
+    );
+    let rep = drc::check(&pkg, &l);
+    assert!(
+        rep.violations().iter().any(|v| matches!(v, drc::Violation::Spacing { .. })),
+        "{:#?}",
+        rep.violations()
+    );
+}

@@ -1,0 +1,91 @@
+//! Exhaustive MPSC oracle for testing.
+
+use crate::circular::{chords_cross, Chord};
+
+/// Finds a maximum-weight planar subset by enumerating all 2^|chords|
+/// subsets. Exact but exponential — test oracle only.
+///
+/// # Panics
+///
+/// Panics if more than 20 chords are supplied.
+pub fn brute_force_max_planar(chords: &[Chord]) -> Vec<usize> {
+    assert!(chords.len() <= 20, "brute force limited to 20 chords");
+    let n = chords.len();
+    let mut best_mask = 0usize;
+    let mut best_weight = -1.0f64;
+    for mask in 0..(1usize << n) {
+        let mut ok = true;
+        let mut weight = 0.0;
+        'pairs: for i in 0..n {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            weight += chords[i].weight;
+            for j in (i + 1)..n {
+                if mask & (1 << j) != 0 && chords_cross(&chords[i], &chords[j]) {
+                    ok = false;
+                    break 'pairs;
+                }
+            }
+        }
+        if ok && weight > best_weight {
+            best_weight = weight;
+            best_mask = mask;
+        }
+    }
+    (0..n).filter(|i| best_mask & (1 << i) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_planar_subset;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn oracle_simple() {
+        let chords = vec![Chord::new(0, 2, 1.0), Chord::new(1, 3, 5.0)];
+        assert_eq!(brute_force_max_planar(&chords), vec![1]);
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_random_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        for trial in 0..300 {
+            let n_points = rng.gen_range(2..18);
+            let max_chords = (n_points / 2).min(9);
+            let n_chords = rng.gen_range(0..=max_chords);
+            // Draw disjoint endpoint pairs.
+            let mut points: Vec<usize> = (0..n_points).collect();
+            for i in (1..points.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                points.swap(i, j);
+            }
+            let chords: Vec<Chord> = (0..n_chords)
+                .map(|k| {
+                    let w = if rng.gen_bool(0.3) {
+                        1.0
+                    } else {
+                        rng.gen_range(0.0..4.0)
+                    };
+                    Chord::new(points[2 * k], points[2 * k + 1], w)
+                })
+                .collect();
+            let dp = max_planar_subset(n_points, &chords).expect("valid instance");
+            let bf = brute_force_max_planar(&chords);
+            let w = |sel: &[usize]| -> f64 { sel.iter().map(|&i| chords[i].weight).sum() };
+            assert!(
+                (w(&dp) - w(&bf)).abs() < 1e-9,
+                "trial {trial}: dp weight {} != brute force {} (n={n_points}, chords={chords:?})",
+                w(&dp),
+                w(&bf)
+            );
+            // DP selection must itself be planar.
+            for (x, &i) in dp.iter().enumerate() {
+                for &j in &dp[x + 1..] {
+                    assert!(!chords_cross(&chords[i], &chords[j]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Chords on the circular model.
+
+use std::fmt;
+
+/// A chord of the circle connecting two distinct boundary points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chord {
+    /// Smaller endpoint label.
+    pub a: usize,
+    /// Larger endpoint label.
+    pub b: usize,
+    /// Selection weight (the paper's Eq. (2)); must be finite and
+    /// non-negative.
+    pub weight: f64,
+}
+
+impl Chord {
+    /// A chord with explicit weight. Endpoints are normalized so `a < b`.
+    pub fn new(a: usize, b: usize, weight: f64) -> Self {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        Chord { a, b, weight }
+    }
+
+    /// A unit-weight chord (Supowit's cardinality objective).
+    pub fn unit(a: usize, b: usize) -> Self {
+        Chord::new(a, b, 1.0)
+    }
+}
+
+/// Whether two chords cross strictly inside the circle.
+///
+/// With endpoints normalized (`a < b`), chords `(a, b)` and `(c, d)` cross
+/// iff exactly one of `c, d` lies strictly between `a` and `b`. Chords
+/// sharing an endpoint do not cross.
+pub fn chords_cross(x: &Chord, y: &Chord) -> bool {
+    let inside = |p: usize, c: &Chord| p > c.a && p < c.b;
+    if x.a == y.a || x.a == y.b || x.b == y.a || x.b == y.b {
+        return false;
+    }
+    inside(y.a, x) != inside(y.b, x)
+}
+
+/// Validation failures for a chord set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpscError {
+    /// A chord endpoint is ≥ the number of circle points.
+    EndpointOutOfRange {
+        /// Offending chord index.
+        chord: usize,
+    },
+    /// A chord connects a point to itself.
+    DegenerateChord {
+        /// Offending chord index.
+        chord: usize,
+    },
+    /// Two chords share a boundary point (each fan-out access point hosts
+    /// exactly one net).
+    SharedEndpoint {
+        /// The shared circle point.
+        point: usize,
+    },
+    /// A weight is negative, NaN, or infinite.
+    BadWeight {
+        /// Offending chord index.
+        chord: usize,
+    },
+}
+
+impl fmt::Display for MpscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpscError::EndpointOutOfRange { chord } => {
+                write!(f, "chord {chord} has an endpoint outside the circle")
+            }
+            MpscError::DegenerateChord { chord } => write!(f, "chord {chord} is degenerate"),
+            MpscError::SharedEndpoint { point } => {
+                write!(f, "two chords share circle point {point}")
+            }
+            MpscError::BadWeight { chord } => write!(f, "chord {chord} has an invalid weight"),
+        }
+    }
+}
+
+impl std::error::Error for MpscError {}
+
+/// Validates a chord set against a circle of `n_points` points.
+pub(crate) fn validate(n_points: usize, chords: &[Chord]) -> Result<(), MpscError> {
+    let mut seen = vec![false; n_points];
+    for (ci, c) in chords.iter().enumerate() {
+        if c.a >= n_points || c.b >= n_points {
+            return Err(MpscError::EndpointOutOfRange { chord: ci });
+        }
+        if c.a == c.b {
+            return Err(MpscError::DegenerateChord { chord: ci });
+        }
+        if !c.weight.is_finite() || c.weight < 0.0 {
+            return Err(MpscError::BadWeight { chord: ci });
+        }
+        for p in [c.a, c.b] {
+            if seen[p] {
+                return Err(MpscError::SharedEndpoint { point: p });
+            }
+            seen[p] = true;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_predicate() {
+        assert!(chords_cross(&Chord::unit(0, 2), &Chord::unit(1, 3)));
+        assert!(!chords_cross(&Chord::unit(0, 3), &Chord::unit(1, 2))); // nested
+        assert!(!chords_cross(&Chord::unit(0, 1), &Chord::unit(2, 3))); // disjoint
+        assert!(!chords_cross(&Chord::unit(0, 2), &Chord::unit(2, 4))); // shared pt
+        // Symmetry.
+        assert!(chords_cross(&Chord::unit(1, 3), &Chord::unit(0, 2)));
+    }
+
+    #[test]
+    fn normalization() {
+        let c = Chord::new(7, 2, 1.5);
+        assert_eq!((c.a, c.b), (2, 7));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            validate(3, &[Chord::unit(0, 5)]),
+            Err(MpscError::EndpointOutOfRange { chord: 0 })
+        );
+        assert_eq!(
+            validate(3, &[Chord::unit(1, 1)]),
+            Err(MpscError::DegenerateChord { chord: 0 })
+        );
+        assert_eq!(
+            validate(5, &[Chord::unit(0, 2), Chord::unit(2, 4)]),
+            Err(MpscError::SharedEndpoint { point: 2 })
+        );
+        assert_eq!(
+            validate(4, &[Chord::new(0, 1, f64::NAN)]),
+            Err(MpscError::BadWeight { chord: 0 })
+        );
+        assert_eq!(
+            validate(4, &[Chord::new(0, 1, -1.0)]),
+            Err(MpscError::BadWeight { chord: 0 })
+        );
+        assert!(validate(4, &[Chord::unit(0, 2), Chord::unit(1, 3)]).is_ok());
+    }
+}

@@ -1,0 +1,125 @@
+//! Multi-layer assignment by iterated MPSC peeling.
+
+use crate::circular::{Chord, MpscError};
+use crate::max_planar_subset;
+
+/// Result of peeling chords into planar layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerAssignment {
+    /// `layers[k]` holds the chord indices assigned to layer `k`.
+    pub layers: Vec<Vec<usize>>,
+    /// Chords that did not fit in any layer.
+    pub unassigned: Vec<usize>,
+}
+
+impl LayerAssignment {
+    /// Total number of chords assigned to some layer.
+    pub fn assigned_count(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// Layer of a chord, if assigned.
+    pub fn layer_of(&self, chord: usize) -> Option<usize> {
+        self.layers.iter().position(|l| l.contains(&chord))
+    }
+}
+
+/// Repeatedly extracts a maximum-weight planar subset of the remaining
+/// chords, one wire layer at a time (§III-B1 runs this per RDL).
+///
+/// ```
+/// use info_mpsc::{peel_layers, Chord};
+/// // Two crossing chords need two layers.
+/// let chords = [Chord::unit(0, 2), Chord::unit(1, 3)];
+/// let asg = peel_layers(4, &chords, 2).unwrap();
+/// assert_eq!(asg.layers.len(), 2);
+/// assert!(asg.unassigned.is_empty());
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`MpscError`] from chord validation.
+pub fn peel_layers(
+    n_points: usize,
+    chords: &[Chord],
+    max_layers: usize,
+) -> Result<LayerAssignment, MpscError> {
+    let mut remaining: Vec<usize> = (0..chords.len()).collect();
+    let mut layers = Vec::new();
+    for _ in 0..max_layers {
+        if remaining.is_empty() {
+            break;
+        }
+        let sub: Vec<Chord> = remaining.iter().map(|&i| chords[i]).collect();
+        let picked_local = max_planar_subset(n_points, &sub)?;
+        if picked_local.is_empty() {
+            break;
+        }
+        let picked: Vec<usize> = picked_local.iter().map(|&k| remaining[k]).collect();
+        let picked_set: std::collections::BTreeSet<usize> = picked.iter().copied().collect();
+        remaining.retain(|i| !picked_set.contains(i));
+        layers.push(picked);
+    }
+    Ok(LayerAssignment { layers, unassigned: remaining })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circular::chords_cross;
+
+    #[test]
+    fn pairwise_crossing_chords_need_one_layer_each() {
+        // Three mutually crossing chords on 6 points:
+        // (0,3), (1,4), (2,5) pairwise cross (the paper's Fig. 2 pattern).
+        let chords = vec![Chord::unit(0, 3), Chord::unit(1, 4), Chord::unit(2, 5)];
+        for (i, a) in chords.iter().enumerate() {
+            for b in &chords[i + 1..] {
+                assert!(chords_cross(a, b));
+            }
+        }
+        let asg = peel_layers(6, &chords, 3).unwrap();
+        assert_eq!(asg.layers.len(), 3);
+        assert_eq!(asg.assigned_count(), 3);
+        assert!(asg.unassigned.is_empty());
+        // With only 2 layers one chord is left over.
+        let asg2 = peel_layers(6, &chords, 2).unwrap();
+        assert_eq!(asg2.assigned_count(), 2);
+        assert_eq!(asg2.unassigned.len(), 1);
+    }
+
+    #[test]
+    fn planar_set_fits_one_layer() {
+        let chords = vec![Chord::unit(0, 5), Chord::unit(1, 2), Chord::unit(3, 4)];
+        let asg = peel_layers(6, &chords, 4).unwrap();
+        assert_eq!(asg.layers.len(), 1);
+        assert_eq!(asg.layers[0].len(), 3);
+    }
+
+    #[test]
+    fn layer_of_lookup() {
+        let chords = vec![Chord::unit(0, 2), Chord::unit(1, 3)];
+        let asg = peel_layers(4, &chords, 2).unwrap();
+        let l0 = asg.layer_of(0).unwrap();
+        let l1 = asg.layer_of(1).unwrap();
+        assert_ne!(l0, l1);
+        assert_eq!(asg.layer_of(99), None);
+    }
+
+    #[test]
+    fn zero_layers_assigns_nothing() {
+        let chords = vec![Chord::unit(0, 1)];
+        let asg = peel_layers(2, &chords, 0).unwrap();
+        assert!(asg.layers.is_empty());
+        assert_eq!(asg.unassigned, vec![0]);
+    }
+
+    #[test]
+    fn weights_steer_early_layers() {
+        // Crossing pair: heavy chord goes to layer 0.
+        let chords = vec![Chord::new(0, 2, 0.1), Chord::new(1, 3, 9.0)];
+        let asg = peel_layers(4, &chords, 2).unwrap();
+        assert_eq!(asg.layers[0], vec![1]);
+        assert_eq!(asg.layers[1], vec![0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for multi-layer peeling.
+
+use info_mpsc::{chords_cross, max_planar_subset, peel_layers, Chord};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn random_chords(seed: u64, n_points: usize) -> Vec<Chord> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut points: Vec<usize> = (0..n_points).collect();
+    for i in (1..points.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        points.swap(i, j);
+    }
+    points
+        .chunks(2)
+        .filter(|c| c.len() == 2)
+        .map(|c| Chord::new(c[0], c[1], rng.gen_range(0.1..5.0)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every layer produced by peeling is itself planar, layers are
+    /// disjoint, and with enough layers everything gets assigned.
+    #[test]
+    fn peeling_invariants(seed in 0u64..10_000, n_points in 4usize..40) {
+        let chords = random_chords(seed, n_points);
+        let max_layers = chords.len().max(1);
+        let asg = peel_layers(n_points, &chords, max_layers).expect("valid instance");
+        // Disjoint cover.
+        let mut seen = std::collections::BTreeSet::new();
+        for layer in &asg.layers {
+            for &c in layer {
+                prop_assert!(seen.insert(c), "chord {c} assigned twice");
+            }
+        }
+        prop_assert_eq!(seen.len() + asg.unassigned.len(), chords.len());
+        // With one layer per chord available, nothing is left over.
+        prop_assert!(asg.unassigned.is_empty(), "{:?}", asg);
+        // Planarity per layer.
+        for layer in &asg.layers {
+            for (i, &a) in layer.iter().enumerate() {
+                for &b in &layer[i + 1..] {
+                    prop_assert!(!chords_cross(&chords[a], &chords[b]));
+                }
+            }
+        }
+        // Greedy property: the first layer carries at least as much weight
+        // as any later one.
+        let weight = |ids: &Vec<usize>| ids.iter().map(|&i| chords[i].weight).sum::<f64>();
+        for w in asg.layers.windows(2) {
+            prop_assert!(weight(&w[0]) >= weight(&w[1]) - 1e-9);
+        }
+    }
+
+    /// The DP solution's weight is never below any single-chord weight and
+    /// never above the total weight.
+    #[test]
+    fn dp_weight_bounds(seed in 0u64..10_000, n_points in 2usize..30) {
+        let chords = random_chords(seed, n_points);
+        if chords.is_empty() {
+            return Ok(());
+        }
+        let picked = max_planar_subset(n_points, &chords).expect("valid");
+        let w: f64 = picked.iter().map(|&i| chords[i].weight).sum();
+        let max_single = chords.iter().map(|c| c.weight).fold(0.0f64, f64::max);
+        let total: f64 = chords.iter().map(|c| c.weight).sum();
+        prop_assert!(w + 1e-9 >= max_single, "solution ({w}) beats any single chord");
+        prop_assert!(w <= total + 1e-9);
+    }
+}

@@ -1,0 +1,234 @@
+//! The fan-out grid graph: adjacency with boundary capacities and MST.
+
+use info_geom::{euclid, Coord, Rect};
+
+/// Adjacency graph over rectangular cells (fan-out grids).
+///
+/// Two cells are adjacent when they share a boundary segment of positive
+/// length; the edge records the shared length, from which the paper's
+/// capacity `cap(e)` — the number of wires that can simultaneously cross
+/// the border — is derived by dividing by the wire pitch.
+#[derive(Debug, Clone)]
+pub struct CellGraph {
+    cells: Vec<Rect>,
+    /// `adj[i]` = list of `(neighbor, shared boundary length)`.
+    adj: Vec<Vec<(usize, Coord)>>,
+}
+
+/// An edge of the MST over the cell graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MstEdge {
+    /// One endpoint (cell index).
+    pub a: usize,
+    /// Other endpoint (cell index).
+    pub b: usize,
+    /// Center-to-center Euclidean length, used as the detour metric.
+    pub length: f64,
+    /// Shared boundary length in nm (capacity numerator).
+    pub shared: Coord,
+}
+
+impl CellGraph {
+    /// Builds adjacency over the given cells.
+    pub fn build(cells: Vec<Rect>) -> Self {
+        let n = cells.len();
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (cells[i], cells[j]);
+                let shared = shared_boundary(a, b);
+                if shared > 0 {
+                    adj[i].push((j, shared));
+                    adj[j].push((i, shared));
+                }
+            }
+        }
+        CellGraph { cells, adj }
+    }
+
+    /// The cells.
+    pub fn cells(&self) -> &[Rect] {
+        &self.cells
+    }
+
+    /// Neighbors of a cell with shared boundary lengths.
+    pub fn neighbors(&self, i: usize) -> &[(usize, Coord)] {
+        &self.adj[i]
+    }
+
+    /// Index of the cell containing a point (ties broken by lowest index).
+    pub fn cell_containing(&self, p: info_geom::Point) -> Option<usize> {
+        self.cells.iter().position(|c| c.contains(p))
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the graph has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Prim's MST over the connected component containing cell 0 (the
+    /// fan-out region is connected in practice; stray components simply
+    /// stay out of the tree and their nets fall back to sequential
+    /// routing).
+    pub fn mst(&self) -> Vec<MstEdge> {
+        if self.cells.is_empty() {
+            return Vec::new();
+        }
+        let n = self.cells.len();
+        let mut in_tree = vec![false; n];
+        let mut edges = Vec::with_capacity(n.saturating_sub(1));
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, usize, Coord)>> =
+            std::collections::BinaryHeap::new();
+        let push_edges = |from: usize,
+                          heap: &mut std::collections::BinaryHeap<
+            std::cmp::Reverse<(u64, usize, usize, Coord)>,
+        >| {
+            for &(to, shared) in &self.adj[from] {
+                let w = euclid(self.cells[from].center(), self.cells[to].center());
+                heap.push(std::cmp::Reverse((w.to_bits(), from, to, shared)));
+            }
+        };
+        in_tree[0] = true;
+        push_edges(0, &mut heap);
+        while let Some(std::cmp::Reverse((wbits, from, to, shared))) = heap.pop() {
+            if in_tree[to] {
+                continue;
+            }
+            in_tree[to] = true;
+            edges.push(MstEdge { a: from, b: to, length: f64::from_bits(wbits), shared });
+            push_edges(to, &mut heap);
+        }
+        edges
+    }
+
+    /// Path between two cells along the MST, as a cell-index sequence.
+    /// Returns `None` when the cells are in different components.
+    pub fn mst_path(&self, mst: &[MstEdge], from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let n = self.cells.len();
+        let mut tree_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in mst {
+            tree_adj[e.a].push(e.b);
+            tree_adj[e.b].push(e.a);
+        }
+        // BFS on the tree.
+        let mut parent = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::from([from]);
+        parent[from] = from;
+        while let Some(u) = queue.pop_front() {
+            if u == to {
+                break;
+            }
+            for &v in &tree_adj[u] {
+                if parent[v] == usize::MAX {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[to] == usize::MAX {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = parent[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Length of the shared boundary between two disjoint-interior rectangles
+/// (zero when they only touch at a corner or not at all).
+fn shared_boundary(a: Rect, b: Rect) -> Coord {
+    if a.hi.x == b.lo.x || b.hi.x == a.lo.x {
+        // Side-by-side: vertical overlap.
+        (a.hi.y.min(b.hi.y) - a.lo.y.max(b.lo.y)).max(0)
+    } else if a.hi.y == b.lo.y || b.hi.y == a.lo.y {
+        (a.hi.x.min(b.hi.x) - a.lo.x.max(b.lo.x)).max(0)
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use info_geom::Point;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn adjacency_with_shared_lengths() {
+        // Three cells: two side by side, one on top of the first.
+        let g = CellGraph::build(vec![r(0, 0, 10, 10), r(10, 0, 20, 10), r(0, 10, 10, 20)]);
+        assert_eq!(g.neighbors(0), &[(1, 10), (2, 10)]);
+        assert_eq!(g.neighbors(1), &[(0, 10)]);
+        assert_eq!(g.neighbors(2), &[(0, 10)]);
+    }
+
+    #[test]
+    fn corner_touch_is_not_adjacent() {
+        let g = CellGraph::build(vec![r(0, 0, 10, 10), r(10, 10, 20, 20)]);
+        assert!(g.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn partial_overlap_boundary() {
+        let g = CellGraph::build(vec![r(0, 0, 10, 10), r(10, 5, 20, 25)]);
+        assert_eq!(g.neighbors(0), &[(1, 5)]);
+    }
+
+    #[test]
+    fn mst_spans_connected_cells() {
+        // A 2x2 grid of cells: MST has 3 edges.
+        let g = CellGraph::build(vec![
+            r(0, 0, 10, 10),
+            r(10, 0, 20, 10),
+            r(0, 10, 10, 20),
+            r(10, 10, 20, 20),
+        ]);
+        let mst = g.mst();
+        assert_eq!(mst.len(), 3);
+        // Path between diagonal corners has 3 cells (through a shared
+        // neighbor) or 4 depending on tree shape; must exist either way.
+        let path = g.mst_path(&mst, 0, 3).unwrap();
+        assert_eq!(*path.first().unwrap(), 0);
+        assert_eq!(*path.last().unwrap(), 3);
+        assert!(path.len() >= 2 && path.len() <= 4);
+    }
+
+    #[test]
+    fn mst_path_same_cell() {
+        let g = CellGraph::build(vec![r(0, 0, 10, 10)]);
+        assert_eq!(g.mst_path(&[], 0, 0), Some(vec![0]));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let g = CellGraph::build(vec![r(0, 0, 10, 10), r(50, 50, 60, 60)]);
+        let mst = g.mst();
+        assert!(mst.is_empty());
+        assert_eq!(g.mst_path(&mst, 0, 1), None);
+    }
+
+    #[test]
+    fn cell_containing_points() {
+        let g = CellGraph::build(vec![r(0, 0, 10, 10), r(10, 0, 20, 10)]);
+        assert_eq!(g.cell_containing(Point::new(5, 5)), Some(0));
+        assert_eq!(g.cell_containing(Point::new(15, 5)), Some(1));
+        assert_eq!(g.cell_containing(Point::new(10, 5)), Some(0)); // boundary tie → lowest
+        assert_eq!(g.cell_containing(Point::new(99, 99)), None);
+    }
+}

@@ -1,0 +1,310 @@
+//! Minimum-cost maximum-flow, the classic substrate of free-assignment
+//! RDL routing (Fang et al. \[4\], Lin et al. \[11\]).
+//!
+//! Successive shortest augmenting paths with Johnson potentials (Bellman–
+//! Ford once for negative edges, then Dijkstra per augmentation). Suitable
+//! for the assignment-sized graphs FA routing produces (thousands of
+//! nodes).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A directed edge of the flow network.
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    cost: i64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// A min-cost max-flow network on `n` nodes.
+///
+/// ```
+/// use info_tile::mcmf::McmfGraph;
+/// // Two unit paths s→t: the cheap one is used first.
+/// let mut g = McmfGraph::new(4);
+/// g.add_edge(0, 1, 1, 1);
+/// g.add_edge(0, 2, 1, 5);
+/// g.add_edge(1, 3, 1, 0);
+/// g.add_edge(2, 3, 1, 0);
+/// let r = g.min_cost_flow(0, 3, i64::MAX);
+/// assert_eq!((r.flow, r.cost), (2, 6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct McmfGraph {
+    graph: Vec<Vec<Edge>>,
+}
+
+/// Result of a flow computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Total flow pushed.
+    pub flow: i64,
+    /// Total cost of that flow.
+    pub cost: i64,
+}
+
+impl McmfGraph {
+    /// Creates an empty network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        McmfGraph { graph: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity and cost;
+    /// returns an identifier usable with [`McmfGraph::flow_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the capacity is negative.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> (usize, usize) {
+        assert!(from < self.graph.len() && to < self.graph.len(), "edge endpoint out of range");
+        assert!(cap >= 0, "negative capacity");
+        let fwd = self.graph[from].len();
+        let rev = self.graph[to].len() + usize::from(from == to);
+        self.graph[from].push(Edge { to, cap, cost, rev });
+        self.graph[to].push(Edge { to: from, cap: 0, cost: -cost, rev: fwd });
+        (from, fwd)
+    }
+
+    /// Flow currently on the edge returned by [`McmfGraph::add_edge`].
+    pub fn flow_on(&self, id: (usize, usize)) -> i64 {
+        let e = &self.graph[id.0][id.1];
+        // Flow = residual capacity of the reverse edge.
+        self.graph[e.to][e.rev].cap
+    }
+
+    /// Computes a minimum-cost flow of at most `limit` units from `s` to
+    /// `t` (pass `i64::MAX` for max-flow).
+    pub fn min_cost_flow(&mut self, s: usize, t: usize, limit: i64) -> FlowResult {
+        let n = self.graph.len();
+        let mut flow = 0i64;
+        let mut cost = 0i64;
+        // Johnson potentials; initialize with Bellman-Ford in case of
+        // negative edge costs.
+        let mut pot = vec![0i64; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for u in 0..n {
+                for e in &self.graph[u] {
+                    if e.cap > 0 && pot[u] + e.cost < pot[e.to] {
+                        pot[e.to] = pot[u] + e.cost;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        while flow < limit {
+            // Dijkstra with potentials.
+            const INF: i64 = i64::MAX / 4;
+            let mut dist = vec![INF; n];
+            let mut prev: Vec<Option<(usize, usize)>> = vec![None; n];
+            let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+            dist[s] = 0;
+            heap.push(Reverse((0, s)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                for (ei, e) in self.graph[u].iter().enumerate() {
+                    if e.cap <= 0 {
+                        continue;
+                    }
+                    let nd = d + e.cost + pot[u] - pot[e.to];
+                    if nd < dist[e.to] {
+                        dist[e.to] = nd;
+                        prev[e.to] = Some((u, ei));
+                        heap.push(Reverse((nd, e.to)));
+                    }
+                }
+            }
+            if dist[t] >= INF {
+                break; // no augmenting path
+            }
+            for v in 0..n {
+                if dist[v] < INF {
+                    pot[v] += dist[v];
+                }
+            }
+            // Bottleneck along the path.
+            let mut push = limit - flow;
+            let mut v = t;
+            while let Some((u, ei)) = prev[v] {
+                push = push.min(self.graph[u][ei].cap);
+                v = u;
+            }
+            // Apply.
+            let mut v = t;
+            while let Some((u, ei)) = prev[v] {
+                let rev = self.graph[u][ei].rev;
+                self.graph[u][ei].cap -= push;
+                cost += self.graph[u][ei].cost * push;
+                self.graph[v][rev].cap += push;
+                v = u;
+            }
+            flow += push;
+        }
+        FlowResult { flow, cost }
+    }
+}
+
+/// Solves a rectangular assignment problem: `cost[i][j]` is the cost of
+/// assigning source `i` to sink `j` (`None` = forbidden). Returns the
+/// per-source sink choice maximizing the number of assignments and, among
+/// those, minimizing total cost.
+pub fn assign_min_cost(costs: &[Vec<Option<i64>>]) -> Vec<Option<usize>> {
+    let n_src = costs.len();
+    let n_snk = costs.first().map_or(0, Vec::len);
+    if n_src == 0 || n_snk == 0 {
+        return vec![None; n_src];
+    }
+    let s = n_src + n_snk;
+    let t = s + 1;
+    let mut g = McmfGraph::new(n_snk + n_src + 2);
+    let mut edge_ids = vec![Vec::new(); n_src];
+    for (i, row) in costs.iter().enumerate() {
+        g.add_edge(s, i, 1, 0);
+        for (j, c) in row.iter().enumerate() {
+            if let Some(c) = c {
+                let id = g.add_edge(i, n_src + j, 1, *c);
+                edge_ids[i].push((j, id));
+            }
+        }
+    }
+    for j in 0..n_snk {
+        g.add_edge(n_src + j, t, 1, 0);
+    }
+    g.min_cost_flow(s, t, i64::MAX);
+    edge_ids
+        .iter()
+        .map(|row| row.iter().find(|(_, id)| g.flow_on(*id) > 0).map(|(j, _)| *j))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_max_flow() {
+        // s -> a -> t and s -> b -> t, unit capacities.
+        let mut g = McmfGraph::new(4);
+        g.add_edge(0, 1, 1, 1);
+        g.add_edge(0, 2, 1, 2);
+        g.add_edge(1, 3, 1, 0);
+        g.add_edge(2, 3, 1, 0);
+        let r = g.min_cost_flow(0, 3, i64::MAX);
+        assert_eq!(r, FlowResult { flow: 2, cost: 3 });
+    }
+
+    #[test]
+    fn respects_flow_limit() {
+        let mut g = McmfGraph::new(4);
+        g.add_edge(0, 1, 5, 1);
+        g.add_edge(0, 2, 5, 3);
+        g.add_edge(1, 3, 5, 0);
+        g.add_edge(2, 3, 5, 0);
+        // Only 3 units wanted: all through the cheap path.
+        let r = g.min_cost_flow(0, 3, 3);
+        assert_eq!(r, FlowResult { flow: 3, cost: 3 });
+    }
+
+    #[test]
+    fn prefers_cheap_paths() {
+        // Two parallel paths; cheap one saturates first.
+        let mut g = McmfGraph::new(3);
+        let cheap = g.add_edge(0, 1, 2, 1);
+        let dear = g.add_edge(0, 1, 2, 10);
+        g.add_edge(1, 2, 3, 0);
+        let r = g.min_cost_flow(0, 2, 3);
+        assert_eq!(r.flow, 3);
+        assert_eq!(r.cost, 2 * 1 + 1 * 10);
+        assert_eq!(g.flow_on(cheap), 2);
+        assert_eq!(g.flow_on(dear), 1);
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let mut g = McmfGraph::new(3);
+        g.add_edge(0, 1, 1, -5);
+        g.add_edge(1, 2, 1, 2);
+        let r = g.min_cost_flow(0, 2, i64::MAX);
+        assert_eq!(r, FlowResult { flow: 1, cost: -3 });
+    }
+
+    #[test]
+    fn disconnected_sink() {
+        let mut g = McmfGraph::new(3);
+        g.add_edge(0, 1, 1, 1);
+        let r = g.min_cost_flow(0, 2, i64::MAX);
+        assert_eq!(r.flow, 0);
+    }
+
+    #[test]
+    fn assignment_basic() {
+        // Two sources, two sinks; diagonal is cheap.
+        let costs = vec![
+            vec![Some(1), Some(10)],
+            vec![Some(10), Some(1)],
+        ];
+        assert_eq!(assign_min_cost(&costs), vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn assignment_with_forbidden_pairs() {
+        // Source 0 can only use sink 1.
+        let costs = vec![
+            vec![None, Some(5)],
+            vec![Some(1), Some(1)],
+        ];
+        let asg = assign_min_cost(&costs);
+        assert_eq!(asg[0], Some(1));
+        assert_eq!(asg[1], Some(0));
+    }
+
+    #[test]
+    fn assignment_more_sources_than_sinks() {
+        let costs = vec![
+            vec![Some(1)],
+            vec![Some(2)],
+            vec![Some(3)],
+        ];
+        let asg = assign_min_cost(&costs);
+        // Exactly one source gets the sink — the cheapest.
+        assert_eq!(asg.iter().flatten().count(), 1);
+        assert_eq!(asg[0], Some(0));
+    }
+
+    #[test]
+    fn assignment_maximizes_cardinality_over_cost() {
+        // Greedy-by-cost would give src0 → snk0 (cost 1) and strand src1;
+        // max-cardinality assigns both.
+        let costs = vec![
+            vec![Some(1), Some(100)],
+            vec![Some(2), None],
+        ];
+        let asg = assign_min_cost(&costs);
+        assert_eq!(asg, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(assign_min_cost(&[]).is_empty());
+        assert_eq!(assign_min_cost(&[vec![], vec![]]), vec![None, None]);
+    }
+}

@@ -1,0 +1,385 @@
+//! Line-extension partitioning and grid merging.
+//!
+//! [`line_extension_partition`] implements the rectangular dissection of
+//! Ohtsuki's gridless routing work \[15\]: extend every boundary line of
+//! every hole (fan-in region / obstacle) until it meets another hole or
+//! the region boundary. The free space decomposes into rectangles.
+//!
+//! [`merge_cells`] implements the grid-merging cleanup of Lee et al. \[6\]:
+//! greedily absorb fragmented cells into neighbors whenever their union is
+//! itself a rectangle, preferring to eliminate the smallest cells first.
+
+use info_geom::{Coord, Point, Rect};
+use std::collections::BTreeSet;
+
+/// Clips `holes` to the region and drops empty ones.
+fn normalized_holes(region: Rect, holes: &[Rect]) -> Vec<Rect> {
+    holes
+        .iter()
+        .map(|h| h.intersection(region))
+        .filter(|h| !h.is_empty() && h.width() > 0 && h.height() > 0)
+        .collect()
+}
+
+/// Partitions `region − holes` into rectangles by extending every hole
+/// boundary line until it is blocked by another hole or the region edge.
+///
+/// Overlapping holes are allowed (their union is subtracted). Returns the
+/// free-space rectangles; cells are closed regions that tile the free
+/// space with disjoint interiors.
+///
+/// # Example
+///
+/// ```
+/// use info_geom::{Point, Rect};
+/// use info_tile::line_extension_partition;
+///
+/// let region = Rect::new(Point::new(0, 0), Point::new(100, 100));
+/// let hole = Rect::new(Point::new(40, 40), Point::new(60, 60));
+/// let cells = line_extension_partition(region, &[hole]);
+/// // The classic pinwheel/ring around a single centered hole.
+/// let free: i128 = cells.iter().map(|c| c.area()).sum();
+/// assert_eq!(free, region.area() - hole.area());
+/// ```
+pub fn line_extension_partition(region: Rect, holes: &[Rect]) -> Vec<Rect> {
+    let holes = normalized_holes(region, holes);
+    if region.is_empty() || region.width() == 0 || region.height() == 0 {
+        return Vec::new();
+    }
+
+    // Candidate x-cuts: region edges plus hole vertical edges. A cut at x
+    // is *active over a y-interval*: the segment extends from the hole
+    // edge until blocked. We represent activity per elementary y-slab.
+    let mut xs: BTreeSet<Coord> = BTreeSet::new();
+    let mut ys: BTreeSet<Coord> = BTreeSet::new();
+    xs.insert(region.lo.x);
+    xs.insert(region.hi.x);
+    ys.insert(region.lo.y);
+    ys.insert(region.hi.y);
+    for h in &holes {
+        xs.insert(h.lo.x);
+        xs.insert(h.hi.x);
+        ys.insert(h.lo.y);
+        ys.insert(h.hi.y);
+    }
+    let xs: Vec<Coord> = xs.into_iter().collect();
+    let ys: Vec<Coord> = ys.into_iter().collect();
+    let nx = xs.len() - 1; // elementary column count
+    let ny = ys.len() - 1;
+
+    let covered = |cx: usize, cy: usize| -> bool {
+        let cell = Rect::new(Point::new(xs[cx], ys[cy]), Point::new(xs[cx + 1], ys[cy + 1]));
+        holes.iter().any(|h| h.overlaps_interior(cell))
+    };
+
+    // vertical_cut[xi][cy] = does a vertical wall exist at x = xs[xi]
+    // separating elementary cells (xi−1, cy) and (xi, cy)?
+    // A wall exists if x is a region edge, a hole edge at that y-slab, or an
+    // *extension* of a hole edge: grown from the hole outward until blocked.
+    let mut vertical_cut = vec![vec![false; ny]; xs.len()];
+    for v in vertical_cut[0].iter_mut() {
+        *v = true;
+    }
+    for v in vertical_cut[nx].iter_mut() {
+        *v = true;
+    }
+    let mut horizontal_cut = vec![vec![false; nx]; ys.len()];
+    for h in horizontal_cut[0].iter_mut() {
+        *h = true;
+    }
+    for h in horizontal_cut[ny].iter_mut() {
+        *h = true;
+    }
+
+    // Hole boundaries are walls wherever a hole interior is adjacent.
+    for xi in 1..nx {
+        for cy in 0..ny {
+            let left = covered(xi - 1, cy);
+            let right = covered(xi, cy);
+            if left != right {
+                vertical_cut[xi][cy] = true;
+            }
+        }
+    }
+    for yi in 1..ny {
+        for cx in 0..nx {
+            let below = covered(cx, yi - 1);
+            let above = covered(cx, yi);
+            if below != above {
+                horizontal_cut[yi][cx] = true;
+            }
+        }
+    }
+
+    // Extend each hole's vertical edges up and down until blocked by a
+    // hole interior or the region boundary.
+    for h in &holes {
+        for &x in &[h.lo.x, h.hi.x] {
+            let xi = xs.binary_search(&x).expect("hole edge in cut set");
+            if xi == 0 || xi == nx {
+                continue;
+            }
+            let y_top = ys.binary_search(&h.hi.y).expect("hole edge in cut set");
+            let y_bot = ys.binary_search(&h.lo.y).expect("hole edge in cut set");
+            // Upward from the hole top.
+            for cy in y_top..ny {
+                if covered(xi - 1, cy) || covered(xi, cy) {
+                    break;
+                }
+                vertical_cut[xi][cy] = true;
+            }
+            // Downward from the hole bottom.
+            for cy in (0..y_bot).rev() {
+                if covered(xi - 1, cy) || covered(xi, cy) {
+                    break;
+                }
+                vertical_cut[xi][cy] = true;
+            }
+        }
+        // Horizontal edges left and right.
+        for &y in &[h.lo.y, h.hi.y] {
+            let yi = ys.binary_search(&y).expect("hole edge in cut set");
+            if yi == 0 || yi == ny {
+                continue;
+            }
+            let x_right = xs.binary_search(&h.hi.x).expect("hole edge in cut set");
+            let x_left = xs.binary_search(&h.lo.x).expect("hole edge in cut set");
+            for cx in x_right..nx {
+                if covered(cx, yi - 1) || covered(cx, yi) {
+                    break;
+                }
+                horizontal_cut[yi][cx] = true;
+            }
+            for cx in (0..x_left).rev() {
+                if covered(cx, yi - 1) || covered(cx, yi) {
+                    break;
+                }
+                horizontal_cut[yi][cx] = true;
+            }
+        }
+    }
+
+    // Flood-fill elementary cells into faces bounded by walls; each face of
+    // a line-extension dissection is a rectangle by construction.
+    let mut face = vec![vec![usize::MAX; ny]; nx];
+    let mut faces: Vec<Rect> = Vec::new();
+    for cx in 0..nx {
+        for cy in 0..ny {
+            if covered(cx, cy) || face[cx][cy] != usize::MAX {
+                continue;
+            }
+            let id = faces.len();
+            let mut stack = vec![(cx, cy)];
+            face[cx][cy] = id;
+            let mut bounds = Rect::new(
+                Point::new(xs[cx], ys[cy]),
+                Point::new(xs[cx + 1], ys[cy + 1]),
+            );
+            while let Some((ax, ay)) = stack.pop() {
+                bounds = bounds.union(Rect::new(
+                    Point::new(xs[ax], ys[ay]),
+                    Point::new(xs[ax + 1], ys[ay + 1]),
+                ));
+                // Right neighbor.
+                if ax + 1 < nx && !vertical_cut[ax + 1][ay] && !covered(ax + 1, ay) && face[ax + 1][ay] == usize::MAX {
+                    face[ax + 1][ay] = id;
+                    stack.push((ax + 1, ay));
+                }
+                if ax > 0 && !vertical_cut[ax][ay] && !covered(ax - 1, ay) && face[ax - 1][ay] == usize::MAX {
+                    face[ax - 1][ay] = id;
+                    stack.push((ax - 1, ay));
+                }
+                if ay + 1 < ny && !horizontal_cut[ay + 1][ax] && !covered(ax, ay + 1) && face[ax][ay + 1] == usize::MAX {
+                    face[ax][ay + 1] = id;
+                    stack.push((ax, ay + 1));
+                }
+                if ay > 0 && !horizontal_cut[ay][ax] && !covered(ax, ay - 1) && face[ax][ay - 1] == usize::MAX {
+                    face[ax][ay - 1] = id;
+                    stack.push((ax, ay - 1));
+                }
+            }
+            faces.push(bounds);
+        }
+    }
+    faces
+}
+
+/// Lee-style grid merging: greedily absorb cells into neighbors whenever
+/// the union of two cells is itself a rectangle (they share a full edge),
+/// until no cell thinner than `min_dim` can be eliminated and no
+/// rectangle-preserving merge remains that reduces the cell count below
+/// `target_count`.
+///
+/// Pass `target_count = 0` to merge as much as possible.
+pub fn merge_cells(mut cells: Vec<Rect>, min_dim: Coord, target_count: usize) -> Vec<Rect> {
+    let is_fragment = |c: &Rect| c.width() < min_dim || c.height() < min_dim;
+    loop {
+        let fragmented = cells.iter().any(is_fragment);
+        let want_fewer = cells.len() > target_count.max(1);
+        if !fragmented && !want_fewer {
+            return cells;
+        }
+        // Find the best rectangle-preserving merge: prefer a pair that
+        // eliminates a fragment, then the pair whose smaller member is
+        // smallest (absorb tiny cells first).
+        let mut best: Option<(usize, usize, bool, i128)> = None;
+        for i in 0..cells.len() {
+            for j in (i + 1)..cells.len() {
+                let (a, b) = (cells[i], cells[j]);
+                let mergeable = (a.lo.y == b.lo.y
+                    && a.hi.y == b.hi.y
+                    && (a.hi.x == b.lo.x || b.hi.x == a.lo.x))
+                    || (a.lo.x == b.lo.x
+                        && a.hi.x == b.hi.x
+                        && (a.hi.y == b.lo.y || b.hi.y == a.lo.y));
+                if !mergeable {
+                    continue;
+                }
+                let frag = is_fragment(&a) || is_fragment(&b);
+                let score = a.area().min(b.area());
+                let better = match best {
+                    None => true,
+                    Some((.., bfrag, bscore)) => {
+                        (frag && !bfrag) || (frag == bfrag && score < bscore)
+                    }
+                };
+                if better {
+                    best = Some((i, j, frag, score));
+                }
+            }
+        }
+        let Some((i, j, frag, _)) = best else {
+            return cells;
+        };
+        // If only the fewer-cells goal remains and the candidate merge does
+        // not involve a fragment, it still helps; but when neither goal is
+        // advanced by this merge, stop.
+        if !want_fewer && !frag {
+            return cells;
+        }
+        let merged = cells[i].union(cells[j]);
+        cells[i] = merged;
+        cells.swap_remove(j); // i < j keeps index i valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_area(cells: &[Rect]) -> i128 {
+        cells.iter().map(|c| c.area()).sum()
+    }
+
+    fn assert_disjoint(cells: &[Rect]) {
+        for (i, a) in cells.iter().enumerate() {
+            for b in &cells[i + 1..] {
+                assert!(!a.overlaps_interior(*b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_holes_single_cell() {
+        let region = Rect::new(Point::new(0, 0), Point::new(100, 50));
+        let cells = line_extension_partition(region, &[]);
+        assert_eq!(cells, vec![region]);
+    }
+
+    #[test]
+    fn single_center_hole() {
+        let region = Rect::new(Point::new(0, 0), Point::new(100, 100));
+        let hole = Rect::new(Point::new(40, 40), Point::new(60, 60));
+        let cells = line_extension_partition(region, &[hole]);
+        assert_eq!(total_area(&cells), region.area() - hole.area());
+        assert_disjoint(&cells);
+        // Line extension around one hole yields 8 cells (full cross cuts).
+        assert_eq!(cells.len(), 8, "{cells:?}");
+        for c in &cells {
+            assert!(!c.overlaps_interior(hole));
+        }
+    }
+
+    #[test]
+    fn two_holes_block_each_others_extensions() {
+        let region = Rect::new(Point::new(0, 0), Point::new(100, 100));
+        let h1 = Rect::new(Point::new(10, 40), Point::new(30, 60));
+        let h2 = Rect::new(Point::new(60, 40), Point::new(80, 60));
+        let cells = line_extension_partition(region, &[h1, h2]);
+        assert_eq!(total_area(&cells), region.area() - h1.area() - h2.area());
+        assert_disjoint(&cells);
+        // The corridor between the holes is one cell: extensions of h1's
+        // right edge and h2's left edge run vertically, horizontal edges of
+        // each hole extend toward the other and are blocked by it.
+        let corridor = cells
+            .iter()
+            .find(|c| c.lo.x == 30 && c.hi.x == 60 && c.lo.y == 40 && c.hi.y == 60);
+        assert!(corridor.is_some(), "{cells:?}");
+    }
+
+    #[test]
+    fn hole_touching_boundary() {
+        let region = Rect::new(Point::new(0, 0), Point::new(100, 100));
+        let hole = Rect::new(Point::new(0, 0), Point::new(50, 100));
+        let cells = line_extension_partition(region, &[hole]);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0], Rect::new(Point::new(50, 0), Point::new(100, 100)));
+    }
+
+    #[test]
+    fn overlapping_holes() {
+        let region = Rect::new(Point::new(0, 0), Point::new(100, 100));
+        let h1 = Rect::new(Point::new(20, 20), Point::new(60, 60));
+        let h2 = Rect::new(Point::new(40, 40), Point::new(80, 80));
+        let cells = line_extension_partition(region, &[h1, h2]);
+        assert_disjoint(&cells);
+        let union_area = h1.area() + h2.area()
+            - h1.intersection(h2).area();
+        assert_eq!(total_area(&cells), region.area() - union_area);
+        for c in &cells {
+            assert!(!c.overlaps_interior(h1) && !c.overlaps_interior(h2));
+        }
+    }
+
+    #[test]
+    fn fully_covered_region_has_no_cells() {
+        let region = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        let cells = line_extension_partition(region, &[region]);
+        assert!(cells.is_empty());
+    }
+
+    #[test]
+    fn merge_reduces_fragmentation() {
+        let region = Rect::new(Point::new(0, 0), Point::new(100, 100));
+        let hole = Rect::new(Point::new(40, 40), Point::new(60, 60));
+        let cells = line_extension_partition(region, &[hole]);
+        let merged = merge_cells(cells.clone(), 30, 0);
+        assert!(merged.len() < cells.len());
+        assert_eq!(total_area(&merged), total_area(&cells));
+        assert_disjoint(&merged);
+    }
+
+    #[test]
+    fn merge_keeps_rectangles_disjoint_on_grid() {
+        // A 3x3 grid of unit cells merges down to one rectangle.
+        let mut cells = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                cells.push(Rect::new(Point::new(i * 10, j * 10), Point::new(i * 10 + 10, j * 10 + 10)));
+            }
+        }
+        let merged = merge_cells(cells, 100, 0);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0], Rect::new(Point::new(0, 0), Point::new(30, 30)));
+    }
+
+    #[test]
+    fn merge_respects_target_count() {
+        let mut cells = Vec::new();
+        for i in 0..4 {
+            cells.push(Rect::new(Point::new(i * 10, 0), Point::new(i * 10 + 10, 10)));
+        }
+        let merged = merge_cells(cells, 5, 2);
+        assert_eq!(merged.len(), 2);
+    }
+}

@@ -1,0 +1,310 @@
+//! Turning a tile path into legal X-architecture wire geometry.
+//!
+//! The A\* result is a sequence of tiles with entry points (crossing
+//! midpoints and via sites). Realization connects consecutive entry points
+//! with X-architecture patterns — a diagonal leg plus a straight leg, the
+//! orientation chosen so every junction obeys the 90°/135° turn rule —
+//! and splits the polyline at via sites into per-layer routes.
+
+use crate::astar::AstarResult;
+use info_geom::{Coord, Dir8, Point, Polyline, Vector};
+use info_model::WireLayer;
+
+/// A realized net: per-layer polylines plus via placements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealizedNet {
+    /// `(layer, polyline)` runs in path order.
+    pub routes: Vec<(WireLayer, Polyline)>,
+    /// Via placements `(center, upper, lower)`.
+    pub vias: Vec<(Point, WireLayer, WireLayer)>,
+}
+
+impl RealizedNet {
+    /// Total wirelength in nm.
+    pub fn wirelength(&self) -> f64 {
+        self.routes.iter().map(|(_, p)| p.length()).sum()
+    }
+
+    /// Bounding box of all geometry, if any.
+    pub fn bbox(&self) -> Option<info_geom::Rect> {
+        let mut pts = self
+            .routes
+            .iter()
+            .flat_map(|(_, p)| p.points().iter().copied())
+            .chain(self.vias.iter().map(|(p, _, _)| *p));
+        let first = pts.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for p in pts {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Some(info_geom::Rect::new(lo, hi))
+    }
+}
+
+/// Connects `from` → `to` with X-architecture segments whose first turn is
+/// compatible with `incoming`. Returns the intermediate points *including*
+/// `to` but excluding `from`, and the direction of the final segment.
+///
+/// The preferred patterns are `diagonal + straight` and
+/// `straight + diagonal` (the minimal-wirelength X-architecture
+/// connections); when neither starts with a legal turn, a rectilinear L is
+/// used, and as a last resort a perpendicular jog is inserted.
+pub fn xarch_connect(from: Point, to: Point, incoming: Option<Dir8>) -> (Vec<Point>, Option<Dir8>) {
+    xarch_connect_pref(from, to, incoming, 0)
+}
+
+/// [`xarch_connect`] with a pattern preference `pref ∈ 0..4`: the
+/// candidate order (diagonal+straight, straight+diagonal, rectilinear
+/// horizontal-first, rectilinear vertical-first) is rotated left by
+/// `pref`, so callers can steer the approach shape when the default
+/// grazes a neighbor.
+pub fn xarch_connect_pref(
+    from: Point,
+    to: Point,
+    incoming: Option<Dir8>,
+    pref: u8,
+) -> (Vec<Point>, Option<Dir8>) {
+    if from == to {
+        return (Vec::new(), incoming);
+    }
+    let legal = |first: Dir8| incoming.is_none_or(|inc| inc.angular_distance(first) <= 2);
+
+    // Direct X-architecture move.
+    if let Some(d) = Dir8::of_vector(to - from) {
+        if legal(d) {
+            return (vec![to], Some(d));
+        }
+    }
+
+    let dx = to.x - from.x;
+    let dy = to.y - from.y;
+    let m = dx.abs().min(dy.abs());
+    let diag_step = Vector::new(dx.signum() * m, dy.signum() * m);
+    let mut candidates: Vec<Vec<Point>> = vec![
+        // Diagonal first, then straight.
+        vec![from + diag_step, to],
+        // Straight first, then diagonal.
+        vec![to - diag_step, to],
+        // Rectilinear L: horizontal first.
+        vec![Point::new(to.x, from.y), to],
+        // Rectilinear L: vertical first.
+        vec![Point::new(from.x, to.y), to],
+    ];
+    candidates.rotate_left(usize::from(pref) % 4);
+    for cand in candidates {
+        if let Some(result) = try_pattern(from, &cand, incoming) {
+            return result;
+        }
+    }
+    // Last resort: jog perpendicular to the incoming direction, then
+    // connect freely (the jog leaves every direction reachable).
+    let inc = incoming.expect("no incoming direction cannot fail");
+    let jog_dir = Dir8::from_index(inc.index() + 2); // 90° to the left
+    let jog_len: Coord = 1.max((dx.abs() + dy.abs()) / 8);
+    let mid = from + jog_dir.step() * jog_len;
+    let (mut pts, last) = xarch_connect_pref(mid, to, Some(jog_dir), pref);
+    let mut out = vec![mid];
+    out.append(&mut pts);
+    (out, last)
+}
+
+fn try_pattern(
+    from: Point,
+    pts: &[Point],
+    incoming: Option<Dir8>,
+) -> Option<(Vec<Point>, Option<Dir8>)> {
+    let mut prev = from;
+    let mut dir = incoming;
+    let mut out = Vec::new();
+    for &p in pts {
+        if p == prev {
+            continue;
+        }
+        let d = Dir8::of_vector(p - prev)?;
+        if let Some(inc) = dir {
+            if inc.angular_distance(d) > 2 {
+                return None;
+            }
+        }
+        out.push(p);
+        prev = p;
+        dir = Some(d);
+    }
+    Some((out, dir))
+}
+
+/// Realizes an A\* result into per-layer polylines and via placements.
+///
+/// `src`/`dst` are the terminal points; `dst` is appended after the last
+/// tile entry. Returns `None` if the path is empty.
+pub fn realize(result: &AstarResult, src: (WireLayer, Point), dst: (WireLayer, Point)) -> Option<RealizedNet> {
+    if result.steps.is_empty() {
+        return None;
+    }
+    let mut routes: Vec<(WireLayer, Polyline)> = Vec::new();
+    let mut vias = Vec::new();
+
+    let mut layer = src.0;
+    let mut current: Vec<Point> = vec![src.1];
+    let mut dir: Option<Dir8> = None;
+
+    let extend_to = |current: &mut Vec<Point>, dir: &mut Option<Dir8>, target: Point| {
+        let from = *current.last().expect("nonempty run");
+        let (pts, d) = xarch_connect(from, target, *dir);
+        current.extend(pts);
+        *dir = d;
+    };
+
+    for step in &result.steps {
+        if let Some((site, upper, lower)) = step.via {
+            // Finish the current layer run at the via site.
+            extend_to(&mut current, &mut dir, site);
+            if current.len() >= 2 {
+                let mut pl = Polyline::new(std::mem::take(&mut current));
+                pl.simplify();
+                routes.push((layer, pl));
+            } else {
+                current.clear();
+            }
+            vias.push((site, upper, lower));
+            // Continue on the other layer from the site.
+            layer = if layer == upper { lower } else { upper };
+            current.push(site);
+            dir = None;
+        } else if step.entry != *current.last().expect("nonempty run") {
+            extend_to(&mut current, &mut dir, step.entry);
+        }
+    }
+    extend_to(&mut current, &mut dir, dst.1);
+    debug_assert_eq!(layer, dst.0, "path must end on the destination layer");
+    if current.len() >= 2 {
+        let mut pl = Polyline::new(current);
+        pl.simplify();
+        routes.push((layer, pl));
+    }
+    Some(RealizedNet { routes, vias })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn check_polyline(from: Point, pts: &[Point]) {
+        let mut all = vec![from];
+        all.extend_from_slice(pts);
+        let mut pl = Polyline::new(all);
+        pl.simplify();
+        pl.validate().unwrap_or_else(|e| panic!("invalid polyline {pl:?}: {e}"));
+    }
+
+    #[test]
+    fn direct_moves() {
+        for (to, expect_len) in [
+            (p(10, 0), 1usize),
+            (p(0, 10), 1),
+            (p(10, 10), 1),
+            (p(-10, 10), 1),
+        ] {
+            let (pts, dir) = xarch_connect(p(0, 0), to, None);
+            assert_eq!(pts.len(), expect_len);
+            assert!(dir.is_some());
+            check_polyline(p(0, 0), &pts);
+        }
+    }
+
+    #[test]
+    fn diagonal_plus_straight() {
+        let (pts, _) = xarch_connect(p(0, 0), p(10, 4), None);
+        assert_eq!(pts.last(), Some(&p(10, 4)));
+        check_polyline(p(0, 0), &pts);
+        // Two segments.
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn incoming_direction_respected() {
+        // Incoming east, target to the north-west-ish: the naive diagonal
+        // NW start would be a 45° turn; must choose another pattern.
+        let (pts, _) = xarch_connect(p(0, 0), p(-4, 10), Some(Dir8::E));
+        check_polyline(p(0, 0), &pts);
+        // The first move from (0,0) must be within 90° of east.
+        let first = Dir8::of_vector(pts[0] - p(0, 0)).unwrap();
+        assert!(Dir8::E.angular_distance(first) <= 2, "first dir {first}");
+    }
+
+    #[test]
+    fn reverse_target_requires_jog() {
+        // Incoming east, target due west: straight-back is a U-turn.
+        let (pts, _) = xarch_connect(p(0, 0), p(-100, 0), Some(Dir8::E));
+        check_polyline(p(0, 0), &pts);
+        assert_eq!(pts.last(), Some(&p(-100, 0)));
+        assert!(pts.len() >= 2, "must jog before reversing");
+    }
+
+    #[test]
+    fn zero_move_is_empty() {
+        let (pts, dir) = xarch_connect(p(5, 5), p(5, 5), Some(Dir8::N));
+        assert!(pts.is_empty());
+        assert_eq!(dir, Some(Dir8::N));
+    }
+
+    #[test]
+    fn preference_rotations_all_legal_and_reach_target() {
+        for pref in 0u8..4 {
+            for (fx, fy, tx, ty) in [(0, 0, 10, 4), (0, 0, -7, 12), (3, 3, 3, -9), (5, 0, -5, 0)] {
+                let (pts, _) = xarch_connect_pref(p(fx, fy), p(tx, ty), None, pref);
+                assert_eq!(pts.last(), Some(&p(tx, ty)), "pref {pref}");
+                check_polyline(p(fx, fy), &pts);
+            }
+        }
+    }
+
+    #[test]
+    fn preference_changes_the_shape() {
+        // pref 0: diagonal first; pref 1: straight first — different mid
+        // points for an L-shaped displacement.
+        let (a, _) = xarch_connect_pref(p(0, 0), p(10, 4), None, 0);
+        let (b, _) = xarch_connect_pref(p(0, 0), p(10, 4), None, 1);
+        assert_ne!(a, b);
+        // pref 2: rectilinear horizontal first.
+        let (c, _) = xarch_connect_pref(p(0, 0), p(10, 4), None, 2);
+        assert_eq!(c[0], p(10, 0));
+    }
+
+    #[test]
+    fn random_connections_always_legal() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let from = p(rng.gen_range(-50..50), rng.gen_range(-50..50));
+            let to = p(rng.gen_range(-50..50), rng.gen_range(-50..50));
+            let incoming = if rng.gen_bool(0.5) {
+                Some(Dir8::from_index(rng.gen_range(0..8)))
+            } else {
+                None
+            };
+            let (pts, _) = xarch_connect(from, to, incoming);
+            if from != to {
+                assert_eq!(pts.last(), Some(&to));
+            }
+            // Prepend a unit step opposite the incoming direction so the
+            // validator also checks the first-turn legality.
+            let mut all = Vec::new();
+            if let Some(inc) = incoming {
+                all.push(from - inc.step() * 5);
+            }
+            all.push(from);
+            all.extend_from_slice(&pts);
+            let mut pl = Polyline::new(all);
+            pl.simplify();
+            pl.validate()
+                .unwrap_or_else(|e| panic!("{from} -> {to} (incoming {incoming:?}): {e}; {pl:?}"));
+        }
+    }
+}

@@ -1,0 +1,863 @@
+//! The multi-layer octagonal-tile routing space (§III-C).
+//!
+//! The die is cut into uniform **global cells** (the paper uses 30 × 30).
+//! Inside each global cell, on each wire layer, **frames** are derived by
+//! extending horizontal/vertical cut lines from component corners and wire
+//! endpoints; each frame is then split by the diagonal wires crossing it
+//! into **octagonal tiles**. Tiles overlapped by a blockage carry blocker
+//! tags; A\* may still traverse tiles whose every blocker belongs to the
+//! net being routed (so a net can reach its own pads and vias).
+//!
+//! Via candidate sites are inserted per global cell into the largest free
+//! tile and projected to the adjacent layer (§III-C3); the router
+//! materializes a real [`info_model::Via`] when a path uses one.
+
+use info_geom::{Coord, Octagon, Orient4, Point, Rect, Segment, XLine};
+use info_model::{Layout, NetId, Package, WireLayer};
+
+/// Identifier of a tile in a [`RoutingSpace`] (invalidated by rebuilds of
+/// the tile's global cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileId(pub u32);
+
+/// What occupies (part of) a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Blocker {
+    /// Obstacle or foreign fixed geometry: never passable.
+    Hard,
+    /// Geometry owned by a net (pad, via, wire band): passable only when
+    /// routing that same net.
+    Net(NetId),
+}
+
+/// One octagonal tile on a wire layer.
+#[derive(Debug, Clone)]
+pub struct TileNode {
+    /// Wire layer.
+    pub layer: WireLayer,
+    /// Global cell coordinates `(cx, cy)`.
+    pub cell: (usize, usize),
+    /// Shape of the tile.
+    pub shape: Octagon,
+    /// Blocker tags (empty = free space).
+    pub blockers: Vec<Blocker>,
+}
+
+impl TileNode {
+    /// Whether a net may route through this tile.
+    pub fn passable_for(&self, net: NetId) -> bool {
+        self.blockers.iter().all(|b| matches!(b, Blocker::Net(n) if *n == net))
+    }
+
+    /// Whether the tile is completely free.
+    pub fn is_free(&self) -> bool {
+        self.blockers.is_empty()
+    }
+}
+
+/// A candidate via site connecting two adjacent wire layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViaSite {
+    /// Center position.
+    pub at: Point,
+    /// Upper wire layer of the span.
+    pub upper: WireLayer,
+    /// Lower wire layer (`upper + 1`).
+    pub lower: WireLayer,
+}
+
+/// Tuning parameters for space construction.
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceConfig {
+    /// Global cells along x (the paper's default grid is 30 × 30).
+    pub cells_x: usize,
+    /// Global cells along y.
+    pub cells_y: usize,
+    /// Center-line clearance: blockages are inflated by this margin so a
+    /// wire centerline anywhere in free space is spacing-legal
+    /// (`min_spacing + wire_width` covers wire-vs-shape worst case).
+    pub clearance: Coord,
+    /// Tiles thinner than this are impassable.
+    pub min_thickness: Coord,
+    /// Via octagon width.
+    pub via_width: Coord,
+    /// Extra path cost charged per via, in nm of equivalent wirelength.
+    pub via_cost: f64,
+}
+
+impl SpaceConfig {
+    /// Derives a configuration from a package's design rules with the
+    /// paper's 30 × 30 global-cell default.
+    pub fn from_package(package: &Package) -> Self {
+        let r = package.rules();
+        SpaceConfig {
+            cells_x: 30,
+            cells_y: 30,
+            clearance: r.min_spacing + r.wire_width,
+            min_thickness: r.min_spacing + r.wire_width,
+            via_width: r.via_width,
+            via_cost: 4.0 * r.via_width as f64,
+        }
+    }
+}
+
+/// A planar adjacency between two tiles.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanarEdge {
+    /// Destination tile.
+    pub to: TileId,
+    /// The open crossing interval on the shared boundary.
+    pub crossing: Segment,
+}
+
+/// The tile space over all layers.
+#[derive(Debug, Clone)]
+pub struct RoutingSpace {
+    cfg: SpaceConfig,
+    die: Rect,
+    layers: usize,
+    tiles: Vec<Option<TileNode>>,
+    /// `cell_index(layer, cx, cy)` → tile ids in that cell.
+    cell_tiles: Vec<Vec<TileId>>,
+    /// Wire segments per (layer, cell), for adjacency blocking.
+    cell_wires: Vec<Vec<(NetId, Segment)>>,
+    /// Candidate via sites per cell column-major; refreshed on rebuild.
+    via_sites: Vec<Vec<ViaSite>>,
+}
+
+impl RoutingSpace {
+    /// Builds the space from the current layout.
+    pub fn build(package: &Package, layout: &Layout, cfg: SpaceConfig) -> Self {
+        let layers = package.wire_layer_count();
+        let ncells = cfg.cells_x * cfg.cells_y;
+        let mut space = RoutingSpace {
+            cfg,
+            die: package.die(),
+            layers,
+            tiles: Vec::new(),
+            cell_tiles: vec![Vec::new(); ncells * layers],
+            cell_wires: vec![Vec::new(); ncells * layers],
+            via_sites: vec![Vec::new(); ncells],
+        };
+        for cy in 0..cfg.cells_y {
+            for cx in 0..cfg.cells_x {
+                space.rebuild_cell(package, layout, cx, cy);
+            }
+        }
+        space
+    }
+
+    /// Number of wire layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &SpaceConfig {
+        &self.cfg
+    }
+
+    /// The rectangle of global cell `(cx, cy)`.
+    pub fn cell_rect(&self, cx: usize, cy: usize) -> Rect {
+        let w = self.die.width() as i128;
+        let h = self.die.height() as i128;
+        let x0 = self.die.lo.x + (w * cx as i128 / self.cfg.cells_x as i128) as Coord;
+        let x1 = self.die.lo.x + (w * (cx + 1) as i128 / self.cfg.cells_x as i128) as Coord;
+        let y0 = self.die.lo.y + (h * cy as i128 / self.cfg.cells_y as i128) as Coord;
+        let y1 = self.die.lo.y + (h * (cy + 1) as i128 / self.cfg.cells_y as i128) as Coord;
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn cell_of_point(&self, p: Point) -> Option<(usize, usize)> {
+        if !self.die.contains(p) {
+            return None;
+        }
+        let w = self.die.width().max(1) as i128;
+        let h = self.die.height().max(1) as i128;
+        let cx = ((p.x - self.die.lo.x) as i128 * self.cfg.cells_x as i128 / w) as usize;
+        let cy = ((p.y - self.die.lo.y) as i128 * self.cfg.cells_y as i128 / h) as usize;
+        Some((cx.min(self.cfg.cells_x - 1), cy.min(self.cfg.cells_y - 1)))
+    }
+
+    #[inline]
+    fn cell_index(&self, layer: usize, cx: usize, cy: usize) -> usize {
+        (layer * self.cfg.cells_y + cy) * self.cfg.cells_x + cx
+    }
+
+    /// Tile lookup.
+    pub fn tile(&self, id: TileId) -> &TileNode {
+        self.tiles[id.0 as usize].as_ref().expect("stale tile id")
+    }
+
+    /// All live tiles (diagnostics).
+    pub fn live_tiles(&self) -> impl Iterator<Item = (TileId, &TileNode)> {
+        self.tiles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (TileId(i as u32), t)))
+    }
+
+    /// Tiles of one global cell on one layer.
+    pub fn tiles_in_cell(&self, layer: WireLayer, cx: usize, cy: usize) -> &[TileId] {
+        &self.cell_tiles[self.cell_index(layer.index(), cx, cy)]
+    }
+
+    /// Candidate via sites in a cell.
+    pub fn via_sites(&self, cx: usize, cy: usize) -> &[ViaSite] {
+        &self.via_sites[cy * self.cfg.cells_x + cx]
+    }
+
+    /// The tile containing `p` on `layer` that is passable for `net`
+    /// (free tiles preferred, then net-owned ones).
+    pub fn tile_at(&self, layer: WireLayer, p: Point, net: NetId) -> Option<TileId> {
+        let (cx, cy) = self.cell_of_point(p)?;
+        let ids = self.tiles_in_cell(layer, cx, cy);
+        let mut owned: Option<TileId> = None;
+        for &id in ids {
+            let t = self.tile(id);
+            if t.shape.contains(p) {
+                if t.is_free() {
+                    return Some(id);
+                }
+                if t.passable_for(net) && owned.is_none() {
+                    owned = Some(id);
+                }
+            }
+        }
+        owned
+    }
+
+    /// Rebuilds every global cell whose rectangle intersects `dirty`
+    /// (inflated by the clearance), refreshing tiles and via sites.
+    pub fn rebuild_dirty(&mut self, package: &Package, layout: &Layout, dirty: Rect) {
+        let dirty = dirty.inflate(self.cfg.clearance + self.cfg.via_width);
+        for cy in 0..self.cfg.cells_y {
+            for cx in 0..self.cfg.cells_x {
+                if self.cell_rect(cx, cy).intersects(dirty) {
+                    self.rebuild_cell(package, layout, cx, cy);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds one global cell across all layers plus its via sites.
+    fn rebuild_cell(&mut self, package: &Package, layout: &Layout, cx: usize, cy: usize) {
+        let cell = self.cell_rect(cx, cy);
+        let pad_nets = {
+            let mut map = vec![None; package.pads().len()];
+            for n in package.nets() {
+                map[n.a.index()] = Some(n.id);
+                map[n.b.index()] = Some(n.id);
+            }
+            map
+        };
+        for layer_idx in 0..self.layers {
+            let layer = WireLayer(layer_idx as u8);
+            let idx = self.cell_index(layer_idx, cx, cy);
+            // Retire old tiles.
+            for id in std::mem::take(&mut self.cell_tiles[idx]) {
+                self.tiles[id.0 as usize] = None;
+            }
+            self.cell_wires[idx].clear();
+
+            // --- Collect geometry relevant to this cell & layer.
+            let reach = self.cfg.clearance;
+            let probe = cell.inflate(reach + self.cfg.via_width);
+            let mut blockages: Vec<(Blocker, Octagon)> = Vec::new();
+            let mut xcuts: Vec<Coord> = vec![cell.lo.x, cell.hi.x];
+            let mut ycuts: Vec<Coord> = vec![cell.lo.y, cell.hi.y];
+            let mut diag_lines: Vec<XLine> = Vec::new();
+            let mut wires: Vec<(NetId, Segment)> = Vec::new();
+
+            // Cuts are taken at *inflated* blockage boundaries so that the
+            // clearance band around each blocker occupies its own tiles
+            // and never poisons surrounding free space.
+            for o in package.obstacles() {
+                if o.layer == layer && o.rect.inflate(reach).intersects(probe) {
+                    let shape = Octagon::from_rect(o.rect).inflate(reach);
+                    let inf = o.rect.inflate(reach);
+                    xcuts.extend([o.rect.lo.x, o.rect.hi.x, inf.lo.x, inf.hi.x]);
+                    ycuts.extend([o.rect.lo.y, o.rect.hi.y, inf.lo.y, inf.hi.y]);
+                    blockages.push((Blocker::Hard, shape));
+                }
+            }
+            for p in package.pads() {
+                // Pads of still-unrouted nets carry an extra keepout so a
+                // foreign wire cannot seal off their escape lane before
+                // their own net gets its chance.
+                let owner = pad_nets[p.id.index()];
+                let needs_escape =
+                    owner.is_some_and(|n| !layout.has_geometry(n));
+                let pad_reach = if needs_escape { reach * 2 } else { reach };
+                if package.pad_layer(p.id) == layer
+                    && p.bbox().inflate(pad_reach).intersects(probe)
+                {
+                    let shape = p.shape().inflate(pad_reach);
+                    let bb = p.bbox();
+                    let inf = bb.inflate(pad_reach);
+                    xcuts.extend([bb.lo.x, bb.hi.x, inf.lo.x, inf.hi.x]);
+                    ycuts.extend([bb.lo.y, bb.hi.y, inf.lo.y, inf.hi.y]);
+                    let tag = match owner {
+                        Some(n) => Blocker::Net(n),
+                        None => Blocker::Hard,
+                    };
+                    blockages.push((tag, shape));
+                }
+            }
+            for v in layout.vias() {
+                if v.spans(layer) {
+                    let bb = v.shape().bbox();
+                    if bb.inflate(reach).intersects(probe) {
+                        let inf = bb.inflate(reach);
+                        xcuts.extend([bb.lo.x, bb.hi.x, inf.lo.x, inf.hi.x]);
+                        ycuts.extend([bb.lo.y, bb.hi.y, inf.lo.y, inf.hi.y]);
+                        blockages.push((Blocker::Net(v.net), v.shape().inflate(reach)));
+                    }
+                }
+            }
+            let diag_reach = ((reach as f64) * info_geom::SQRT2).ceil() as Coord;
+            for r in layout.routes_on(layer) {
+                for seg in r.path.segments() {
+                    let (lo, hi) = seg.bbox();
+                    if !Rect::new(lo, hi).inflate(reach).intersects(probe) {
+                        continue;
+                    }
+                    wires.push((r.net, seg));
+                    // The wire's clearance band is carved out as its own
+                    // strip of tiles: cut at the conductor line and at the
+                    // band edges (± clearance), plus endpoint caps.
+                    for p in [seg.a, seg.b] {
+                        xcuts.extend([p.x - reach, p.x, p.x + reach]);
+                        ycuts.extend([p.y - reach, p.y, p.y + reach]);
+                    }
+                    match seg.orient() {
+                        Some(Orient4::H) => {
+                            ycuts.extend([seg.a.y - reach, seg.a.y + reach]);
+                        }
+                        Some(Orient4::V) => {
+                            xcuts.extend([seg.a.x - reach, seg.a.x + reach]);
+                        }
+                        Some(o @ (Orient4::D45 | Orient4::D135)) => {
+                            let line = XLine::through(seg.a, o);
+                            diag_lines.push(line);
+                            diag_lines.push(XLine::new(o, line.c() - diag_reach));
+                            diag_lines.push(XLine::new(o, line.c() + diag_reach));
+                        }
+                        None => {}
+                    }
+                    // Band blockage: the octagon hull of the segment,
+                    // inflated by the clearance.
+                    let hull = Octagon::from_bounds(
+                        seg.a.x.min(seg.b.x),
+                        seg.a.x.max(seg.b.x),
+                        seg.a.y.min(seg.b.y),
+                        seg.a.y.max(seg.b.y),
+                        seg.a.sum().min(seg.b.sum()),
+                        seg.a.sum().max(seg.b.sum()),
+                        seg.a.diff().min(seg.b.diff()),
+                        seg.a.diff().max(seg.b.diff()),
+                    );
+                    blockages.push((Blocker::Net(r.net), hull.inflate(reach)));
+                }
+            }
+            self.cell_wires[idx] = wires.clone();
+
+            // --- Frames: rectangular partition of the cell by the cuts.
+            xcuts.retain(|&x| x >= cell.lo.x && x <= cell.hi.x);
+            ycuts.retain(|&y| y >= cell.lo.y && y <= cell.hi.y);
+            xcuts.sort_unstable();
+            xcuts.dedup();
+            ycuts.sort_unstable();
+            ycuts.dedup();
+
+            // Partition frames into completely free rectangles (merged to
+            // fight fragmentation, per Lee et al.) and frames needing the
+            // full split/tag pipeline.
+            let mut free_frames: Vec<Rect> = Vec::new();
+            // Frames fully swallowed by a single blockage merge per tag.
+            let mut swallowed: std::collections::HashMap<Blocker, Vec<Rect>> =
+                std::collections::HashMap::new();
+            let mut busy_frames: Vec<Rect> = Vec::new();
+            for wx in xcuts.windows(2) {
+                for wy in ycuts.windows(2) {
+                    let frame = Rect::new(Point::new(wx[0], wy[0]), Point::new(wx[1], wy[1]));
+                    if frame.width() == 0 || frame.height() == 0 {
+                        continue;
+                    }
+                    let crossed = diag_lines.iter().any(|l| {
+                        let evals = frame.corners().map(|p| l.eval(p));
+                        evals.iter().any(|&e| e > 0) && evals.iter().any(|&e| e < 0)
+                    });
+                    if crossed {
+                        busy_frames.push(frame);
+                        continue;
+                    }
+                    let hits: Vec<&(Blocker, Octagon)> = blockages
+                        .iter()
+                        .filter(|(_, oct)| {
+                            let ix = Octagon::from_rect(frame).intersection(oct);
+                            !ix.is_empty() && ix.area() > 0
+                        })
+                        .collect();
+                    if hits.is_empty() {
+                        free_frames.push(frame);
+                    } else if hits.len() == 1
+                        && frame.corners().iter().all(|&p| hits[0].1.contains(p))
+                    {
+                        swallowed.entry(hits[0].0).or_default().push(frame);
+                    } else {
+                        busy_frames.push(frame);
+                    }
+                }
+            }
+
+            let mut new_ids: Vec<TileId> = Vec::new();
+            for rect in strip_merge(free_frames) {
+                let id = TileId(self.tiles.len() as u32);
+                self.tiles.push(Some(TileNode {
+                    layer,
+                    cell: (cx, cy),
+                    shape: Octagon::from_rect(rect),
+                    blockers: Vec::new(),
+                }));
+                new_ids.push(id);
+            }
+            let mut tags: Vec<Blocker> = swallowed.keys().copied().collect();
+            tags.sort_by_key(|t| match t {
+                Blocker::Hard => (0u8, 0u32),
+                Blocker::Net(n) => (1, n.0),
+            });
+            for tag in tags {
+                for rect in strip_merge(swallowed.remove(&tag).expect("key exists")) {
+                    let id = TileId(self.tiles.len() as u32);
+                    self.tiles.push(Some(TileNode {
+                        layer,
+                        cell: (cx, cy),
+                        shape: Octagon::from_rect(rect),
+                        blockers: vec![tag],
+                    }));
+                    new_ids.push(id);
+                }
+            }
+            for frame in busy_frames {
+                // --- Split the frame by diagonal wires into tiles.
+                let mut pieces = vec![Octagon::from_rect(frame)];
+                for line in &diag_lines {
+                    let mut next = Vec::with_capacity(pieces.len() + 1);
+                    for piece in pieces {
+                        let lo = piece.clip_halfplane(*line, true);
+                        let hi = piece.clip_halfplane(*line, false);
+                        let lo_ok = !lo.is_empty() && lo.area() > 0;
+                        let hi_ok = !hi.is_empty() && hi.area() > 0;
+                        if lo_ok && hi_ok {
+                            next.push(lo);
+                            next.push(hi);
+                        } else {
+                            next.push(piece);
+                        }
+                    }
+                    pieces = next;
+                }
+                for shape in pieces {
+                    // --- Tag blockers overlapping the tile interior.
+                    let mut blockers: Vec<Blocker> = Vec::new();
+                    for (tag, oct) in &blockages {
+                        let ix = shape.intersection(oct);
+                        if !ix.is_empty() && ix.area() > 0 && !blockers.contains(tag) {
+                            blockers.push(*tag);
+                        }
+                    }
+                    let id = TileId(self.tiles.len() as u32);
+                    self.tiles.push(Some(TileNode {
+                        layer,
+                        cell: (cx, cy),
+                        shape,
+                        blockers,
+                    }));
+                    new_ids.push(id);
+                }
+            }
+            self.cell_tiles[idx] = new_ids;
+        }
+        self.refresh_via_sites(cx, cy);
+    }
+
+    /// Re-derives the candidate via sites of one cell: for each adjacent
+    /// layer pair, up to three of the largest free tiles (meeting the via
+    /// footprint) whose interior points are also free on the other layer.
+    /// (The paper inserts one via per cell; extra candidates only matter in
+    /// crowded cells where the largest tile's site has been consumed.)
+    fn refresh_via_sites(&mut self, cx: usize, cy: usize) {
+        let slot = cy * self.cfg.cells_x + cx;
+        self.via_sites[slot].clear();
+        let need = (self.cfg.via_width + 2 * self.cfg.clearance) as f64;
+        for upper_idx in 0..self.layers.saturating_sub(1) {
+            let upper = WireLayer(upper_idx as u8);
+            let lower = WireLayer(upper_idx as u8 + 1);
+            let mut cands: Vec<(i128, Point)> = Vec::new();
+            for &id in self.tiles_in_cell(upper, cx, cy) {
+                let t = self.tile(id);
+                if !t.is_free() || t.shape.thickness() < need {
+                    continue;
+                }
+                let p = t.shape.interior_point();
+                // The same point must be free on the lower layer.
+                let free_below = self
+                    .tiles_in_cell(lower, cx, cy)
+                    .iter()
+                    .any(|&lid| {
+                        let lt = self.tile(lid);
+                        lt.is_free() && lt.shape.contains(p) && lt.shape.thickness() >= need
+                    });
+                if !free_below {
+                    continue;
+                }
+                cands.push((t.shape.area(), p));
+            }
+            cands.sort_by(|a, b| b.0.cmp(&a.0));
+            for (_, at) in cands.into_iter().take(3) {
+                self.via_sites[slot].push(ViaSite { at, upper, lower });
+            }
+        }
+    }
+
+    /// Planar neighbors of a tile passable for `net`: tiles in the same or
+    /// 4-adjacent global cells on the same layer sharing a positive-length
+    /// boundary not covered by a wire.
+    pub fn planar_neighbors(&self, id: TileId, net: NetId) -> Vec<PlanarEdge> {
+        let t = self.tile(id);
+        let (cx, cy) = t.cell;
+        let layer = t.layer;
+        let mut out = Vec::new();
+        let mut cells = vec![(cx, cy)];
+        if cx > 0 {
+            cells.push((cx - 1, cy));
+        }
+        if cy > 0 {
+            cells.push((cx, cy - 1));
+        }
+        if cx + 1 < self.cfg.cells_x {
+            cells.push((cx + 1, cy));
+        }
+        if cy + 1 < self.cfg.cells_y {
+            cells.push((cx, cy + 1));
+        }
+        let my_bbox = t.shape.bbox();
+        for &(ox, oy) in &cells {
+            for &other in self.tiles_in_cell(layer, ox, oy) {
+                if other == id {
+                    continue;
+                }
+                let o = self.tile(other);
+                if !o.passable_for(net) {
+                    continue;
+                }
+                // Cheap bbox rejection before the exact octagon
+                // intersection: tiles sharing a boundary must have
+                // touching bounding boxes.
+                if !my_bbox.intersects(o.shape.bbox()) {
+                    continue;
+                }
+                let shared = t.shape.intersection(&o.shape);
+                let Some(seg) = shared.as_degenerate_segment() else {
+                    continue;
+                };
+                if seg.len_euclid() < self.cfg.min_thickness as f64 {
+                    continue;
+                }
+                // Subtract wires lying along the shared boundary.
+                if let Some(crossing) = self.open_interval(layer, (cx, cy), (ox, oy), seg, net) {
+                    out.push(PlanarEdge { to: other, crossing });
+                }
+            }
+        }
+        out
+    }
+
+    /// The longest sub-interval of `seg` not covered by a foreign wire
+    /// running along it, if long enough to pass.
+    fn open_interval(
+        &self,
+        layer: WireLayer,
+        cell_a: (usize, usize),
+        cell_b: (usize, usize),
+        seg: Segment,
+        net: NetId,
+    ) -> Option<Segment> {
+        let line = seg.supporting_line()?;
+        let dir = seg.delta();
+        let len_sq = dir.norm_sq() as f64;
+        // Collect covered parameter intervals [t0, t1] ⊂ [0, 1].
+        let mut covered: Vec<(f64, f64)> = Vec::new();
+        let mut cells = vec![cell_a];
+        if cell_b != cell_a {
+            cells.push(cell_b);
+        }
+        for (ox, oy) in cells {
+            let idx = self.cell_index(layer.index(), ox, oy);
+            for (wnet, w) in &self.cell_wires[idx] {
+                if *wnet == net {
+                    continue;
+                }
+                let Some(wline) = w.supporting_line() else { continue };
+                if wline != line {
+                    continue;
+                }
+                let ta = (w.a - seg.a).dot(dir) as f64 / len_sq;
+                let tb = (w.b - seg.a).dot(dir) as f64 / len_sq;
+                let (lo, hi) = if ta <= tb { (ta, tb) } else { (tb, ta) };
+                let lo = lo.max(0.0);
+                let hi = hi.min(1.0);
+                if lo < hi {
+                    covered.push((lo, hi));
+                }
+            }
+        }
+        if covered.is_empty() {
+            return Some(seg);
+        }
+        covered.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Longest gap.
+        let mut best: Option<(f64, f64)> = None;
+        let mut cursor = 0.0f64;
+        for (lo, hi) in covered.into_iter().chain([(1.0, 1.0)]) {
+            if lo > cursor {
+                let gap = (cursor, lo);
+                if best.map_or(true, |(a, b)| gap.1 - gap.0 > b - a) {
+                    best = Some(gap);
+                }
+            }
+            cursor = cursor.max(hi);
+        }
+        let (lo, hi) = best?;
+        let min_t = self.cfg.min_thickness as f64 / len_sq.sqrt();
+        if hi - lo < min_t {
+            return None;
+        }
+        let at = |t: f64| {
+            Point::new(
+                seg.a.x + (dir.dx as f64 * t).round() as Coord,
+                seg.a.y + (dir.dy as f64 * t).round() as Coord,
+            )
+        };
+        Some(Segment::new(at(lo), at(hi)))
+    }
+
+    /// Via-site edges usable from a tile: sites in the tile's cell whose
+    /// point lies inside the tile, each linking to the tile at the same
+    /// point on the adjacent layer.
+    pub fn via_neighbors(&self, id: TileId, net: NetId) -> Vec<(TileId, Point)> {
+        let t = self.tile(id);
+        let (cx, cy) = t.cell;
+        let mut out = Vec::new();
+        for site in self.via_sites(cx, cy) {
+            let other_layer = if site.upper == t.layer {
+                site.lower
+            } else if site.lower == t.layer {
+                site.upper
+            } else {
+                continue;
+            };
+            if !t.shape.contains(site.at) {
+                continue;
+            }
+            if let Some(dst) = self.tile_at(other_layer, site.at, net) {
+                out.push((dst, site.at));
+            }
+        }
+        out
+    }
+}
+
+/// Two-pass strip merging of disjoint rectangles: first horizontally
+/// within equal y-spans, then vertically within equal x-spans.
+fn strip_merge(mut rects: Vec<Rect>) -> Vec<Rect> {
+    let merge_axis = |mut rects: Vec<Rect>, horizontal: bool| -> Vec<Rect> {
+        rects.sort_by_key(|r| {
+            if horizontal {
+                (r.lo.y, r.hi.y, r.lo.x)
+            } else {
+                (r.lo.x, r.hi.x, r.lo.y)
+            }
+        });
+        let mut out: Vec<Rect> = Vec::with_capacity(rects.len());
+        for r in rects {
+            if let Some(last) = out.last_mut() {
+                let fits = if horizontal {
+                    last.lo.y == r.lo.y && last.hi.y == r.hi.y && last.hi.x == r.lo.x
+                } else {
+                    last.lo.x == r.lo.x && last.hi.x == r.hi.x && last.hi.y == r.lo.y
+                };
+                if fits {
+                    *last = last.union(r);
+                    continue;
+                }
+            }
+            out.push(r);
+        }
+        out
+    };
+    rects = merge_axis(rects, true);
+    merge_axis(rects, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use info_model::{DesignRules, PackageBuilder};
+
+    fn small_package() -> Package {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(400_000, 400_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c = b.add_chip(Rect::new(Point::new(40_000, 40_000), Point::new(160_000, 160_000)));
+        let p = b.add_io_pad(c, Point::new(100_000, 100_000)).unwrap();
+        let g = b.add_bump_pad(Point::new(300_000, 300_000)).unwrap();
+        b.add_net(p, g).unwrap();
+        b.build().unwrap()
+    }
+
+    fn cfg() -> SpaceConfig {
+        SpaceConfig {
+            cells_x: 4,
+            cells_y: 4,
+            clearance: 4_000,
+            min_thickness: 4_000,
+            via_width: 5_000,
+            via_cost: 20_000.0,
+        }
+    }
+
+    #[test]
+    fn build_produces_tiles_everywhere() {
+        let pkg = small_package();
+        let layout = Layout::new(&pkg);
+        let space = RoutingSpace::build(&pkg, &layout, cfg());
+        // Every cell on every layer has at least one tile.
+        for layer in [WireLayer(0), WireLayer(1)] {
+            for cy in 0..4 {
+                for cx in 0..4 {
+                    assert!(
+                        !space.tiles_in_cell(layer, cx, cy).is_empty(),
+                        "no tiles in cell ({cx},{cy}) layer {layer}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pad_tiles_are_net_tagged() {
+        let pkg = small_package();
+        let layout = Layout::new(&pkg);
+        let space = RoutingSpace::build(&pkg, &layout, cfg());
+        let net = NetId(0);
+        let pad_center = Point::new(100_000, 100_000);
+        // Own net can stand on its pad.
+        assert!(space.tile_at(WireLayer(0), pad_center, net).is_some());
+        // A foreign net cannot.
+        assert!(space.tile_at(WireLayer(0), pad_center, NetId(99)).is_none());
+        // Far away, anyone can.
+        assert!(space.tile_at(WireLayer(0), Point::new(350_000, 50_000), NetId(99)).is_some());
+    }
+
+    #[test]
+    fn via_sites_exist_in_open_cells() {
+        let pkg = small_package();
+        let layout = Layout::new(&pkg);
+        let space = RoutingSpace::build(&pkg, &layout, cfg());
+        let total: usize = (0..4)
+            .flat_map(|cy| (0..4).map(move |cx| (cx, cy)))
+            .map(|(cx, cy)| space.via_sites(cx, cy).len())
+            .sum();
+        assert!(total >= 12, "expected via sites in most cells, got {total}");
+    }
+
+    #[test]
+    fn planar_neighbors_cross_cell_borders() {
+        let pkg = small_package();
+        let layout = Layout::new(&pkg);
+        let space = RoutingSpace::build(&pkg, &layout, cfg());
+        let net = NetId(0);
+        let start = space.tile_at(WireLayer(0), Point::new(350_000, 50_000), net).unwrap();
+        let edges = space.planar_neighbors(start, net);
+        assert!(!edges.is_empty());
+        // All crossings are real shared boundaries.
+        for e in &edges {
+            assert!(e.crossing.len_euclid() > 0.0);
+        }
+    }
+
+    #[test]
+    fn wires_split_tiles_and_block_bands() {
+        let pkg = small_package();
+        let mut layout = Layout::new(&pkg);
+        // A horizontal foreign wire across the middle of a cell.
+        layout.add_route(
+            NetId(0),
+            WireLayer(0),
+            info_geom::Polyline::new(vec![Point::new(210_000, 250_000), Point::new(390_000, 250_000)]),
+        );
+        let space = RoutingSpace::build(&pkg, &layout, cfg());
+        // A foreign net standing just above the wire is inside the blocked
+        // band (clearance 4 µm): no free tile hosts a point 2 µm away.
+        let near = Point::new(300_000, 252_000);
+        let t = space.tile_at(WireLayer(0), near, NetId(5));
+        assert!(t.is_none(), "point 2 µm from a foreign wire must be blocked");
+        // 6 µm away is fine.
+        let far = Point::new(300_000, 258_000);
+        assert!(space.tile_at(WireLayer(0), far, NetId(5)).is_some());
+        // The wire's own net may pass.
+        assert!(space.tile_at(WireLayer(0), near, NetId(0)).is_some());
+    }
+
+    #[test]
+    fn diagonal_wire_produces_octagonal_tiles() {
+        let pkg = small_package();
+        let mut layout = Layout::new(&pkg);
+        layout.add_route(
+            NetId(0),
+            WireLayer(1),
+            info_geom::Polyline::new(vec![Point::new(210_000, 210_000), Point::new(290_000, 290_000)]),
+        );
+        let space = RoutingSpace::build(&pkg, &layout, cfg());
+        // Some tile on layer 1 now has a diagonal boundary (5+ edges or a
+        // triangle with a 45° side).
+        let has_diag = space.live_tiles().any(|(_, t)| {
+            t.layer == WireLayer(1)
+                && t.shape
+                    .edges()
+                    .iter()
+                    .any(|(d, s)| d.is_diagonal() && s.len_euclid() > 1_000.0)
+        });
+        assert!(has_diag, "expected diagonal tile boundaries");
+    }
+
+    #[test]
+    fn rebuild_dirty_refreshes_only_touched_cells() {
+        let pkg = small_package();
+        let mut layout = Layout::new(&pkg);
+        let space_before = RoutingSpace::build(&pkg, &layout, cfg());
+        let far_tile = space_before
+            .tile_at(WireLayer(0), Point::new(50_000, 350_000), NetId(9))
+            .unwrap();
+
+        layout.add_route(
+            NetId(0),
+            WireLayer(0),
+            info_geom::Polyline::new(vec![Point::new(310_000, 60_000), Point::new(390_000, 60_000)]),
+        );
+        let mut space = space_before.clone();
+        space.rebuild_dirty(
+            &pkg,
+            &layout,
+            Rect::new(Point::new(310_000, 60_000), Point::new(390_000, 60_000)),
+        );
+        // The far-away tile id survives (cell untouched).
+        assert!(space.tiles[far_tile.0 as usize].is_some());
+        // Near the new wire, a foreign net is now blocked.
+        assert!(space.tile_at(WireLayer(0), Point::new(350_000, 61_000), NetId(5)).is_none());
+    }
+}

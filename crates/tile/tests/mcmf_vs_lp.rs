@@ -1,0 +1,84 @@
+//! Cross-substrate validation: the min-cost max-flow assignment must agree
+//! with the LP relaxation of the same assignment problem (which is
+//! integral for bipartite matching polytopes).
+
+use info_lp::{Cmp, Model};
+use info_tile::mcmf::assign_min_cost;
+use rand::{Rng, SeedableRng};
+
+/// Solves the assignment LP: maximize matched pairs first (big reward),
+/// minimize cost second.
+fn assignment_by_lp(costs: &[Vec<Option<i64>>]) -> (usize, i64) {
+    let n_src = costs.len();
+    let n_snk = costs.first().map_or(0, Vec::len);
+    let mut m = Model::new();
+    let big = 1_000_000.0;
+    let mut vars = Vec::new();
+    for row in costs {
+        let mut row_vars = Vec::new();
+        for c in row {
+            match c {
+                Some(c) => row_vars.push(Some((m.add_var(0.0, 1.0, *c as f64 - big), *c))),
+                None => row_vars.push(None),
+            }
+        }
+        vars.push(row_vars);
+    }
+    for i in 0..n_src {
+        let terms: Vec<_> = vars[i].iter().flatten().map(|&(v, _)| (v, 1.0)).collect();
+        if !terms.is_empty() {
+            m.add_row(terms, Cmp::Le, 1.0);
+        }
+    }
+    for j in 0..n_snk {
+        let terms: Vec<_> = (0..n_src)
+            .filter_map(|i| vars[i][j].map(|(v, _)| (v, 1.0)))
+            .collect();
+        if !terms.is_empty() {
+            m.add_row(terms, Cmp::Le, 1.0);
+        }
+    }
+    let sol = m.solve().expect("assignment LP is feasible");
+    let mut matched = 0usize;
+    let mut cost = 0i64;
+    for row in &vars {
+        for entry in row.iter().flatten() {
+            if sol[entry.0] > 0.5 {
+                matched += 1;
+                cost += entry.1;
+            }
+        }
+    }
+    (matched, cost)
+}
+
+#[test]
+fn mcmf_matches_lp_on_random_assignments() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    for trial in 0..30 {
+        let n_src = rng.gen_range(1..6);
+        let n_snk = rng.gen_range(1..6);
+        let costs: Vec<Vec<Option<i64>>> = (0..n_src)
+            .map(|_| {
+                (0..n_snk)
+                    .map(|_| rng.gen_bool(0.8).then(|| rng.gen_range(1..50)))
+                    .collect()
+            })
+            .collect();
+        let flow_asg = assign_min_cost(&costs);
+        let flow_matched = flow_asg.iter().flatten().count();
+        let flow_cost: i64 = flow_asg
+            .iter()
+            .enumerate()
+            .filter_map(|(i, j)| j.map(|j| costs[i][j].expect("assigned pair is allowed")))
+            .sum();
+        let (lp_matched, lp_cost) = assignment_by_lp(&costs);
+        assert_eq!(flow_matched, lp_matched, "trial {trial}: cardinality differs");
+        assert_eq!(flow_cost, lp_cost, "trial {trial}: cost differs ({costs:?})");
+        // No sink double-booked.
+        let mut seen = std::collections::BTreeSet::new();
+        for j in flow_asg.iter().flatten() {
+            assert!(seen.insert(*j), "trial {trial}: sink {j} used twice");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Free-assignment routing: I/O pads without pre-assigned partners get a
+//! bump pad chosen by min-cost max-flow, then everything routes through
+//! the ordinary five-stage flow.
+//!
+//! ```sh
+//! cargo run --release --example free_assignment
+//! ```
+
+use info_rdl::geom::{Point, Rect};
+use info_rdl::model::{DesignRules, PackageBuilder};
+use info_rdl::router::free_assign::route_with_free_pads;
+use info_rdl::RouterConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_600_000, 1_000_000)),
+        DesignRules::default(),
+        2,
+    );
+    let chip = b.add_chip(Rect::new(Point::new(150_000, 250_000), Point::new(600_000, 750_000)));
+
+    // Two pre-assigned nets...
+    let p0 = b.add_io_pad(chip, Point::new(580_000, 300_000))?;
+    let g0 = b.add_bump_pad(Point::new(900_000, 300_000))?;
+    b.add_net(p0, g0)?;
+    let p1 = b.add_io_pad(chip, Point::new(580_000, 700_000))?;
+    let g1 = b.add_bump_pad(Point::new(900_000, 700_000))?;
+    b.add_net(p1, g1)?;
+
+    // ...five FA pads, and a BGA field of candidate bumps.
+    let fa: Vec<_> = (0..5)
+        .map(|i| b.add_io_pad(chip, Point::new(580_000, 380_000 + 70_000 * i)))
+        .collect::<Result<_, _>>()?;
+    for gy in 0..5i64 {
+        for gx in 0..3i64 {
+            b.add_bump_pad(Point::new(1_000_000 + 150_000 * gx, 200_000 + 150_000 * gy))?;
+        }
+    }
+    let package = b.build()?;
+
+    let (augmented, assignment, outcome) =
+        route_with_free_pads(&package, &fa, RouterConfig::default().with_global_cells(16));
+
+    println!("assigned {} FA pads ({} stranded):", assignment.pairs.len(), assignment.unassigned.len());
+    for (io, bump) in &assignment.pairs {
+        let a = augmented.pad(*io).center;
+        let z = augmented.pad(*bump).center;
+        println!("  {io} {a} -> {bump} {z}");
+    }
+    println!("routing: {}", outcome.stats);
+    Ok(())
+}

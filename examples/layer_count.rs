@@ -1,0 +1,27 @@
+//! The Fig. 2 story as a runnable example: entangled nets need one RDL
+//! each without flexible vias, but weave through two RDLs with them.
+//!
+//! ```sh
+//! cargo run --release --example layer_count
+//! ```
+
+use info_rdl::generators::patterns::entangled;
+use info_rdl::{InfoRouter, LinExtRouter, RouterConfig};
+
+fn main() {
+    let k = 3;
+    println!("three entangled inter-chip nets (the paper's Fig. 2 pattern)\n");
+    for layers in 1..=k + 1 {
+        let pkg = entangled(k, layers);
+        let cfg = RouterConfig::default().with_global_cells(16);
+        let ours = InfoRouter::new(cfg).route(&pkg);
+        let base = LinExtRouter::new(cfg).route(&pkg);
+        println!(
+            "{layers} wire layer(s): ours {:>5.1}% ({} vias) | no-via baseline {:>5.1}%",
+            ours.stats.routability_pct,
+            ours.stats.via_count,
+            base.stats.routability_pct,
+        );
+    }
+    println!("\nexpected: the baseline needs {k} layers; the via-based router needs 2.");
+}

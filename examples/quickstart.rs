@@ -1,0 +1,59 @@
+//! Quickstart: build a tiny two-chip package, route it, print the report,
+//! and dump an SVG of the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use info_rdl::geom::{Point, Rect};
+use info_rdl::model::{svg, DesignRules, PackageBuilder};
+use info_rdl::{InfoRouter, RouterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 1.4 mm × 0.9 mm die holding two chips with facing peripheral pads
+    // plus one chip-to-board net.
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_400_000, 900_000)),
+        DesignRules::default(),
+        2,
+    );
+    let left = b.add_chip(Rect::new(Point::new(150_000, 250_000), Point::new(500_000, 650_000)));
+    let right = b.add_chip(Rect::new(Point::new(900_000, 250_000), Point::new(1_250_000, 650_000)));
+
+    for i in 0..4i64 {
+        let y = 320_000 + 80_000 * i;
+        let a = b.add_io_pad(left, Point::new(480_000, y))?;
+        let z = b.add_io_pad(right, Point::new(920_000, y))?;
+        b.add_net(a, z)?;
+    }
+    let io = b.add_io_pad(left, Point::new(480_000, 620_000))?;
+    let bump = b.add_bump_pad(Point::new(700_000, 120_000))?;
+    b.add_net(io, bump)?;
+    let package = b.build()?;
+
+    let outcome = InfoRouter::new(RouterConfig::default()).route(&package);
+    println!("routing result: {}", outcome.stats);
+    println!(
+        "  stage timings: preprocess {:?}, concurrent {:?}, sequential {:?}, LP {:?}",
+        outcome.timings.preprocess,
+        outcome.timings.concurrent,
+        outcome.timings.sequential,
+        outcome.timings.lp
+    );
+    if let Some(lp) = &outcome.lp_final {
+        println!(
+            "  LP optimization: {:.0} µm -> {:.0} µm in {} iteration(s)",
+            lp.wirelength_before / 1_000.0,
+            lp.wirelength_after / 1_000.0,
+            lp.iterations
+        );
+    }
+    for v in outcome.drc.violations() {
+        println!("  violation: {v}");
+    }
+
+    let doc = svg::render(&package, Some(&outcome.layout));
+    std::fs::write("quickstart.svg", doc)?;
+    println!("wrote quickstart.svg");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! A smartwatch-class system-in-package: the kind of heterogeneous
+//! integration the paper's introduction motivates (SoC + PMIC + sensor
+//! hub on one InFO package), with chips of different technology nodes and
+//! hence *irregular* pad structures.
+//!
+//! The SoC uses a tight pad pitch; the PMIC (older node) uses a coarse,
+//! jittered pitch; the sensor hub scatters pads at arbitrary positions.
+//! The router must handle all of them plus chip-to-board nets.
+//!
+//! ```sh
+//! cargo run --release --example smartwatch_sip
+//! ```
+
+use info_rdl::geom::{Point, Rect};
+use info_rdl::model::{svg, DesignRules, PackageBuilder};
+use info_rdl::{InfoRouter, LinExtRouter, RouterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(3_000_000, 2_200_000)),
+        DesignRules::default(),
+        3,
+    );
+    // Application SoC (advanced node, fine pitch).
+    let soc = b.add_chip(Rect::new(Point::new(200_000, 600_000), Point::new(1_300_000, 1_800_000)));
+    // PMIC (mature node, coarse pitch).
+    let pmic = b.add_chip(Rect::new(Point::new(1_800_000, 1_300_000), Point::new(2_700_000, 1_950_000)));
+    // Sensor hub (irregular scatter).
+    let hub = b.add_chip(Rect::new(Point::new(1_800_000, 250_000), Point::new(2_700_000, 900_000)));
+
+    // SoC east-edge pads at 40 µm pitch.
+    let mut soc_pads = Vec::new();
+    for i in 0..12i64 {
+        soc_pads.push(b.add_io_pad(soc, Point::new(1_280_000, 700_000 + 40_000 * i))?);
+    }
+    // PMIC west-edge pads at ~90 µm pitch with jitter (older node).
+    let mut pmic_pads = Vec::new();
+    for i in 0..5i64 {
+        let jitter = (i * 13) % 29 * 1_000;
+        pmic_pads.push(b.add_io_pad(pmic, Point::new(1_820_000, 1_380_000 + 90_000 * i + jitter))?);
+    }
+    // Sensor hub pads scattered at arbitrary interior-ish positions near
+    // its west edge.
+    let hub_positions = [
+        (1_822_000, 330_000),
+        (1_835_000, 465_000),
+        (1_821_000, 610_000),
+        (1_840_000, 740_000),
+        (1_823_000, 860_000),
+    ];
+    let mut hub_pads = Vec::new();
+    for (x, y) in hub_positions {
+        hub_pads.push(b.add_io_pad(hub, Point::new(x, y))?);
+    }
+
+    // Inter-chip buses: SoC↔PMIC (power telemetry) and SoC↔hub (sensor
+    // data), deliberately interleaved so some nets entangle.
+    for i in 0..5usize {
+        b.add_net(soc_pads[i], pmic_pads[4 - i])?;
+    }
+    for (i, &hp) in hub_pads.iter().enumerate() {
+        b.add_net(soc_pads[5 + i], hp)?;
+    }
+    // Two chip-to-board nets from the SoC's remaining pads.
+    let bump_a = b.add_bump_pad(Point::new(600_000, 250_000))?;
+    let bump_b = b.add_bump_pad(Point::new(900_000, 250_000))?;
+    b.add_net(soc_pads[10], bump_a)?;
+    b.add_net(soc_pads[11], bump_b)?;
+
+    let package = b.build()?;
+    println!(
+        "smartwatch SiP: {} chips, {} I/O pads, {} nets, {} wire layers",
+        package.chips().len(),
+        package.io_pad_count(),
+        package.nets().len(),
+        package.wire_layer_count()
+    );
+
+    let ours = InfoRouter::new(RouterConfig::default()).route(&package);
+    println!("via-based router: {}", ours.stats);
+
+    let baseline = LinExtRouter::new(RouterConfig::default()).route(&package);
+    println!("Lin-ext baseline: {}", baseline.stats);
+
+    std::fs::write("smartwatch_sip.svg", svg::render(&package, Some(&ours.layout)))?;
+    println!("wrote smartwatch_sip.svg");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # info-rdl — via-based RDL routing for InFO packages
+//!
+//! A Rust implementation of *“Via-based Redistribution Layer Routing for
+//! InFO Packages with Irregular Pad Structures”* (Wen, Cai, Hsu, Chang —
+//! DAC 2020), complete with every substrate the paper depends on:
+//!
+//! - [`geom`] — exact integer X-architecture geometry (points, segments,
+//!   rectangles, the octagonal tile shape).
+//! - [`lp`] — a from-scratch sparse revised-simplex LP solver (the paper
+//!   used Gurobi).
+//! - [`model`] — the InFO package model: chips, irregular pads, nets,
+//!   obstacles, layer stack, routes, vias, and a full DRC verifier.
+//! - [`mpsc`] — Supowit's maximum-planar-subset-of-chords algorithm and
+//!   the paper's weighted extension.
+//! - [`tile`] — layout partitioning, the octagonal tile routing graph,
+//!   and A\* search.
+//! - [`router`] — the paper's five-stage flow ([`InfoRouter`]).
+//! - [`baseline`] — the Lin-ext comparison router (no flexible vias).
+//! - [`generators`] — synthetic dense1–dense5 benchmarks and the figure
+//!   patterns.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use info_rdl::geom::{Point, Rect};
+//! use info_rdl::model::{DesignRules, PackageBuilder};
+//! use info_rdl::{InfoRouter, RouterConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 0.5 mm × 0.5 mm die with one chip, one I/O pad, one bump pad.
+//! let mut b = PackageBuilder::new(
+//!     Rect::new(Point::new(0, 0), Point::new(500_000, 500_000)),
+//!     DesignRules::default(),
+//!     2, // wire layers
+//! );
+//! let chip = b.add_chip(Rect::new(Point::new(50_000, 50_000), Point::new(200_000, 200_000)));
+//! let io = b.add_io_pad(chip, Point::new(120_000, 120_000))?;
+//! let bump = b.add_bump_pad(Point::new(400_000, 400_000))?;
+//! b.add_net(io, bump)?;
+//! let package = b.build()?;
+//!
+//! let outcome = InfoRouter::new(RouterConfig::default()).route(&package);
+//! assert!(outcome.stats.fully_routed());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use info_baseline as baseline;
+pub use info_gen as generators;
+pub use info_geom as geom;
+pub use info_lp as lp;
+pub use info_model as model;
+pub use info_mpsc as mpsc;
+pub use info_router as router;
+pub use info_tile as tile;
+
+pub use info_baseline::{LinExtOutcome, LinExtRouter};
+pub use info_router::{InfoRouter, RouteOutcome, RouterConfig};

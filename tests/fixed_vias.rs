@@ -1,0 +1,76 @@
+//! Integration tests for pre-assigned (fixed) vias `V_p`.
+
+use info_rdl::geom::{Point, Rect};
+use info_rdl::model::{parse_package, write_package, DesignRules, NetId, PackageBuilder, WireLayer};
+use info_rdl::{InfoRouter, RouterConfig};
+
+fn package_with_fixed_via() -> info_rdl::model::Package {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_000_000, 600_000)),
+        DesignRules::default(),
+        2,
+    );
+    let chip = b.add_chip(Rect::new(Point::new(100_000, 150_000), Point::new(350_000, 450_000)));
+    let io = b.add_io_pad(chip, Point::new(330_000, 300_000)).unwrap();
+    let bump = b.add_bump_pad(Point::new(800_000, 300_000)).unwrap();
+    let net = b.add_net(io, bump).unwrap();
+    // The designer mandates a layer change at x = 500 µm.
+    b.add_fixed_via(net, Point::new(500_000, 300_000), WireLayer(0), WireLayer(1)).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn fixed_vias_seed_the_layout() {
+    let pkg = package_with_fixed_via();
+    let layout = info_rdl::model::Layout::new(&pkg);
+    let vias: Vec<_> = layout.vias().collect();
+    assert_eq!(vias.len(), 1);
+    assert!(vias[0].fixed);
+    assert_eq!(vias[0].center, Point::new(500_000, 300_000));
+    assert_eq!(vias[0].net, NetId(0));
+}
+
+#[test]
+fn router_keeps_fixed_vias_in_place() {
+    let pkg = package_with_fixed_via();
+    let out = InfoRouter::new(RouterConfig::default().with_global_cells(12)).route(&pkg);
+    assert!(out.stats.fully_routed(), "{}; {:?}", out.stats, out.failed);
+    // The mandated via is still exactly where the input put it.
+    let fixed: Vec<_> = out.layout.vias().filter(|v| v.fixed).collect();
+    assert_eq!(fixed.len(), 1);
+    assert_eq!(fixed[0].center, Point::new(500_000, 300_000));
+}
+
+#[test]
+fn fixed_vias_roundtrip_through_netlist() {
+    let pkg = package_with_fixed_via();
+    let text = write_package(&pkg);
+    assert!(text.contains("fixedvia 0 500000 300000 0 1"), "{text}");
+    let back = parse_package(&text).unwrap();
+    assert_eq!(back.pre_vias().len(), 1);
+    assert_eq!(back.pre_vias()[0].center, Point::new(500_000, 300_000));
+    assert_eq!(write_package(&back), text);
+}
+
+#[test]
+fn builder_rejects_bad_fixed_vias() {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(100_000, 100_000)),
+        DesignRules::default(),
+        2,
+    );
+    let chip = b.add_chip(Rect::new(Point::new(10_000, 10_000), Point::new(60_000, 60_000)));
+    let io = b.add_io_pad(chip, Point::new(30_000, 30_000)).unwrap();
+    let g = b.add_bump_pad(Point::new(80_000, 80_000)).unwrap();
+    let net = b.add_net(io, g).unwrap();
+    // Unknown net.
+    assert!(b.add_fixed_via(NetId(9), Point::new(50_000, 50_000), WireLayer(0), WireLayer(1)).is_err());
+    // Inverted span.
+    assert!(b.add_fixed_via(net, Point::new(50_000, 50_000), WireLayer(1), WireLayer(1)).is_err());
+    // Outside the die.
+    assert!(b
+        .add_fixed_via(net, Point::new(500_000, 50_000), WireLayer(0), WireLayer(1))
+        .is_err());
+    // A valid one.
+    assert!(b.add_fixed_via(net, Point::new(70_000, 70_000), WireLayer(0), WireLayer(1)).is_ok());
+}

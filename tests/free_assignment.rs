@@ -1,0 +1,54 @@
+//! Integration test: free-assignment routing across crates.
+
+use info_rdl::geom::{Point, Rect};
+use info_rdl::model::{DesignRules, PackageBuilder};
+use info_rdl::router::free_assign::{assign_free_pads, route_with_free_pads};
+use info_rdl::RouterConfig;
+
+#[test]
+fn fa_pads_route_alongside_pa_nets() {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_800_000, 1_200_000)),
+        DesignRules::default(),
+        2,
+    );
+    let chip = b.add_chip(Rect::new(Point::new(150_000, 300_000), Point::new(700_000, 900_000)));
+    // Pre-assigned nets.
+    let mut pa_nets = 0;
+    for i in 0..3i64 {
+        let io = b.add_io_pad(chip, Point::new(680_000, 380_000 + 80_000 * i)).unwrap();
+        let g = b.add_bump_pad(Point::new(1_100_000, 380_000 + 80_000 * i)).unwrap();
+        b.add_net(io, g).unwrap();
+        pa_nets += 1;
+    }
+    // FA pads plus a bump field.
+    let fa: Vec<_> = (0..4)
+        .map(|i| b.add_io_pad(chip, Point::new(680_000, 640_000 + 60_000 * i)).unwrap())
+        .collect();
+    for gy in 0..4i64 {
+        for gx in 0..2i64 {
+            b.add_bump_pad(Point::new(1_300_000 + 160_000 * gx, 500_000 + 160_000 * gy)).unwrap();
+        }
+    }
+    let pkg = b.build().unwrap();
+
+    // Assignment alone is deterministic and complete.
+    let asg1 = assign_free_pads(&pkg, &fa);
+    let asg2 = assign_free_pads(&pkg, &fa);
+    assert_eq!(asg1, asg2, "assignment must be deterministic");
+    assert_eq!(asg1.pairs.len(), 4);
+
+    let (aug, asg, out) =
+        route_with_free_pads(&pkg, &fa, RouterConfig::default().with_global_cells(14));
+    assert_eq!(aug.nets().len(), pa_nets + asg.pairs.len());
+    assert!(
+        out.stats.routability_pct >= 85.0,
+        "most nets should route: {} ({:?})",
+        out.stats,
+        out.failed
+    );
+    // Geometry clean: only unrouted nets may be flagged.
+    for v in out.drc.violations() {
+        assert!(matches!(v, info_rdl::model::drc::Violation::Disconnected { .. }), "{v}");
+    }
+}

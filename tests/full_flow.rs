@@ -1,0 +1,105 @@
+//! Cross-crate integration tests: the complete flow on generated
+//! circuits, verified end-to-end by the DRC.
+
+use info_rdl::generators::{dense_spec, patterns};
+use info_rdl::geom::{Point, Rect};
+use info_rdl::model::{drc, DesignRules, PackageBuilder};
+use info_rdl::{InfoRouter, LinExtRouter, RouterConfig};
+
+/// A small dense-style circuit (scaled-down dense1) routes completely and
+/// cleanly through the full five-stage flow.
+#[test]
+fn small_dense_circuit_routes_cleanly() {
+    let mut spec = dense_spec(1);
+    spec.io_pads = 12;
+    spec.nets = 6;
+    spec.bump_pads = 30;
+    spec.seed = 7;
+    let pkg = info_rdl::generators::build_dense(spec, false);
+    let out = InfoRouter::new(RouterConfig::default().with_global_cells(14)).route(&pkg);
+    assert!(
+        out.stats.routability_pct >= 99.0,
+        "small instance should fully route: {} (failed {:?})",
+        out.stats,
+        out.failed
+    );
+    assert_eq!(out.stats.violation_count, 0, "{:#?}", out.drc.violations());
+    // Every routed net is individually connected.
+    for n in pkg.nets() {
+        if !out.failed.contains(&n.id) {
+            assert!(drc::is_connected(&pkg, &out.layout, n.id), "{} disconnected", n.id);
+        }
+    }
+}
+
+/// The via-based router must beat the no-via baseline on the entangled
+/// pattern with two layers (the Fig. 2 contrast, end to end).
+#[test]
+fn via_router_beats_baseline_on_entangled_pattern() {
+    let pkg = patterns::entangled(3, 2);
+    let cfg = RouterConfig::default().with_global_cells(16);
+    let ours = InfoRouter::new(cfg).route(&pkg);
+    let base = LinExtRouter::new(cfg).route(&pkg);
+    assert!(
+        ours.stats.routed_nets > base.stats.routed_nets,
+        "ours {} vs baseline {}",
+        ours.stats,
+        base.stats
+    );
+    assert!(ours.stats.via_count > 0, "weaving requires vias");
+}
+
+/// The final layout never contains crossings, whatever else happens.
+#[test]
+fn no_crossings_survive_the_flow() {
+    for k in [2usize, 4] {
+        let pkg = patterns::entangled(k, 2);
+        let out = InfoRouter::new(RouterConfig::default().with_global_cells(16)).route(&pkg);
+        let crossings = out
+            .drc
+            .violations()
+            .iter()
+            .filter(|v| matches!(v, drc::Violation::Crossing { .. }))
+            .count();
+        assert_eq!(crossings, 0, "k = {k}: {:#?}", out.drc.violations());
+    }
+}
+
+/// Obstacles are honored end to end: a net whose only corridor is blocked
+/// on one layer dives through a via and comes back up.
+#[test]
+fn router_dives_under_an_obstacle() {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_000_000, 600_000)),
+        DesignRules::default(),
+        2,
+    );
+    let c1 = b.add_chip(Rect::new(Point::new(100_000, 150_000), Point::new(350_000, 450_000)));
+    let c2 = b.add_chip(Rect::new(Point::new(650_000, 150_000), Point::new(900_000, 450_000)));
+    let a = b.add_io_pad(c1, Point::new(330_000, 300_000)).unwrap();
+    let z = b.add_io_pad(c2, Point::new(670_000, 300_000)).unwrap();
+    b.add_net(a, z).unwrap();
+    // A full-height wall on the top layer only, between the chips.
+    b.add_obstacle(
+        info_rdl::model::WireLayer(0),
+        Rect::new(Point::new(480_000, 0), Point::new(520_000, 600_000)),
+    )
+    .unwrap();
+    let pkg = b.build().unwrap();
+    let out = InfoRouter::new(RouterConfig::default().with_global_cells(12)).route(&pkg);
+    assert!(out.stats.fully_routed(), "{}; {:?}", out.stats, out.failed);
+    assert!(out.stats.via_count >= 2, "must dive under the wall and resurface");
+    assert_eq!(out.stats.violation_count, 0, "{:#?}", out.drc.violations());
+}
+
+/// Determinism: routing the same package twice gives identical statistics.
+#[test]
+fn routing_is_deterministic() {
+    let pkg = patterns::entangled(3, 3);
+    let cfg = RouterConfig::default().with_global_cells(12);
+    let a = InfoRouter::new(cfg).route(&pkg);
+    let b = InfoRouter::new(cfg).route(&pkg);
+    assert_eq!(a.stats.routed_nets, b.stats.routed_nets);
+    assert_eq!(a.stats.via_count, b.stats.via_count);
+    assert!((a.stats.total_wirelength_um - b.stats.total_wirelength_um).abs() < 1e-9);
+}

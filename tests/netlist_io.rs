@@ -1,0 +1,28 @@
+//! Integration tests for benchmark serialization across crates.
+
+use info_rdl::generators::{dense_spec, patterns};
+use info_rdl::model::{parse_package, write_package};
+
+#[test]
+fn generated_benchmarks_roundtrip_through_text() {
+    let mut spec = dense_spec(1);
+    spec.io_pads = 16;
+    spec.nets = 8;
+    spec.bump_pads = 40;
+    let pkg = info_rdl::generators::build_dense(spec, false);
+    let text = write_package(&pkg);
+    let back = parse_package(&text).expect("roundtrip parse");
+    assert_eq!(write_package(&back), text, "serialization is a fixpoint");
+    assert_eq!(back.nets().len(), pkg.nets().len());
+    assert_eq!(back.rules(), pkg.rules());
+    assert_eq!(back.die(), pkg.die());
+}
+
+#[test]
+fn pattern_packages_roundtrip_including_obstacles() {
+    let pkg = patterns::entangled(3, 2);
+    let text = write_package(&pkg);
+    let back = parse_package(&text).expect("roundtrip parse");
+    assert_eq!(back.obstacles().len(), pkg.obstacles().len());
+    assert_eq!(back.wire_layer_count(), pkg.wire_layer_count());
+}
