@@ -2,30 +2,32 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use info_model::Layout;
-use info_router::{assign, concurrent, preprocess, sequential, InfoRouter, RouterConfig};
+use info_router::{assign, concurrent, preprocess, sequential, FlowCtx, InfoRouter, RouterConfig};
 use info_tile::{astar, RoutingSpace};
 
 fn bench_stages(c: &mut Criterion) {
     let pkg = info_gen::dense(1);
     let cfg = RouterConfig::default();
+    let ctx = FlowCtx::default();
 
     let mut group = c.benchmark_group("stages_dense1");
     group.sample_size(10);
 
     group.bench_function("preprocess", |b| {
-        b.iter(|| preprocess::preprocess(&pkg, &cfg));
+        b.iter(|| preprocess::preprocess(&pkg, &cfg, &ctx));
     });
 
-    let pre = preprocess::preprocess(&pkg, &cfg);
+    let pre = preprocess::preprocess(&pkg, &cfg, &ctx).expect("preprocess dense1");
     group.bench_function("assign_layers", |b| {
-        b.iter(|| assign::assign_layers(&pre, &cfg, pkg.wire_layer_count()));
+        b.iter(|| assign::assign_layers(&pre, &cfg, pkg.wire_layer_count(), &ctx));
     });
 
-    let asg = assign::assign_layers(&pre, &cfg, pkg.wire_layer_count());
+    let asg =
+        assign::assign_layers(&pre, &cfg, pkg.wire_layer_count(), &ctx).expect("assign dense1");
     group.bench_function("concurrent_route", |b| {
         b.iter(|| {
             let mut layout = Layout::new(&pkg);
-            concurrent::route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg)
+            concurrent::route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg, &ctx)
         });
     });
 

@@ -5,18 +5,19 @@
 //! gap. The paper fixes α, β, γ, δ = 0.1, 1, 1, 2.
 
 use info_model::Layout;
-use info_router::{assign, concurrent, preprocess, RouterConfig};
+use info_router::{assign, concurrent, preprocess, FlowCtx, RouterConfig, RouterError};
 
-fn run(cfg: RouterConfig) -> (usize, usize) {
+fn run(cfg: RouterConfig) -> Result<(usize, usize), RouterError> {
     let pkg = info_gen::patterns::congested_channel(8, 4, 1);
-    let pre = preprocess::preprocess(&pkg, &cfg);
-    let asg = assign::assign_layers(&pre, &cfg, pkg.wire_layer_count());
+    let ctx = FlowCtx::default();
+    let pre = preprocess::preprocess(&pkg, &cfg, &ctx)?;
+    let asg = assign::assign_layers(&pre, &cfg, pkg.wire_layer_count(), &ctx)?;
     let mut layout = Layout::new(&pkg);
-    let res = concurrent::route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg);
+    let res = concurrent::route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg, &ctx)?;
     let report = info_model::drc::check(&pkg, &layout);
     let delivered =
         res.routed.iter().filter(|n| !report.dirty_nets().contains(n)).count();
-    (asg.assigned_count(), delivered)
+    Ok((asg.assigned_count(), delivered))
 }
 
 fn main() {
@@ -32,8 +33,15 @@ fn main() {
         ("log base 10 (0.1, 1, 1, 10)", RouterConfig { delta: 10.0, ..base }),
     ];
     for (label, cfg) in combos {
-        let (assigned, delivered) = run(cfg);
-        println!("{label:<28} | {assigned:>9} | {delivered:>9}");
+        match run(cfg) {
+            Ok((assigned, delivered)) => {
+                println!("{label:<28} | {assigned:>9} | {delivered:>9}");
+            }
+            Err(e) => {
+                eprintln!("ablation_params: {label}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     println!("(dropping the overflow terms reverts to cardinality behavior: more assigned, fewer delivered)");
 }

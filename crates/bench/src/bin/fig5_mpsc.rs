@@ -8,19 +8,24 @@
 
 use info_gen::patterns::congested_channel;
 use info_model::Layout;
-use info_router::{assign, concurrent, preprocess, RouterConfig};
+use info_router::{assign, concurrent, preprocess, FlowCtx, RouterConfig, RouterError};
 
-fn run(weighted: bool, n_through: usize, n_local: usize) -> (usize, usize, f64) {
+fn run(
+    weighted: bool,
+    n_through: usize,
+    n_local: usize,
+) -> Result<(usize, usize, f64), RouterError> {
     let pkg = congested_channel(n_through, n_local, 1);
     let cfg = if weighted {
         RouterConfig::default()
     } else {
         RouterConfig::default().with_unweighted_mpsc()
     };
-    let pre = preprocess::preprocess(&pkg, &cfg);
-    let asg = assign::assign_layers(&pre, &cfg, pkg.wire_layer_count());
+    let ctx = FlowCtx::default();
+    let pre = preprocess::preprocess(&pkg, &cfg, &ctx)?;
+    let asg = assign::assign_layers(&pre, &cfg, pkg.wire_layer_count(), &ctx)?;
     let mut layout = Layout::new(&pkg);
-    let res = concurrent::route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg);
+    let res = concurrent::route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg, &ctx)?;
     // Of the nets the assignment promised, how many did detailed routing
     // deliver cleanly?
     let report = info_model::drc::check(&pkg, &layout);
@@ -36,7 +41,7 @@ fn run(weighted: bool, n_through: usize, n_local: usize) -> (usize, usize, f64) 
         .zip(pre.demands.iter())
         .map(|(c, d)| if d > c { d / c } else { 0.0 })
         .fold(0.0f64, f64::max);
-    (promised, clean, max_ov)
+    Ok((promised, clean, max_ov))
 }
 
 fn main() {
@@ -46,8 +51,20 @@ fn main() {
         "assignment", "assigned", "delivered", "max overflow"
     );
     for (through, local) in [(6usize, 3usize), (8, 4), (10, 4)] {
-        let (pu, du, ov) = run(false, through, local);
-        let (pw, dw, _) = run(true, through, local);
+        let (pu, du, ov) = match run(false, through, local) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("fig5_mpsc: unweighted t={through} l={local}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let (pw, dw, _) = match run(true, through, local) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("fig5_mpsc: weighted t={through} l={local}: {e}");
+                std::process::exit(1);
+            }
+        };
         println!(
             "unweighted t={through} l={local:<3} | {:>9} | {:>9} | {:>10.2}",
             pu, du, ov

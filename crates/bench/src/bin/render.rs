@@ -23,6 +23,9 @@ fn main() {
     } else {
         svg::render(&pkg, None)
     };
-    std::fs::write(&out, doc).expect("write svg");
+    if let Err(e) = std::fs::write(&out, doc) {
+        eprintln!("render: failed to write {out}: {e}");
+        std::process::exit(1);
+    }
     eprintln!("wrote {out}");
 }

@@ -2,6 +2,7 @@
 
 use crate::config::RouterConfig;
 use crate::preprocess::Preprocessed;
+use crate::resilience::{FaultSite, FlowCtx, RouterError};
 use info_mpsc::{peel_layers, Chord};
 
 /// Layer assignment of the concurrent-routing candidates.
@@ -25,7 +26,15 @@ impl Assignment {
 ///
 /// With `cfg.weighted_mpsc == false` the chords carry unit weights
 /// (plain Supowit MPSC — the paper's Fig. 5 "before" behavior).
-pub fn assign_layers(pre: &Preprocessed, cfg: &RouterConfig, wire_layers: usize) -> Assignment {
+///
+/// Fails on a malformed circular model (peel error) or an injected
+/// `assign.peel` fault; the flow then routes every candidate sequentially.
+pub fn assign_layers(
+    pre: &Preprocessed,
+    cfg: &RouterConfig,
+    wire_layers: usize,
+    ctx: &FlowCtx,
+) -> Result<Assignment, RouterError> {
     let chords: Vec<Chord> = pre
         .candidates
         .iter()
@@ -34,15 +43,13 @@ pub fn assign_layers(pre: &Preprocessed, cfg: &RouterConfig, wire_layers: usize)
             Chord::new(c.a.circle, c.b.circle, w)
         })
         .collect();
+    ctx.check(FaultSite::AssignPeel)?;
     match peel_layers(pre.circle_points, &chords, wire_layers) {
-        Ok(asg) => Assignment { per_layer: asg.layers, unassigned: asg.unassigned },
-        Err(_) => {
-            // Defensive: malformed circle (should not happen — preprocessing
-            // allocates unique positions). Fall back to all-sequential.
-            Assignment {
-                per_layer: vec![Vec::new(); wire_layers],
-                unassigned: (0..pre.candidates.len()).collect(),
-            }
+        Ok(asg) => Ok(Assignment { per_layer: asg.layers, unassigned: asg.unassigned }),
+        Err(e) => {
+            // Malformed circle (should not happen — preprocessing allocates
+            // unique positions). The flow degrades to all-sequential.
+            Err(RouterError::Assign(format!("MPSC peel rejected the circular model: {e:?}")))
         }
     }
 }
@@ -77,9 +84,9 @@ mod tests {
     fn parallel_nets_share_a_layer() {
         let pkg = parallel_nets_package(4);
         let cfg = RouterConfig::default();
-        let pre = preprocess(&pkg, &cfg);
+        let pre = preprocess(&pkg, &cfg, &crate::resilience::FlowCtx::default()).unwrap();
         assert_eq!(pre.candidates.len(), 4);
-        let asg = assign_layers(&pre, &cfg, 3);
+        let asg = assign_layers(&pre, &cfg, 3, &crate::resilience::FlowCtx::default()).unwrap();
         assert_eq!(asg.assigned_count(), 4);
         // Parallel facing nets are planar: first layer takes them all.
         assert_eq!(asg.per_layer[0].len(), 4, "{asg:?}");
@@ -89,8 +96,8 @@ mod tests {
     fn zero_layers_assigns_nothing() {
         let pkg = parallel_nets_package(2);
         let cfg = RouterConfig::default();
-        let pre = preprocess(&pkg, &cfg);
-        let asg = assign_layers(&pre, &cfg, 0);
+        let pre = preprocess(&pkg, &cfg, &crate::resilience::FlowCtx::default()).unwrap();
+        let asg = assign_layers(&pre, &cfg, 0, &crate::resilience::FlowCtx::default()).unwrap();
         assert_eq!(asg.assigned_count(), 0);
         assert_eq!(asg.unassigned.len(), 2);
     }
@@ -99,9 +106,9 @@ mod tests {
     fn unweighted_flag_changes_only_weights() {
         let pkg = parallel_nets_package(3);
         let cfg = RouterConfig::default();
-        let pre = preprocess(&pkg, &cfg);
-        let w = assign_layers(&pre, &cfg, 3);
-        let u = assign_layers(&pre, &cfg.with_unweighted_mpsc(), 3);
+        let pre = preprocess(&pkg, &cfg, &crate::resilience::FlowCtx::default()).unwrap();
+        let w = assign_layers(&pre, &cfg, 3, &crate::resilience::FlowCtx::default()).unwrap();
+        let u = assign_layers(&pre, &cfg.with_unweighted_mpsc(), 3, &crate::resilience::FlowCtx::default()).unwrap();
         // On an uncongested instance both assign everything.
         assert_eq!(w.assigned_count(), 3);
         assert_eq!(u.assigned_count(), 3);

@@ -11,6 +11,7 @@
 use crate::assign::Assignment;
 use crate::config::RouterConfig;
 use crate::preprocess::{CandidateNet, Preprocessed};
+use crate::resilience::{FaultSite, FlowCtx, RouterError};
 use info_geom::{Coord, Dir8, Point, Polyline, Rect, Segment};
 use info_model::{Layout, NetId, Package, PadKind, WireLayer};
 use info_tile::realize::{xarch_connect, xarch_connect_pref};
@@ -56,13 +57,20 @@ fn outward(chip: Rect, at: Point) -> Dir8 {
 }
 
 /// Routes all assigned candidates; commits geometry into `layout`.
+///
+/// Fails only on an injected `concurrent.commit` fault (or an internal
+/// inconsistency); the flow then restores the pre-stage layout and routes
+/// every net sequentially. A tripped stage budget is not a failure: the
+/// stage stops early and hands the unrouted candidates to the sequential
+/// stage via `skipped`.
 pub fn route_concurrent(
     package: &Package,
     layout: &mut Layout,
     pre: &Preprocessed,
     asg: &Assignment,
     cfg: &RouterConfig,
-) -> ConcurrentResult {
+    ctx: &FlowCtx,
+) -> Result<ConcurrentResult, RouterError> {
     let _ = cfg;
     let rules = package.rules();
     let pitch = rules.wire_width + rules.min_spacing;
@@ -104,9 +112,15 @@ pub fn route_concurrent(
         v.sort_by_key(|&ci| (span(ci), ci));
     }
     let offset_of = |ci: usize, g1: usize, g2: usize, k: u8| -> (usize, usize) {
-        let key = (g1.min(g2), g1.max(g2), k);
-        let list = &edge_usage[&key];
-        (list.iter().position(|&x| x == ci).expect("net uses edge"), list.len())
+        // A net absent from its own edge list means the usage tables are
+        // inconsistent; lane 0 keeps it routable and the clearance check
+        // rejects the geometry if the lane is actually taken.
+        match edge_usage.get(&(g1.min(g2), g1.max(g2), k)) {
+            Some(list) => {
+                (list.iter().position(|&x| x == ci).unwrap_or(0), list.len().max(1))
+            }
+            None => (0, 1),
+        }
     };
     let grid_offset_of = |ci: usize, g: usize, k: u8| -> (usize, usize) {
         match grid_usage.get(&(g, k)) {
@@ -123,7 +137,18 @@ pub fn route_concurrent(
     for (k, layer_nets) in asg.per_layer.iter().enumerate() {
         let layer = WireLayer(k as u8);
         for &ci in layer_nets {
-            let c = &pre.candidates[ci];
+            // Cooperative budget: unrouted candidates go to the sequential
+            // stage instead of being dropped.
+            if ctx.deadline_exceeded() {
+                result.skipped.push(ci);
+                continue;
+            }
+            let Some(c) = pre.candidates.get(ci) else {
+                return Err(RouterError::Concurrent(format!(
+                    "assignment references candidate {ci} of {}",
+                    pre.candidates.len()
+                )));
+            };
             // First try the tight pattern (border crossings only); if it
             // cannot be committed, retry through the grid centers, which
             // gives conflicts near pad rows a wide berth.
@@ -156,6 +181,7 @@ pub fn route_concurrent(
             }
             match attempt {
                 Some(real) => {
+                    ctx.check(FaultSite::ConcurrentCommit)?;
                     for (l, pl) in real.routes {
                         layout.add_route(c.net, l, pl);
                     }
@@ -168,7 +194,7 @@ pub fn route_concurrent(
             }
         }
     }
-    result
+    Ok(result)
 }
 
 struct Realized {
@@ -177,6 +203,7 @@ struct Realized {
 }
 
 /// Builds the geometry of one candidate on its assigned layer.
+#[allow(clippy::too_many_arguments)]
 fn realize_candidate(
     package: &Package,
     pre: &Preprocessed,
@@ -296,8 +323,12 @@ fn realize_candidate(
         );
         waypoints.push(p);
     }
-    if via_centers && c.pre_route.len() >= 2 {
-        waypoints.push(center_offset(*c.pre_route.last().expect("nonempty")));
+    if via_centers {
+        if let [.., last] = c.pre_route[..] {
+            if c.pre_route.len() >= 2 {
+                waypoints.push(center_offset(last));
+            }
+        }
     }
     waypoints.push(end);
 
@@ -305,7 +336,7 @@ fn realize_candidate(
     let mut pts = vec![waypoints[0]];
     let mut dir = None;
     for &wp in &waypoints[1..] {
-        let from = *pts.last().expect("nonempty");
+        let Some(&from) = pts.last() else { break };
         if wp == from {
             continue;
         }
@@ -352,10 +383,10 @@ mod tests {
     fn concurrent_routes_connect_and_pass_drc() {
         let pkg = facing_pads_package(4, 2);
         let cfg = RouterConfig::default();
-        let pre = preprocess(&pkg, &cfg);
-        let asg = assign_layers(&pre, &cfg, pkg.wire_layer_count());
+        let pre = preprocess(&pkg, &cfg, &crate::resilience::FlowCtx::default()).unwrap();
+        let asg = assign_layers(&pre, &cfg, pkg.wire_layer_count(), &crate::resilience::FlowCtx::default()).unwrap();
         let mut layout = Layout::new(&pkg);
-        let res = route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg);
+        let res = route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg, &crate::resilience::FlowCtx::default()).unwrap();
         assert_eq!(res.routed.len(), 4, "skipped: {:?}", res.skipped);
         let report = drc::check(&pkg, &layout);
         for n in pkg.nets() {
@@ -389,11 +420,11 @@ mod tests {
         b.add_net(a1, g1).unwrap();
         let pkg = b.build().unwrap();
         let cfg = RouterConfig::default();
-        let pre = preprocess(&pkg, &cfg);
+        let pre = preprocess(&pkg, &cfg, &crate::resilience::FlowCtx::default()).unwrap();
         assert_eq!(pre.candidates.len(), 1);
-        let asg = assign_layers(&pre, &cfg, pkg.wire_layer_count());
+        let asg = assign_layers(&pre, &cfg, pkg.wire_layer_count(), &crate::resilience::FlowCtx::default()).unwrap();
         let mut layout = Layout::new(&pkg);
-        let res = route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg);
+        let res = route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg, &crate::resilience::FlowCtx::default()).unwrap();
         assert_eq!(res.routed.len(), 1);
         // The net ends on a bump pad (bottom layer): either it was assigned
         // to layer 0 and needs a via down, or assigned to layer 1 and needs
@@ -406,10 +437,10 @@ mod tests {
     fn offsets_keep_parallel_nets_apart() {
         let pkg = facing_pads_package(3, 2);
         let cfg = RouterConfig::default();
-        let pre = preprocess(&pkg, &cfg);
-        let asg = assign_layers(&pre, &cfg, pkg.wire_layer_count());
+        let pre = preprocess(&pkg, &cfg, &crate::resilience::FlowCtx::default()).unwrap();
+        let asg = assign_layers(&pre, &cfg, pkg.wire_layer_count(), &crate::resilience::FlowCtx::default()).unwrap();
         let mut layout = Layout::new(&pkg);
-        route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg);
+        route_concurrent(&pkg, &mut layout, &pre, &asg, &cfg, &crate::resilience::FlowCtx::default()).unwrap();
         // No two routes of different nets cross.
         let routes: Vec<_> = layout.routes().collect();
         for (i, r1) in routes.iter().enumerate() {

@@ -1,6 +1,8 @@
 //! Router configuration.
 
+use crate::resilience::FaultPlan;
 use info_geom::Coord;
+use std::time::Duration;
 
 /// Tuning parameters of the five-stage flow.
 ///
@@ -34,6 +36,13 @@ pub struct RouterConfig {
     pub peripheral_margin: Coord,
     /// Extra cost per via in A\*, as a multiple of the via width.
     pub via_cost_factor: f64,
+    /// Per-stage wall-clock budget. Stages check it cooperatively (per
+    /// net, per candidate, per LP iteration) and stop early with partial
+    /// results when it trips; `None` disables the budget.
+    pub stage_budget: Option<Duration>,
+    /// Deterministic fault-injection plan (testing aid; the default plan
+    /// injects nothing and the checks are branch-predictable no-ops).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for RouterConfig {
@@ -50,6 +59,8 @@ impl Default for RouterConfig {
             lp_max_iterations: 50,
             peripheral_margin: 40_000,
             via_cost_factor: 4.0,
+            stage_budget: None,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -83,6 +94,18 @@ impl RouterConfig {
         self.global_cells = n.max(1);
         self
     }
+
+    /// Sets a per-stage wall-clock budget.
+    pub fn with_stage_budget(mut self, budget: Duration) -> Self {
+        self.stage_budget = Some(budget);
+        self
+    }
+
+    /// Arms a fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +129,19 @@ mod tests {
         assert!(!c.weighted_mpsc);
         assert!(!c.lp_enabled);
         assert_eq!(c.global_cells, 10);
+    }
+
+    #[test]
+    fn resilience_builders() {
+        use crate::resilience::{FaultPlan, FaultSite};
+        let c = RouterConfig::default();
+        assert!(c.stage_budget.is_none());
+        assert!(c.fault_plan.is_empty());
+        let c = c
+            .with_stage_budget(Duration::from_secs(5))
+            .with_fault_plan(FaultPlan::single(FaultSite::LpFactorize));
+        assert_eq!(c.stage_budget, Some(Duration::from_secs(5)));
+        assert!(c.fault_plan.directive(FaultSite::LpFactorize).is_some());
+        assert!(c.fault_plan.directive(FaultSite::AstarExpand).is_none());
     }
 }

@@ -1,12 +1,28 @@
-//! The five-stage routing flow (Fig. 3).
+//! The five-stage routing flow (Fig. 3), fault-isolated.
+//!
+//! Every stage runs under a guard ([`crate::resilience::guard_stage`]):
+//! panics are caught, typed errors are recorded, and each failure degrades
+//! the flow instead of aborting it —
+//!
+//! - preprocess / assign / concurrent failure → the pre-stage layout is
+//!   restored and every net is routed sequentially;
+//! - LP failure → the affected component keeps its pre-LP geometry (inside
+//!   the stage), and a stage-level panic restores the whole pre-LP layout;
+//! - a sequential per-net failure marks only that net unrouted.
+//!
+//! `route` therefore always returns a [`RouteOutcome`] whose layout passed
+//! through the same DRC verification as a clean run; what happened in each
+//! stage is recorded in [`FlowDiagnostics`].
 
 use crate::assign::assign_layers;
 use crate::concurrent::route_concurrent;
 use crate::config::RouterConfig;
 use crate::lpopt::{self, LpOptReport};
 use crate::preprocess::preprocess;
-use crate::sequential::route_sequential;
+use crate::resilience::{guard_stage, FlowCtx, FlowDiagnostics, Stage, StageOutcome};
+use crate::sequential::{route_sequential, SequentialResult};
 use info_model::{drc::DrcReport, stats::LayoutStats, Layout, NetId, Package};
+use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 /// Wall-clock time spent in each stage.
@@ -50,6 +66,9 @@ pub struct RouteOutcome {
     pub lp_mid: Option<LpOptReport>,
     /// LP report of the final pass.
     pub lp_final: Option<LpOptReport>,
+    /// Per-stage outcomes: what ran clean, what was recovered from, what
+    /// timed out, and which injected faults fired.
+    pub diagnostics: FlowDiagnostics,
 }
 
 /// The via-based multi-chip multi-layer InFO RDL router.
@@ -74,22 +93,48 @@ impl InfoRouter {
     /// Stage order follows the paper (Fig. 3); per §IV the LP optimization
     /// also runs once right after concurrent routing so the shortened
     /// wires release routing resources for the sequential stage.
+    ///
+    /// No panic or solver failure escapes this method: each stage runs
+    /// under a panic guard with rollback, and failures degrade the result
+    /// (details in `diagnostics`) instead of propagating.
     pub fn route(&self, package: &Package) -> RouteOutcome {
+        let ctx = FlowCtx::new(self.cfg.fault_plan);
+        let budget = self.cfg.stage_budget;
         let mut layout = Layout::new(package);
         let mut timings = StageTimings::default();
+        let mut diagnostics = FlowDiagnostics::default();
         let mut lp_mid = None;
 
-        // --- Stage 1 + 2.
+        // --- Stage 1 + 2: any failure here degrades to all-sequential.
         let mut concurrent_done: Vec<NetId> = Vec::new();
         if self.cfg.concurrent_enabled {
             let t0 = Instant::now();
-            let pre = preprocess(package, &self.cfg);
+            let (pre, outcome) = guard_stage(Stage::Preprocess, &ctx, budget, || {
+                preprocess(package, &self.cfg, &ctx)
+            });
+            diagnostics.preprocess = outcome;
             timings.preprocess = t0.elapsed();
 
             let t1 = Instant::now();
-            let asg = assign_layers(&pre, &self.cfg, package.wire_layer_count());
-            let res = route_concurrent(package, &mut layout, &pre, &asg, &self.cfg);
-            concurrent_done = res.routed;
+            if let Some(pre) = pre {
+                let (asg, outcome) = guard_stage(Stage::Assign, &ctx, budget, || {
+                    assign_layers(&pre, &self.cfg, package.wire_layer_count(), &ctx)
+                });
+                diagnostics.assign = outcome;
+                if let Some(asg) = asg {
+                    // The concurrent stage mutates the layout; snapshot so
+                    // a mid-commit failure can be rolled back cleanly.
+                    let snapshot = layout.clone();
+                    let (res, outcome) = guard_stage(Stage::Concurrent, &ctx, budget, || {
+                        route_concurrent(package, &mut layout, &pre, &asg, &self.cfg, &ctx)
+                    });
+                    diagnostics.concurrent = outcome;
+                    match res {
+                        Some(res) => concurrent_done = res.routed,
+                        None => layout = snapshot,
+                    }
+                }
+            }
             timings.concurrent = t1.elapsed();
 
             // Mid-flight LP pass: shorten the concurrent wires to release
@@ -97,29 +142,53 @@ impl InfoRouter {
             // the analysis).
             if self.cfg.lp_enabled && !concurrent_done.is_empty() {
                 let t2 = Instant::now();
-                lp_mid = Some(lpopt::optimize(package, &mut layout, &self.cfg));
+                let (rep, outcome) =
+                    self.guarded_lp(Stage::LpMid, package, &mut layout, &ctx, budget);
+                diagnostics.lp_mid = outcome;
+                lp_mid = rep;
                 timings.lp += t2.elapsed();
             }
         }
 
         // --- Stage 3 + 4.
         let t3 = Instant::now();
-        let remaining: Vec<NetId> = package
-            .nets()
-            .iter()
-            .map(|n| n.id)
-            .filter(|id| !concurrent_done.contains(id))
-            .collect();
-        let seq = route_sequential(package, &mut layout, &remaining, &self.cfg);
+        let done: BTreeSet<NetId> = concurrent_done.iter().copied().collect();
+        let remaining: Vec<NetId> =
+            package.nets().iter().map(|n| n.id).filter(|id| !done.contains(id)).collect();
+        let (seq, outcome) = guard_stage(Stage::Sequential, &ctx, budget, || {
+            Ok(route_sequential(package, &mut layout, &remaining, &self.cfg, &ctx))
+        });
+        diagnostics.sequential = outcome;
+        let seq = seq.unwrap_or_else(|| {
+            // A panic escaped the per-net guards (e.g. in the initial
+            // space build). Per-net commits are atomic, so the layout
+            // still only holds complete nets: reconstruct the result
+            // from what actually landed.
+            let mut s = SequentialResult::default();
+            for &id in &remaining {
+                if layout.routes_of(id).next().is_some() || layout.vias_of(id).next().is_some() {
+                    s.routed.push(id);
+                } else {
+                    s.failed.push(id);
+                }
+            }
+            s
+        });
+        diagnostics.net_failures = seq.recovered.clone();
         timings.sequential = t3.elapsed();
 
         // --- Stage 5.
         let mut lp_final = None;
         if self.cfg.lp_enabled {
             let t4 = Instant::now();
-            lp_final = Some(lpopt::optimize(package, &mut layout, &self.cfg));
+            let (rep, outcome) =
+                self.guarded_lp(Stage::LpFinal, package, &mut layout, &ctx, budget);
+            diagnostics.lp_final = outcome;
+            lp_final = rep;
             timings.lp += t4.elapsed();
         }
+
+        diagnostics.faults_fired = ctx.faults_fired();
 
         // --- Verification.
         let report = info_model::drc::check(package, &layout);
@@ -134,6 +203,38 @@ impl InfoRouter {
             failed: seq.failed,
             lp_mid,
             lp_final,
+            diagnostics,
+        }
+    }
+
+    /// One guarded LP pass. Component-level solver failures are absorbed
+    /// inside `optimize` (the component keeps its pre-LP geometry) but
+    /// still surface as a recovered outcome; a stage-level panic restores
+    /// the whole pre-LP layout.
+    fn guarded_lp(
+        &self,
+        stage: Stage,
+        package: &Package,
+        layout: &mut Layout,
+        ctx: &FlowCtx,
+        budget: Option<Duration>,
+    ) -> (Option<LpOptReport>, StageOutcome) {
+        let snapshot = layout.clone();
+        let (rep, outcome) = guard_stage(stage, ctx, budget, || {
+            Ok(lpopt::optimize(package, layout, &self.cfg, ctx))
+        });
+        match rep {
+            Some(rep) => {
+                let outcome = match (&outcome, rep.failures.first()) {
+                    (StageOutcome::Ok, Some(e)) => StageOutcome::Recovered(e.clone()),
+                    _ => outcome,
+                };
+                (Some(rep), outcome)
+            }
+            None => {
+                *layout = snapshot;
+                (None, outcome)
+            }
         }
     }
 }
@@ -179,6 +280,8 @@ mod tests {
         );
         assert_eq!(out.stats.violation_count, 0);
         assert!(out.concurrent_routed + out.sequential_routed >= pkg.nets().len());
+        // A clean run reports clean diagnostics.
+        assert!(out.diagnostics.all_ok(), "{:?}", out.diagnostics);
     }
 
     #[test]
@@ -206,5 +309,26 @@ mod tests {
         if let Some(rep) = &with_lp.lp_final {
             assert!(rep.wirelength_after <= rep.wirelength_before + 1.0);
         }
+    }
+
+    #[test]
+    fn zero_stage_budget_still_returns_an_outcome() {
+        let pkg = two_chip_package(2);
+        let cfg = RouterConfig::default()
+            .with_global_cells(10)
+            .with_stage_budget(Duration::ZERO);
+        let out = InfoRouter::new(cfg).route(&pkg);
+        // Everything timed out; nothing panicked, and whatever partial
+        // layout remains is DRC-clean apart from the unrouted nets.
+        assert!(out
+            .diagnostics
+            .stages()
+            .iter()
+            .all(|(_, o)| !matches!(o, StageOutcome::Recovered(_))));
+        assert!(out
+            .drc
+            .violations()
+            .iter()
+            .all(|v| matches!(v, info_model::drc::Violation::Disconnected { .. })));
     }
 }

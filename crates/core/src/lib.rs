@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Via-based RDL routing for InFO packages with irregular pad structures.
 //!
 //! This crate implements the five-stage flow of Wen, Cai, Hsu and Chang
@@ -49,6 +50,7 @@ pub mod concurrent;
 pub mod free_assign;
 pub mod lpopt;
 pub mod preprocess;
+pub mod resilience;
 pub mod sequential;
 pub mod trial;
 
@@ -57,3 +59,7 @@ mod flow;
 
 pub use config::RouterConfig;
 pub use flow::{InfoRouter, RouteOutcome, StageTimings};
+pub use resilience::{
+    FaultDirective, FaultKind, FaultPlan, FaultSite, FlowCtx, FlowDiagnostics, RouterError, Stage,
+    StageOutcome,
+};

@@ -335,7 +335,7 @@ pub fn generate(package: &Package, items: &ItemModel) -> Vec<Separation> {
                     continue;
                 }
                 let (amin, amax, lmin, lmax) = shape_interval(o, shape);
-                if (lmax as i64) < lo - slack || lmin > hi + slack {
+                if lmax < lo - slack || lmin > hi + slack {
                     continue;
                 }
                 let e = c_self;

@@ -181,6 +181,9 @@ pub fn point_expr(xy: (VRef, VRef), orient: Orient4) -> LinExpr {
     e
 }
 
+/// `global → local` index map produced by [`ItemModel::filter_nets`].
+pub type IndexMap = HashMap<usize, usize>;
+
 impl ItemModel {
     /// Restricts the model to the routes and vias of the given nets,
     /// returning the sub-model plus index maps (`global → local`) for
@@ -188,7 +191,7 @@ impl ItemModel {
     pub fn filter_nets(
         &self,
         nets: &std::collections::BTreeSet<info_model::NetId>,
-    ) -> (ItemModel, HashMap<usize, usize>, HashMap<usize, usize>, HashMap<usize, usize>) {
+    ) -> (ItemModel, IndexMap, IndexMap, IndexMap) {
         let mut point_map = HashMap::new();
         let mut seg_map = HashMap::new();
         let mut via_map = HashMap::new();

@@ -35,6 +35,7 @@ pub use constraints::{ExprRef as SepExprRef, Separation};
 pub use items::{extract as extract_items, ItemModel, PointAnchor, SolvedPositions, Vars};
 
 use crate::config::RouterConfig;
+use crate::resilience::{FaultSite, FlowCtx, RouterError};
 use constraints::ExprRef;
 use info_lp::Model;
 use info_model::{Layout, NetId, Package};
@@ -51,6 +52,9 @@ pub struct LpOptReport {
     pub iterations: usize,
     /// Whether optimization was applied (false = kept the initial layout).
     pub applied: bool,
+    /// Solver failures encountered; each froze exactly one component at
+    /// its pre-LP geometry while the rest kept optimizing.
+    pub failures: Vec<RouterError>,
 }
 
 fn net_of(items: &ItemModel, e: ExprRef) -> Option<NetId> {
@@ -101,15 +105,24 @@ impl NetDsu {
 
 /// Runs LP-based layout optimization in place.
 ///
-/// On any LP failure within a component, that component keeps its initial
-/// geometry; the rest still optimizes.
-pub fn optimize(package: &Package, layout: &mut Layout, cfg: &RouterConfig) -> LpOptReport {
+/// On any LP failure within a component — a real solver error or an
+/// injected `lp.factorize` fault — that component keeps its initial
+/// geometry (recorded in the report's `failures`); the rest still
+/// optimizes. A tripped stage budget stops iterating; the layout is only
+/// applied if the positions reached so far are crossing-free.
+pub fn optimize(
+    package: &Package,
+    layout: &mut Layout,
+    cfg: &RouterConfig,
+    ctx: &FlowCtx,
+) -> LpOptReport {
     let before: f64 = layout.routes().map(|r| r.length()).sum();
     let mut report = LpOptReport {
         wirelength_before: before,
         wirelength_after: before,
         iterations: 0,
         applied: false,
+        failures: Vec::new(),
     };
     let Some(items) = items::extract(package, layout) else {
         return report;
@@ -166,6 +179,11 @@ pub fn optimize(package: &Package, layout: &mut Layout, cfg: &RouterConfig) -> L
     };
 
     for iter in 1..=max_iters {
+        // Cooperative budget: stop iterating; the positions reached so far
+        // are applied below only if they are crossing-free.
+        if ctx.deadline_exceeded() {
+            break;
+        }
         report.iterations = iter;
         for comp in dsu.components() {
             if comp.iter().any(|n| frozen.contains(n)) {
@@ -187,9 +205,14 @@ pub fn optimize(package: &Package, layout: &mut Layout, cfg: &RouterConfig) -> L
                 vec![comp.clone()]
             };
             for subset in subsets {
-                if !solve_subset(package, &items, &base, &extra, &subset, &mut solved) {
+                if let Err(e) =
+                    solve_subset(package, &items, &base, &extra, &subset, &mut solved, ctx)
+                {
+                    // Solver failure: this component keeps its pre-LP
+                    // geometry; everything else continues to optimize.
                     frozen.extend(comp.iter().copied());
                     reset_to_initial(&items, &comp, &mut solved);
+                    report.failures.push(e);
                     break;
                 }
             }
@@ -299,7 +322,8 @@ fn reset_to_initial(items: &ItemModel, nets: &BTreeSet<NetId>, solved: &mut item
 
 /// Builds and solves the LP restricted to `subset`, with all other nets
 /// fixed at their current solved positions; writes the solution back into
-/// `solved`. Returns `false` on an LP failure.
+/// `solved`. Returns the typed solver error on an LP failure.
+#[allow(clippy::too_many_arguments)]
 fn solve_subset(
     package: &Package,
     items: &ItemModel,
@@ -307,13 +331,18 @@ fn solve_subset(
     extra: &[Separation],
     subset: &BTreeSet<NetId>,
     solved: &mut items::SolvedPositions,
-) -> bool {
+    ctx: &FlowCtx,
+) -> Result<(), RouterError> {
     let (sub, pmap, smap, vmap) = items.filter_nets(subset);
     let mut model = Model::new();
     let vars = sub.build_variables(&mut model, package);
     sub.add_route_constraints(&mut model, &vars);
     for c in base.iter().chain(extra.iter()) {
-        let owner = net_of(items, c.a).expect("constraint lhs is an item");
+        // A constant lhs would mean a malformed constraint; skip it rather
+        // than poison the whole component.
+        let Some(owner) = net_of(items, c.a) else {
+            continue;
+        };
         if !subset.contains(&owner) {
             continue;
         }
@@ -344,6 +373,7 @@ fn solve_subset(
         };
         rc.add_to(&mut model, &vars, &sub);
     }
+    ctx.check(FaultSite::LpFactorize)?;
     match model.solve() {
         Ok(sol) => {
             let sub_solved = sub.positions_from(&sol, &vars);
@@ -356,10 +386,15 @@ fn solve_subset(
             for (&g, &l) in &vmap {
                 solved.vias[g] = sub_solved.vias[l];
             }
-            true
+            Ok(())
         }
-        Err(_) => false,
+        Err(e) => Err(RouterError::Lp(e)),
     }
+}
+
+#[doc(hidden)]
+pub fn generate_constraints(package: &Package, items: &ItemModel) -> Vec<Separation> {
+    constraints::generate(package, items)
 }
 
 #[cfg(test)]
@@ -396,7 +431,7 @@ mod tests {
             ]),
         );
         let before: f64 = layout.routes().map(|r| r.length()).sum();
-        let rep = optimize(&pkg, &mut layout, &RouterConfig::default());
+        let rep = optimize(&pkg, &mut layout, &RouterConfig::default(), &crate::resilience::FlowCtx::default());
         assert!(rep.applied, "{rep:?}");
         let after: f64 = layout.routes().map(|r| r.length()).sum();
         assert!(
@@ -445,7 +480,7 @@ mod tests {
                 Point::new(750_000, 270_000),
             ]),
         );
-        let rep = optimize(&pkg, &mut layout, &RouterConfig::default());
+        let rep = optimize(&pkg, &mut layout, &RouterConfig::default(), &crate::resilience::FlowCtx::default());
         assert!(rep.applied);
         let report = drc::check(&pkg, &layout);
         assert!(report.is_clean(), "{:#?}", report.violations());
@@ -479,7 +514,7 @@ mod tests {
             WireLayer(0),
             Polyline::new(vec![Point::new(250_000, 250_000), Point::new(750_000, 250_000)]),
         );
-        let rep = optimize(&pkg, &mut layout, &RouterConfig::default());
+        let rep = optimize(&pkg, &mut layout, &RouterConfig::default(), &crate::resilience::FlowCtx::default());
         // Straight line through the corridor: nothing to improve, nothing
         // to break.
         let after: f64 = layout.routes().map(|r| r.length()).sum();
@@ -521,15 +556,10 @@ mod tests {
             );
         }
         let before: f64 = layout.routes().map(|r| r.length()).sum();
-        let rep = optimize(&pkg, &mut layout, &RouterConfig::default());
+        let rep = optimize(&pkg, &mut layout, &RouterConfig::default(), &crate::resilience::FlowCtx::default());
         assert!(rep.applied);
         let after: f64 = layout.routes().map(|r| r.length()).sum();
         assert!(after < before - 30_000.0, "all three detours flatten: {before} -> {after}");
         assert!(drc::check(&pkg, &layout).is_clean());
     }
-}
-
-#[doc(hidden)]
-pub fn generate_constraints(package: &Package, items: &ItemModel) -> Vec<Separation> {
-    constraints::generate(package, items)
 }

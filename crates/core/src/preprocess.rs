@@ -7,6 +7,7 @@
 //! MST, estimates congestion, and constructs the circular model.
 
 use crate::config::RouterConfig;
+use crate::resilience::{FaultSite, FlowCtx, RouterError};
 use info_geom::{x_arch_len, Point, Rect};
 use info_model::{NetId, Package, PadId, PadKind};
 use info_tile::{line_extension_partition, merge_cells, CellGraph, MstEdge};
@@ -99,15 +100,30 @@ fn project_to_boundary(r: Rect, p: Point) -> Point {
 }
 
 /// Runs preprocessing over a package.
-pub fn preprocess(package: &Package, cfg: &RouterConfig) -> Preprocessed {
+///
+/// Fails only on structural problems (degenerate fan-out partition) or an
+/// injected `preprocess.partition` fault; the flow degrades to routing
+/// every net sequentially in that case.
+pub fn preprocess(
+    package: &Package,
+    cfg: &RouterConfig,
+    ctx: &FlowCtx,
+) -> Result<Preprocessed, RouterError> {
     // --- Fan-out region partitioning (§III-A2).
     let holes: Vec<Rect> = package.chips().iter().map(|c| c.outline).collect();
     let raw = line_extension_partition(package.die(), &holes);
+    ctx.check(FaultSite::PreprocessPartition)?;
     // Merge only genuinely fragmented slivers: an aggressive minimum size
     // here would fuse narrow corridors with their mouths and erase the
     // very capacity bottlenecks the congestion model must see.
     let min_dim = package.die().width().min(package.die().height()) / 40;
     let grids = merge_cells(raw, min_dim.max(1), usize::MAX);
+    if grids.is_empty() {
+        return Err(RouterError::Preprocess(format!(
+            "fan-out partition of die {} produced no grids",
+            package.die()
+        )));
+    }
     let graph = CellGraph::build(grids.clone());
     let mst = graph.mst();
 
@@ -148,6 +164,11 @@ pub fn preprocess(package: &Package, cfg: &RouterConfig) -> Preprocessed {
     }
     let mut raw_cands: Vec<RawCand> = Vec::new();
     for n in package.nets() {
+        // Cooperative budget: stop collecting candidates when the stage
+        // runs over; uncollected nets simply route sequentially.
+        if ctx.deadline_exceeded() {
+            break;
+        }
         let (Some(pa), Some(pb)) = (access_of(n.a), access_of(n.b)) else {
             continue;
         };
@@ -269,7 +290,7 @@ pub fn preprocess(package: &Package, cfg: &RouterConfig) -> Preprocessed {
         });
     }
 
-    Preprocessed { grids, graph, mst, candidates, circle_points, capacities, demands }
+    Ok(Preprocessed { grids, graph, mst, candidates, circle_points, capacities, demands })
 }
 
 #[cfg(test)]
@@ -300,7 +321,7 @@ mod tests {
     #[test]
     fn fanout_partition_avoids_chips() {
         let pkg = two_chip();
-        let pre = preprocess(&pkg, &RouterConfig::default());
+        let pre = preprocess(&pkg, &RouterConfig::default(), &crate::resilience::FlowCtx::default()).unwrap();
         assert!(!pre.grids.is_empty());
         for g in &pre.grids {
             for c in pkg.chips() {
@@ -314,7 +335,7 @@ mod tests {
     #[test]
     fn peripheral_identification() {
         let pkg = two_chip();
-        let pre = preprocess(&pkg, &RouterConfig::default());
+        let pre = preprocess(&pkg, &RouterConfig::default(), &crate::resilience::FlowCtx::default()).unwrap();
         // Only the peripheral pair qualifies; the deep pair does not.
         assert_eq!(pre.candidates.len(), 1);
         let c = &pre.candidates[0];
@@ -329,9 +350,8 @@ mod tests {
     #[test]
     fn wider_margin_admits_interior_pads() {
         let pkg = two_chip();
-        let mut cfg = RouterConfig::default();
-        cfg.peripheral_margin = 200_000;
-        let pre = preprocess(&pkg, &cfg);
+        let cfg = RouterConfig { peripheral_margin: 200_000, ..RouterConfig::default() };
+        let pre = preprocess(&pkg, &cfg, &crate::resilience::FlowCtx::default()).unwrap();
         assert_eq!(pre.candidates.len(), 2);
         // Circle positions are unique.
         let mut seen = std::collections::BTreeSet::new();
@@ -380,7 +400,7 @@ mod tests {
         b.add_net(a1, g1).unwrap();
         b.add_net(a2, g2).unwrap();
         let pkg = b.build().unwrap();
-        let pre = preprocess(&pkg, &RouterConfig::default());
+        let pre = preprocess(&pkg, &RouterConfig::default(), &crate::resilience::FlowCtx::default()).unwrap();
         // Only the net to the open-area bump qualifies.
         assert_eq!(pre.candidates.len(), 1);
         assert_eq!(pre.candidates[0].net, NetId(1));

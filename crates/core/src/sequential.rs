@@ -6,9 +6,11 @@
 //! exactly as the paper updates its routing graph after each net.
 
 use crate::config::RouterConfig;
+use crate::resilience::{panic_message, FaultSite, FlowCtx, RouterError, Stage};
 use info_geom::x_arch_len;
 use info_model::{Layout, NetId, Package};
 use info_tile::{astar, realize, RoutingSpace, SpaceConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Result of the sequential stage.
 #[derive(Debug, Clone, Default)]
@@ -17,6 +19,10 @@ pub struct SequentialResult {
     pub routed: Vec<NetId>,
     /// Nets that could not be routed.
     pub failed: Vec<NetId>,
+    /// Nets that failed for internal reasons (caught panic, injected
+    /// fault) rather than geometry; each such failure cost exactly that
+    /// net. Every net here also appears in `failed`.
+    pub recovered: Vec<(NetId, RouterError)>,
 }
 
 /// Derives the tile-space configuration from the router configuration.
@@ -32,11 +38,19 @@ pub fn space_config(package: &Package, cfg: &RouterConfig) -> SpaceConfig {
 /// `layout`. Nets are attempted shortest-first; failures get one retry
 /// pass after all other nets have been placed (the space may have gained
 /// via sites from rebuilds).
+///
+/// This stage is infallible by construction: every per-net attempt runs
+/// under its own panic guard, and an internal failure (caught panic,
+/// injected `astar.expand` / `tile.via_insert` fault) marks only that net
+/// unrouted — recorded in `recovered` — while the rest of the stage
+/// continues. A tripped stage budget leaves the remaining nets in
+/// `failed`.
 pub fn route_sequential(
     package: &Package,
     layout: &mut Layout,
     nets: &[NetId],
     cfg: &RouterConfig,
+    ctx: &FlowCtx,
 ) -> SequentialResult {
     let mut order: Vec<NetId> = nets.to_vec();
     order.sort_by(|&x, &y| {
@@ -54,12 +68,18 @@ pub fn route_sequential(
     for pass in 0..2 {
         let todo = if pass == 0 { std::mem::take(&mut order) } else { std::mem::take(&mut retry) };
         for id in todo {
-            if try_route_net(package, layout, &mut space, id, cfg) {
-                result.routed.push(id);
-            } else if pass == 0 {
-                retry.push(id);
-            } else {
+            if ctx.deadline_exceeded() {
                 result.failed.push(id);
+                continue;
+            }
+            match guarded_route_net(package, layout, &mut space, id, cfg, ctx) {
+                Ok(true) => result.routed.push(id),
+                Ok(false) if pass == 0 => retry.push(id),
+                Ok(false) => result.failed.push(id),
+                Err(e) => {
+                    result.recovered.push((id, e));
+                    result.failed.push(id);
+                }
             }
         }
     }
@@ -73,14 +93,67 @@ pub fn route_sequential(
         }
         let boxed_in = std::mem::take(&mut result.failed);
         for id in boxed_in {
-            if ripup_and_reroute(package, layout, &mut space, id, cfg, &mut result.routed) {
-                result.routed.push(id);
-            } else {
+            if ctx.deadline_exceeded() {
                 result.failed.push(id);
+                continue;
+            }
+            // Snapshot around the whole eviction search: a panic anywhere
+            // inside leaves mid-eviction state that must be rolled back.
+            let snapshot = layout.clone();
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                ripup_and_reroute(package, layout, &mut space, id, cfg, &result.routed, ctx)
+            }));
+            match attempt {
+                Ok(Ok(true)) => result.routed.push(id),
+                Ok(Ok(false)) => result.failed.push(id),
+                Ok(Err(e)) => {
+                    // ripup restored the layout itself; only record.
+                    result.recovered.push((id, e));
+                    result.failed.push(id);
+                }
+                Err(payload) => {
+                    *layout = snapshot;
+                    space = RoutingSpace::build(package, layout, space_config(package, cfg));
+                    result.recovered.push((
+                        id,
+                        RouterError::Panic {
+                            stage: Stage::Sequential,
+                            message: panic_message(payload.as_ref()),
+                        },
+                    ));
+                    result.failed.push(id);
+                }
             }
         }
     }
     result
+}
+
+/// One per-net attempt under a panic guard. On a caught panic the net's
+/// (possibly partial) geometry is removed and the routing space rebuilt,
+/// so the failure costs exactly this net.
+fn guarded_route_net(
+    package: &Package,
+    layout: &mut Layout,
+    space: &mut RoutingSpace,
+    id: NetId,
+    cfg: &RouterConfig,
+    ctx: &FlowCtx,
+) -> Result<bool, RouterError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        try_route_net(package, layout, space, id, cfg, ctx)
+    }));
+    match attempt {
+        Ok(r) => r,
+        Err(payload) => {
+            layout.remove_net(id);
+            *space = RoutingSpace::build(package, layout, space_config(package, cfg));
+            Err(RouterError::Panic {
+                stage: Stage::Sequential,
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    }
 }
 
 /// Tries to free a path for `id` by evicting nearby routed nets: up to
@@ -93,8 +166,9 @@ fn ripup_and_reroute(
     space: &mut RoutingSpace,
     id: NetId,
     cfg: &RouterConfig,
-    routed: &mut [NetId],
-) -> bool {
+    routed: &[NetId],
+    ctx: &FlowCtx,
+) -> Result<bool, RouterError> {
     let net = package.net(id);
     let (pa, pb) = (package.pad(net.a).center, package.pad(net.b).center);
     let corridor = info_geom::Rect::new(pa, pb)
@@ -139,6 +213,9 @@ fn ripup_and_reroute(
         eviction_sets.push(vec![candidates[0], candidates[1]]);
     }
     for victims in eviction_sets {
+        if ctx.deadline_exceeded() {
+            return Ok(false);
+        }
         let snapshot = layout.clone();
         let mut touched = corridor;
         for &v in &victims {
@@ -149,10 +226,19 @@ fn ripup_and_reroute(
         }
         space.rebuild_dirty(package, layout, touched);
         // try_route_net rebuilds the space over each commit's own bbox.
-        let ok = try_route_net(package, layout, space, id, cfg)
-            && victims.iter().all(|&v| try_route_net(package, layout, space, v, cfg));
-        if ok {
-            return true;
+        let attempt: Result<bool, RouterError> = (|| {
+            if !try_route_net(package, layout, space, id, cfg, ctx)? {
+                return Ok(false);
+            }
+            for &v in &victims {
+                if !try_route_net(package, layout, space, v, cfg, ctx)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        })();
+        if matches!(attempt, Ok(true)) {
+            return Ok(true);
         }
         // Restore exactly, widening the rebuild to everything touched by
         // the failed attempt.
@@ -163,38 +249,49 @@ fn ripup_and_reroute(
         }
         *layout = snapshot;
         space.rebuild_dirty(package, layout, touched);
+        // An internal failure during eviction aborts the search for this
+        // net (the layout is already restored); geometric failure tries
+        // the next eviction set.
+        attempt?;
     }
-    false
+    Ok(false)
 }
 
 /// Attempts one net; on success commits geometry and rebuilds the dirty
 /// part of the space.
+///
+/// `Ok(false)` is a geometric failure (no path / realization rejected) —
+/// the normal retry path. `Err` is an internal failure (injected fault);
+/// both fault checks run before any mutation, so an `Err` leaves the
+/// layout untouched.
 fn try_route_net(
     package: &Package,
     layout: &mut Layout,
     space: &mut RoutingSpace,
     id: NetId,
     _cfg: &RouterConfig,
-) -> bool {
+    ctx: &FlowCtx,
+) -> Result<bool, RouterError> {
     let net = package.net(id);
     let src = (package.pad_layer(net.a), package.pad(net.a).center);
     let dst = (package.pad_layer(net.b), package.pad(net.b).center);
+    ctx.check(FaultSite::AstarExpand)?;
     let Some(found) = astar::route(space, id, src, dst) else {
-        return false;
+        return Ok(false);
     };
     let Some(real) = realize::realize(&found, src, dst) else {
-        return false;
+        return Ok(false);
     };
     // Validate the realization before committing.
     if real.routes.iter().any(|(_, pl)| pl.validate().is_err()) {
-        return false;
+        return Ok(false);
     }
     // Reject hard crossings against foreign nets (the tile path should
     // avoid them; realization corner cases can still clip a boundary).
     for (layer, pl) in &real.routes {
         for r in layout.routes_on(*layer) {
             if r.net != id && pl.crosses(&r.path) {
-                return false;
+                return Ok(false);
             }
         }
     }
@@ -203,8 +300,9 @@ fn try_route_net(
     let proposal =
         crate::trial::Proposal { routes: real.routes.clone(), vias: real.vias.clone() };
     if !crate::trial::clearance_ok(package, layout, id, &proposal) {
-        return false;
+        return Ok(false);
     }
+    ctx.check(FaultSite::TileViaInsert)?;
     let dirty = real.bbox();
     for (layer, pl) in real.routes {
         layout.add_route(id, layer, pl);
@@ -215,7 +313,7 @@ fn try_route_net(
     if let Some(d) = dirty {
         space.rebuild_dirty(package, layout, d);
     }
-    true
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -246,7 +344,7 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(8);
         let mut layout = Layout::new(&pkg);
         let nets: Vec<NetId> = pkg.nets().iter().map(|n| n.id).collect();
-        let res = route_sequential(&pkg, &mut layout, &nets, &cfg);
+        let res = route_sequential(&pkg, &mut layout, &nets, &cfg, &crate::resilience::FlowCtx::default());
         assert_eq!(res.failed.len(), 0, "failed: {:?}", res.failed);
         for n in pkg.nets() {
             assert!(drc::is_connected(&pkg, &layout, n.id), "{} disconnected", n.id);
@@ -262,9 +360,9 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(8);
         let mut layout = Layout::new(&pkg);
         // Route net 0 first, then net 1 must avoid it.
-        let res0 = route_sequential(&pkg, &mut layout, &[NetId(0)], &cfg);
+        let res0 = route_sequential(&pkg, &mut layout, &[NetId(0)], &cfg, &crate::resilience::FlowCtx::default());
         assert_eq!(res0.routed.len(), 1);
-        let res1 = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg);
+        let res1 = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg, &crate::resilience::FlowCtx::default());
         assert_eq!(res1.routed.len(), 1);
         let report = drc::check(&pkg, &layout);
         assert!(
@@ -302,7 +400,7 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(10);
         let mut layout = Layout::new(&pkg);
         let nets: Vec<NetId> = pkg.nets().iter().map(|n| n.id).collect();
-        let res = route_sequential(&pkg, &mut layout, &nets, &cfg);
+        let res = route_sequential(&pkg, &mut layout, &nets, &cfg, &crate::resilience::FlowCtx::default());
         assert_eq!(res.failed.len(), 2, "fenced nets cannot route: {res:?}");
     }
 }

@@ -77,7 +77,12 @@ proptest! {
         let violations_before = out.drc.violations().len();
         let wl_before: f64 = out.layout.routes().map(|r| r.length()).sum();
         let mut layout = out.layout.clone();
-        let rep = info_router::lpopt::optimize(&pkg, &mut layout, &cfg);
+        let rep = info_router::lpopt::optimize(
+            &pkg,
+            &mut layout,
+            &cfg,
+            &info_router::FlowCtx::default(),
+        );
         let wl_after: f64 = layout.routes().map(|r| r.length()).sum();
         prop_assert!(
             wl_after <= wl_before + 1.0,

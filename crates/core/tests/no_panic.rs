@@ -1,0 +1,73 @@
+//! Property: `InfoRouter::route` never panics — on any small random
+//! circuit, under any single injected fault, error or panic, at any site.
+
+use info_gen::{build_dense, DenseSpec};
+use info_router::{
+    FaultDirective, FaultKind, FaultPlan, FaultSite, InfoRouter, RouterConfig,
+};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A small random dense-style circuit (2 chips, a handful of nets).
+fn small_circuit(seed: u64, nets: usize, wire_layers: usize) -> info_model::Package {
+    build_dense(
+        DenseSpec {
+            chips_x: 2,
+            chips_y: 1,
+            io_pads: nets * 2,
+            bump_pads: 64,
+            nets,
+            wire_layers,
+            seed,
+        },
+        false,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// No fault plan, random circuit: route() returns.
+    #[test]
+    fn route_never_panics_on_random_circuits(
+        seed in 0u64..10_000,
+        nets in 2usize..8,
+        layers in 2usize..4,
+    ) {
+        let pkg = small_circuit(seed, nets, layers);
+        let cfg = RouterConfig::default().with_global_cells(10);
+        let out = catch_unwind(AssertUnwindSafe(|| InfoRouter::new(cfg).route(&pkg)));
+        prop_assert!(out.is_ok(), "route panicked on seed {seed}");
+    }
+
+    /// Random circuit + random single fault: route() still returns, and the
+    /// layout stays DRC-clean apart from unrouted nets.
+    #[test]
+    fn route_never_panics_under_injected_faults(
+        seed in 0u64..10_000,
+        nets in 2usize..8,
+        site_idx in 0usize..FaultSite::COUNT,
+        panic_kind in any::<bool>(),
+        skip in 0u32..4,
+        fires in 1u32..3,
+    ) {
+        let pkg = small_circuit(seed, nets, 2);
+        let site = FaultSite::ALL[site_idx];
+        let kind = if panic_kind { FaultKind::Panic } else { FaultKind::Error };
+        let plan = FaultPlan::none().with(FaultDirective { site, kind, skip, fires });
+        let cfg = RouterConfig::default().with_global_cells(10).with_fault_plan(plan);
+        let out = catch_unwind(AssertUnwindSafe(|| InfoRouter::new(cfg).route(&pkg)));
+        prop_assert!(out.is_ok(), "route panicked on seed {seed} at {site}");
+        let out = out.unwrap();
+        for v in out.drc.violations() {
+            prop_assert!(
+                matches!(v, info_model::drc::Violation::Disconnected { .. }),
+                "seed {seed} at {site}: unexpected violation {v}"
+            );
+        }
+        prop_assert_eq!(
+            out.stats.routed_nets + out.drc.dirty_nets().len(),
+            out.stats.total_nets
+        );
+    }
+}

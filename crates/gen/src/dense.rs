@@ -111,9 +111,7 @@ pub fn build_dense(spec: DenseSpec, skip_last_chip: bool) -> Package {
             Rect::new(Point::new(x0, y0), Point::new(x0 + chip_w, y0 + chip_h))
         };
         let mut want = per_chip + usize::from(extra > 0);
-        if extra > 0 {
-            extra -= 1;
-        }
+        extra = extra.saturating_sub(1);
         // Candidate slots along the 4 edges, then jitter and subsample.
         let mut slots: Vec<Point> = Vec::new();
         let per_edge_span = chip_w - 2 * pad_margin;

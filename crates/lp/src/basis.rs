@@ -193,8 +193,8 @@ impl BasisEngine for DenseBasis {
         let row_r = self.inv[r].clone();
         for (i, wi) in w.iter() {
             if i != r {
-                for j in 0..self.m {
-                    self.inv[i][j] -= wi * row_r[j];
+                for (cell, rj) in self.inv[i].iter_mut().zip(&row_r) {
+                    *cell -= wi * rj;
                 }
             }
         }
@@ -291,7 +291,7 @@ mod tests {
         lu.ftran(&mut w);
         lu.update(2, &SparseVec::from_dense(&w));
 
-        let new_cols = vec![cols[0].clone(), cols[1].clone(), a];
+        let new_cols = [cols[0].clone(), cols[1].clone(), a];
         let new_refs: Vec<&SparseVec> = new_cols.iter().collect();
         let mut fresh = LuBasis::new(8);
         fresh.refactorize(3, &new_refs).unwrap();
@@ -313,7 +313,7 @@ mod tests {
 
     #[test]
     fn dense_detects_singular() {
-        let cols = vec![
+        let cols = [
             SparseVec::from_entries([(0, 1.0), (1, 2.0)]),
             SparseVec::from_entries([(0, 2.0), (1, 4.0)]),
         ];

@@ -343,12 +343,12 @@ impl<'a, E: BasisEngine> Solver<'a, E> {
 
             // Pricing.
             let mut entering: Option<(usize, f64, f64)> = None; // (col, |viol|, sigma)
-            for j in 0..self.cols.ncols() {
+            for (j, &cost) in costs.iter().enumerate().take(self.cols.ncols()) {
                 match self.state[j] {
                     VarState::Basic(_) => continue,
                     _ if self.lb[j] == self.ub[j] => continue, // fixed
                     st => {
-                        let d = costs[j] - self.cols.col(j).dot_dense(&y);
+                        let d = cost - self.cols.col(j).dot_dense(&y);
                         let (viol, sigma) = match st {
                             VarState::AtLower => (-d, 1.0),
                             VarState::AtUpper => (d, -1.0),
@@ -360,7 +360,7 @@ impl<'a, E: BasisEngine> Solver<'a, E> {
                                 entering = Some((j, viol, sigma));
                                 break;
                             }
-                            if entering.map_or(true, |(_, best, _)| viol > best) {
+                            if entering.is_none_or(|(_, best, _)| viol > best) {
                                 entering = Some((j, viol, sigma));
                             }
                         }
@@ -477,6 +477,7 @@ mod tests {
     use crate::sparse::{ColMatrix, SparseVec};
 
     /// min cᵀx s.t. Ax = b (rows dense), bounds.
+    #[allow(clippy::needless_range_loop)]
     fn lp(a_rows: &[&[f64]], rhs: &[f64], obj: &[f64], lb: &[f64], ub: &[f64]) -> CoreLp {
         let m = a_rows.len();
         let n = obj.len();

@@ -11,13 +11,19 @@ use info_lp::{Cmp, Model, SimplexOptions};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
+/// One raw constraint row: terms, comparison, rhs.
+type RawRow = (Vec<(usize, f64)>, Cmp, f64);
+
+/// Raw LP data: (lb, ub, obj, rows, known interior point).
+type RawLp = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<RawRow>, Vec<f64>);
+
 /// Checks primal feasibility of `x` for the model-building data.
 #[allow(clippy::too_many_arguments)]
 fn assert_feasible(
     x: &[f64],
     lb: &[f64],
     ub: &[f64],
-    rows: &[(Vec<(usize, f64)>, Cmp, f64)],
+    rows: &[RawRow],
     tol: f64,
 ) {
     for (j, &v) in x.iter().enumerate() {
@@ -35,7 +41,7 @@ fn assert_feasible(
 }
 
 /// Builds a model from the raw data.
-fn build(lb: &[f64], ub: &[f64], obj: &[f64], rows: &[(Vec<(usize, f64)>, Cmp, f64)]) -> Model {
+fn build(lb: &[f64], ub: &[f64], obj: &[f64], rows: &[RawRow]) -> Model {
     let mut m = Model::new();
     let vars: Vec<_> = (0..lb.len()).map(|j| m.add_var(lb[j], ub[j], obj[j])).collect();
     for (terms, cmp, rhs) in rows {
@@ -49,7 +55,7 @@ fn random_lp(
     rng: &mut impl Rng,
     n: usize,
     m: usize,
-) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<(Vec<(usize, f64)>, Cmp, f64)>, Vec<f64>) {
+) -> RawLp {
     // Interior point inside a box.
     let lb: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..0.0)).collect();
     let ub: Vec<f64> = lb.iter().map(|&l| l + rng.gen_range(1.0..10.0)).collect();
@@ -181,13 +187,8 @@ fn equality_systems_with_known_solutions() {
         let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let model = build(&lb, &ub, &obj, &rows);
         let sol = model.solve().expect("full-rank equality system is feasible");
-        for j in 0..n {
-            assert!(
-                (sol.values[j] - x0[j]).abs() < 1e-5,
-                "x[{j}] = {} expected {}",
-                sol.values[j],
-                x0[j]
-            );
+        for (j, (sv, xv)) in sol.values.iter().zip(&x0).enumerate() {
+            assert!((sv - xv).abs() < 1e-5, "x[{j}] = {sv} expected {xv}");
         }
     }
 }

@@ -271,7 +271,7 @@ fn check_spacing_and_crossing(package: &Package, layout: &Layout, report: &mut D
         let items = layer_items(package, layout, layer);
         // Pairwise with bbox prefilter. The prefilter inflates by the
         // largest possible clearance (spacing + full wire width).
-        let reach = (rules.min_spacing + rules.wire_width) as i64 + 1;
+        let reach = rules.min_spacing + rules.wire_width + 1;
         for i in 0..items.len() {
             let a = &items[i];
             let abox = a.bbox.inflate(reach);

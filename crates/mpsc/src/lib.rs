@@ -69,17 +69,13 @@ pub fn max_planar_subset(n_points: usize, chords: &[Chord]) -> Result<Vec<usize>
     for i in (0..n).rev() {
         for j in i..n {
             // Option 1: skip point i.
-            let mut best = if i + 1 <= j { dp[idx(i + 1, j)] } else { 0.0 };
+            let mut best = if i < j { dp[idx(i + 1, j)] } else { 0.0 };
             let mut took = false;
             // Option 2: take the chord (i, k) if k lies in (i, j].
             if let Some((k, ci)) = partner[i] {
                 if k > i && k <= j {
-                    let inside = if i + 1 <= k.wrapping_sub(1) && k >= 1 && i + 1 <= k - 1 {
-                        dp[idx(i + 1, k - 1)]
-                    } else {
-                        0.0
-                    };
-                    let right = if k + 1 <= j { dp[idx(k + 1, j)] } else { 0.0 };
+                    let inside = if i + 2 <= k { dp[idx(i + 1, k - 1)] } else { 0.0 };
+                    let right = if k < j { dp[idx(k + 1, j)] } else { 0.0 };
                     let cand = chords[ci].weight + inside + right;
                     if cand > best {
                         best = cand;
@@ -102,13 +98,13 @@ pub fn max_planar_subset(n_points: usize, chords: &[Chord]) -> Result<Vec<usize>
         if take[idx(i, j)] {
             let (k, ci) = partner[i].expect("take implies a chord at i");
             picked.push(ci);
-            if i + 1 <= k - 1 {
+            if i + 2 <= k {
                 stack.push((i + 1, k - 1));
             }
-            if k + 1 <= j {
+            if k < j {
                 stack.push((k + 1, j));
             }
-        } else if i + 1 <= j {
+        } else if i < j {
             stack.push((i + 1, j));
         }
     }
@@ -169,7 +165,7 @@ mod tests {
         // channel); chords (3, 8) and (4, 9) cross all three.
         let congested = 0.2;
         let free = 1.0;
-        let chords = vec![
+        let chords = [
             Chord::new(0, 7, congested),
             Chord::new(1, 6, congested),
             Chord::new(2, 5, congested),

@@ -233,7 +233,7 @@ mod tests {
         g.add_edge(1, 2, 3, 0);
         let r = g.min_cost_flow(0, 2, 3);
         assert_eq!(r.flow, 3);
-        assert_eq!(r.cost, 2 * 1 + 1 * 10);
+        assert_eq!(r.cost, 2 + 10); // 2 units at cost 1 + 1 unit at cost 10
         assert_eq!(g.flow_on(cheap), 2);
         assert_eq!(g.flow_on(dear), 1);
     }

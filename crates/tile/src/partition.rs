@@ -41,6 +41,10 @@ fn normalized_holes(region: Rect, holes: &[Rect]) -> Vec<Rect> {
 /// let free: i128 = cells.iter().map(|c| c.area()).sum();
 /// assert_eq!(free, region.area() - hole.area());
 /// ```
+// The wall grids are indexed by (cut line, elementary slab) with constant
+// neighbor lookups on both sides of the line; index loops read better than
+// iterator chains here.
+#[allow(clippy::needless_range_loop)]
 pub fn line_extension_partition(region: Rect, holes: &[Rect]) -> Vec<Rect> {
     let holes = normalized_holes(region, holes);
     if region.is_empty() || region.width() == 0 || region.height() == 0 {

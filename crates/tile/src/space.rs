@@ -514,7 +514,7 @@ impl RoutingSpace {
                 }
                 cands.push((t.shape.area(), p));
             }
-            cands.sort_by(|a, b| b.0.cmp(&a.0));
+            cands.sort_by_key(|c| std::cmp::Reverse(c.0));
             for (_, at) in cands.into_iter().take(3) {
                 self.via_sites[slot].push(ViaSite { at, upper, lower });
             }
@@ -623,7 +623,7 @@ impl RoutingSpace {
         for (lo, hi) in covered.into_iter().chain([(1.0, 1.0)]) {
             if lo > cursor {
                 let gap = (cursor, lo);
-                if best.map_or(true, |(a, b)| gap.1 - gap.0 > b - a) {
+                if best.is_none_or(|(a, b)| gap.1 - gap.0 > b - a) {
                     best = Some(gap);
                 }
             }

@@ -24,15 +24,17 @@ fn assignment_by_lp(costs: &[Vec<Option<i64>>]) -> (usize, i64) {
         }
         vars.push(row_vars);
     }
-    for i in 0..n_src {
-        let terms: Vec<_> = vars[i].iter().flatten().map(|&(v, _)| (v, 1.0)).collect();
+    for row_vars in vars.iter().take(n_src) {
+        let terms: Vec<_> = row_vars.iter().flatten().map(|&(v, _)| (v, 1.0)).collect();
         if !terms.is_empty() {
             m.add_row(terms, Cmp::Le, 1.0);
         }
     }
     for j in 0..n_snk {
-        let terms: Vec<_> = (0..n_src)
-            .filter_map(|i| vars[i][j].map(|(v, _)| (v, 1.0)))
+        let terms: Vec<_> = vars
+            .iter()
+            .take(n_src)
+            .filter_map(|row_vars| row_vars[j].map(|(v, _)| (v, 1.0)))
             .collect();
         if !terms.is_empty() {
             m.add_row(terms, Cmp::Le, 1.0);

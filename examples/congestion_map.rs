@@ -8,12 +8,19 @@
 
 use info_rdl::generators::patterns::congested_channel;
 use info_rdl::router::preprocess::preprocess;
+use info_rdl::router::FlowCtx;
 use info_rdl::RouterConfig;
 
 fn main() {
     let pkg = congested_channel(8, 4, 1);
     let cfg = RouterConfig::default();
-    let pre = preprocess(&pkg, &cfg);
+    let pre = match preprocess(&pkg, &cfg, &FlowCtx::default()) {
+        Ok(pre) => pre,
+        Err(e) => {
+            eprintln!("congestion_map: preprocess failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     println!("fan-out grids ({}):", pre.grids.len());
     for (i, g) in pre.grids.iter().enumerate() {

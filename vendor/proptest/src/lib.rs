@@ -1,0 +1,395 @@
+//! Offline stand-in for `proptest`, vendored so the workspace resolves
+//! without network access. Implements the subset of the proptest API this
+//! repository's property tests use:
+//!
+//! - the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header and `name in strategy` parameters),
+//! - [`Strategy`] with `prop_map` and `boxed`, range and tuple strategies,
+//! - [`prop_oneof!`], [`any`], `collection::vec`,
+//! - `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike the real crate there is **no shrinking** and no persistence of
+//! failing cases (`.proptest-regressions` files are ignored); a failing
+//! case panics with the seed-derived inputs in the message. Case generation
+//! is fully deterministic: the RNG is seeded from the hash of the test
+//! function's name, so reruns explore the same inputs.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The deterministic generator handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds the generator deterministically from a test name and case
+        /// number.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            self.0.gen_range(lo..hi)
+        }
+
+        pub fn gen_f64(&mut self) -> f64 {
+            (self.0.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A source of random values of one type (subset of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (what [`prop_oneof!`] builds).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range_u64(0, self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.gen_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E), (A, B, C, D, E, F));
+
+    /// Types with a canonical strategy (subset of `proptest::arbitrary`).
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Samples a full 64-bit draw and maps it to the target type.
+    pub struct FromBits<T>(fn(u64) -> T);
+
+    impl<T> Strategy for FromBits<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng.next_u64())
+        }
+    }
+
+    macro_rules! impl_arbitrary_from_bits {
+        ($($t:ty => $f:expr),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                type Strategy = FromBits<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FromBits($f)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_from_bits!(
+        bool => |b| b & 1 == 1,
+        u8 => |b| b as u8,
+        u16 => |b| b as u16,
+        u32 => |b| b as u32,
+        u64 => |b| b,
+        usize => |b| b as usize,
+        i8 => |b| b as i8,
+        i16 => |b| b as i16,
+        i32 => |b| b as i32,
+        i64 => |b| b as i64,
+        isize => |b| b as isize,
+    );
+
+    /// Canonical strategy for `T` (subset of `proptest::arbitrary::any`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`] (subset of `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec-size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.start
+                + (rng.next_u64() as usize) % (self.size.end - self.size.start);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration (subset of `proptest::test_runner::Config`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real proptest default is 256; 64 keeps the deterministic
+            // (non-shrinking) stand-in fast while still exploring broadly.
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+pub use strategy::Strategy;
+
+/// Defines property tests (subset of the real `proptest!` macro: supports an
+/// optional `#![proptest_config(..)]` header and `ident in strategy`
+/// parameters; no pattern destructuring, no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let strategies = ($($strat,)+);
+                for case in 0..config.cases as u64 {
+                    let mut rng =
+                        $crate::strategy::TestRng::for_case(stringify!($name), case);
+                    #[allow(non_snake_case)]
+                    let ($($arg,)+) = &strategies;
+                    $(let $arg = $crate::strategy::Strategy::sample($arg, &mut rng);)+
+                    // Bodies may `return Ok(())` to skip a case, mirroring the
+                    // real proptest's Result-returning test wrapper.
+                    let outcome: ::std::result::Result<(), &'static str> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case} of {} failed: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($(#[$meta])* fn $name($($args)*) $body)*
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest harness (here: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips a case when its assumption fails. Without shrinking machinery we
+/// simply skip the rest of the case body via early return.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn ranges_stay_in_bounds(x in -10i64..10, n in 1usize..5) {
+            prop_assert!((-10..10).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        fn mapped_tuples_compose(p in (0i64..100, 0i64..100).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0..199).contains(&p));
+        }
+
+        fn oneof_and_vec(v in collection::vec(prop_oneof![0i64..5, 100i64..105], 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in v {
+                prop_assert!((0..5).contains(&x) || (100..105).contains(&x));
+            }
+        }
+
+        fn any_bool_is_generated(b in any::<bool>(), _x in 0u64..4) {
+            let _ = b;
+        }
+    }
+}

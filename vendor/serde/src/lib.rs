@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`, vendored so the workspace resolves without
+//! network access. The container image has no crates.io registry cache, so
+//! the real `serde` cannot be downloaded; this stub keeps the
+//! `#[derive(Serialize, Deserialize)]` annotations in `info-geom` and
+//! `info-model` compiling. Nothing in the workspace actually serializes
+//! through serde (netlist IO is hand-rolled), so marker traits suffice.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait SerializeMarker {}
+impl<T: ?Sized> SerializeMarker for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait DeserializeMarker {}
+impl<T: ?Sized> DeserializeMarker for T {}

@@ -1,0 +1,17 @@
+//! No-op stand-in for `serde_derive`, vendored for offline builds.
+//!
+//! The derives expand to nothing; the sibling `serde` stub provides blanket
+//! implementations of `Serialize`/`Deserialize`, so `#[derive(Serialize)]`
+//! in downstream code keeps compiling without the real crates.io dependency.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
