@@ -1,16 +1,171 @@
 //! Regenerates Table I: benchmark statistics plus routability, total
 //! wirelength and runtime for Lin-ext and our via-based router on
-//! dense1–dense5.
+//! dense1–dense5. Also emits `BENCH_rdl.json` with the per-circuit
+//! numbers and the measured spatial-index speedup of the DRC query path
+//! (indexed `drc::check` vs the reference `drc::check_naive`).
 //!
 //! Usage: `table1 [max_index]` (default 5; pass 3 for a quick run).
+//! Set `RDL_THREADS=<n>` to route with the parallel sequential planner.
 
 use info_baseline::LinExtRouter;
 use info_bench::{geomean, secs};
+use info_geom::{Point, Polyline};
+use info_model::{drc, DesignRules, Layout, NetId, Package, PackageBuilder, WireLayer};
 use info_router::{InfoRouter, RouterConfig};
 use std::time::Instant;
 
+struct Row {
+    name: String,
+    nets: usize,
+    routability_pct: f64,
+    wirelength_um: f64,
+    runtime_s: f64,
+    layout_hash: u64,
+    drc_indexed_s: f64,
+    drc_naive_s: f64,
+}
+
+impl Row {
+    fn drc_speedup(&self) -> f64 {
+        if self.drc_indexed_s > 0.0 {
+            self.drc_naive_s / self.drc_indexed_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Production-scale DRC stress instance: a hand-built layout (no routing
+/// required) of ~6k wire segments and vias on a 10 mm die, where the
+/// all-pairs spacing sweep is genuinely quadratic. The routed dense1–2
+/// layouts are too small for asymptotics to matter; this is the scale the
+/// spatial index exists for.
+fn drc_stress_instance() -> (Package, Layout) {
+    let die = info_geom::Rect::new(Point::new(0, 0), Point::new(10_000_000, 10_000_000));
+    let pkg = PackageBuilder::new(die, DesignRules::default(), 2)
+        .build()
+        .expect("empty stress package is valid");
+    let mut layout = Layout::new(&pkg);
+    const ROWS: i64 = 240;
+    const PITCH: i64 = 40_000;
+    const SEGS: i64 = 10;
+    for row in 0..ROWS {
+        let y = 50_000 + row * PITCH;
+        for k in 0..SEGS {
+            let x0 = 50_000 + k * 990_000;
+            let path = Polyline::new(vec![Point::new(x0, y), Point::new(x0 + 900_000, y)]);
+            layout.add_route(NetId(row as u32), WireLayer(0), path);
+        }
+    }
+    for col in 0..ROWS {
+        let x = 50_000 + col * PITCH;
+        for k in 0..SEGS {
+            let y0 = 50_000 + k * 990_000;
+            let path = Polyline::new(vec![Point::new(x, y0), Point::new(x, y0 + 900_000)]);
+            layout.add_route(NetId((ROWS + col) as u32), WireLayer(1), path);
+        }
+    }
+    // Vias midway between wire rows/columns: far from all foreign geometry,
+    // so the instance is violation-free and both checks do identical work.
+    for i in 0..24 {
+        for j in 0..24 {
+            let c = Point::new(70_000 + i * 400_000, 70_000 + j * 400_000);
+            layout.add_via(NetId(i as u32), c, 5_000, WireLayer(0), WireLayer(1), false);
+        }
+    }
+    (pkg, layout)
+}
+
+/// Best-of-three timing of one DRC pass over the final layout.
+fn time_drc(package: &Package, layout: &Layout, naive: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let report =
+            if naive { drc::check_naive(package, layout) } else { drc::check(package, layout) };
+        std::hint::black_box(report.violations().len());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Stress {
+    items: usize,
+    indexed_s: f64,
+    naive_s: f64,
+}
+
+impl Stress {
+    fn speedup(&self) -> f64 {
+        if self.indexed_s > 0.0 {
+            self.naive_s / self.indexed_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run_drc_stress() -> Stress {
+    let (pkg, layout) = drc_stress_instance();
+    let items = layout.routes().map(|r| r.path.segments().count()).sum::<usize>()
+        + layout.vias().count() * 2;
+    let indexed_s = time_drc(&pkg, &layout, false);
+    let naive_s = time_drc(&pkg, &layout, true);
+    let report = drc::check(&pkg, &layout);
+    assert!(report.violations().is_empty(), "stress instance must be violation-free");
+    Stress { items, indexed_s, naive_s }
+}
+
+fn write_bench_json(rows: &[Row], stress: &Stress, threads: usize) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"rdl\",\n");
+    out.push_str("  \"generated_by\": \"table1\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"circuits\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nets\": {}, \"routability_pct\": {:.3}, \
+             \"wirelength_um\": {:.1}, \"runtime_s\": {:.4}, \"layout_hash\": \"{:016x}\", \
+             \"drc_indexed_s\": {:.6}, \"drc_naive_s\": {:.6}, \"drc_speedup\": {:.2}}}{}\n",
+            r.name,
+            r.nets,
+            r.routability_pct,
+            r.wirelength_um,
+            r.runtime_s,
+            r.layout_hash,
+            r.drc_indexed_s,
+            r.drc_naive_s,
+            r.drc_speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"drc_speedup_geomean\": {:.2},\n",
+        geomean(rows.iter().map(Row::drc_speedup))
+    ));
+    out.push_str(&format!(
+        "  \"drc_stress\": {{\"items\": {}, \"indexed_s\": {:.6}, \"naive_s\": {:.6}, \
+         \"speedup\": {:.2}}},\n",
+        stress.items,
+        stress.indexed_s,
+        stress.naive_s,
+        stress.speedup(),
+    ));
+    out.push_str(&format!("  \"drc_query_speedup\": {:.2}\n", stress.speedup()));
+    out.push_str("}\n");
+    match std::fs::write("BENCH_rdl.json", &out) {
+        Ok(()) => println!("wrote BENCH_rdl.json"),
+        Err(e) => eprintln!("could not write BENCH_rdl.json: {e}"),
+    }
+}
+
 fn main() {
     let max_index: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let threads: usize = std::env::var("RDL_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     println!("Table I — Lin-ext vs Ours (synthetic dense suite; see DESIGN.md substitutions)");
     println!(
         "{:<8} {:>6} {:>5} {:>5} {:>5} {:>4} {:>4} | {:>9} {:>9} | {:>12} {:>12} | {:>8} {:>8}",
@@ -20,6 +175,7 @@ fn main() {
 
     let mut ratios_rt = Vec::new();
     let mut ratios_time = Vec::new();
+    let mut rows = Vec::new();
     for idx in 1..=max_index {
         let pkg = info_gen::dense(idx);
 
@@ -28,7 +184,7 @@ fn main() {
         let base_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let ours = InfoRouter::new(RouterConfig::default()).route(&pkg);
+        let ours = InfoRouter::new(RouterConfig::default().with_threads(threads)).route(&pkg);
         let ours_time = t1.elapsed();
 
         println!(
@@ -53,6 +209,16 @@ fn main() {
         if ours_time.as_secs_f64() > 0.0 {
             ratios_time.push(base_time.as_secs_f64() / ours_time.as_secs_f64());
         }
+        rows.push(Row {
+            name: format!("dense{idx}"),
+            nets: pkg.nets().len(),
+            routability_pct: ours.stats.routability_pct,
+            wirelength_um: ours.stats.total_wirelength_um,
+            runtime_s: ours_time.as_secs_f64(),
+            layout_hash: ours.layout.canonical_hash(),
+            drc_indexed_s: time_drc(&pkg, &ours.layout, false),
+            drc_naive_s: time_drc(&pkg, &ours.layout, true),
+        });
     }
     println!(
         "Comparisons (geo-mean ratios, Lin-ext / Ours): routability {:.3}, runtime {:.3}",
@@ -60,4 +226,17 @@ fn main() {
         geomean(ratios_time)
     );
     println!("(paper: routability 0.794, runtime 0.297)");
+    println!(
+        "DRC on final layouts: indexed vs naive geo-mean speedup {:.2}x",
+        geomean(rows.iter().map(Row::drc_speedup))
+    );
+    let stress = run_drc_stress();
+    println!(
+        "DRC query path (stress, {} items): indexed {:.4}s vs naive {:.4}s = {:.2}x",
+        stress.items,
+        stress.indexed_s,
+        stress.naive_s,
+        stress.speedup(),
+    );
+    write_bench_json(&rows, &stress, threads);
 }

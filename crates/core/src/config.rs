@@ -36,6 +36,14 @@ pub struct RouterConfig {
     pub peripheral_margin: Coord,
     /// Extra cost per via in A\*, as a multiple of the via width.
     pub via_cost_factor: f64,
+    /// Worker threads for the sequential stage's speculative net planner.
+    /// `1` (the default) routes on the caller's thread; any value produces
+    /// bit-identical layouts (plans are applied in net order, and a plan
+    /// whose read set was invalidated by an earlier commit is recomputed),
+    /// so this trades CPU for wall-clock only. Forced to 1 while a fault
+    /// plan is armed, because injected-fault trigger counts are
+    /// order-sensitive.
+    pub threads: usize,
     /// Per-stage wall-clock budget. Stages check it cooperatively (per
     /// net, per candidate, per LP iteration) and stop early with partial
     /// results when it trips; `None` disables the budget.
@@ -59,6 +67,7 @@ impl Default for RouterConfig {
             lp_max_iterations: 50,
             peripheral_margin: 40_000,
             via_cost_factor: 4.0,
+            threads: 1,
             stage_budget: None,
             fault_plan: FaultPlan::none(),
         }
@@ -95,6 +104,12 @@ impl RouterConfig {
         self
     }
 
+    /// Sets the sequential-stage worker-thread count (0 is treated as 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Sets a per-stage wall-clock budget.
     pub fn with_stage_budget(mut self, budget: Duration) -> Self {
         self.stage_budget = Some(budget);
@@ -121,6 +136,13 @@ mod tests {
         assert_eq!(c.delta, 2.0);
         assert_eq!(c.global_cells, 30);
         assert!(c.lp_enabled && c.concurrent_enabled && c.weighted_mpsc);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn threads_builder_clamps_zero() {
+        assert_eq!(RouterConfig::default().with_threads(0).threads, 1);
+        assert_eq!(RouterConfig::default().with_threads(4).threads, 4);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 /// Wall-clock time spent in each stage.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageTimings {
     /// Stage 1: preprocessing.
     pub preprocess: Duration,
@@ -189,6 +189,7 @@ impl InfoRouter {
         }
 
         diagnostics.faults_fired = ctx.faults_fired();
+        diagnostics.timings = timings;
 
         // --- Verification.
         let report = info_model::drc::check(package, &layout);

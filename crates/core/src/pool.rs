@@ -1,0 +1,88 @@
+//! Minimal scoped worker pool (std::thread only — the workspace builds
+//! offline, so no rayon) used by the sequential stage's speculative
+//! parallel planner.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on up to `threads` OS threads and returns
+/// the results in item order. Work is claimed from a shared counter, so
+/// item-to-thread assignment is nondeterministic — callers must make `f`
+/// a pure function of `(index, item)` for the output to be deterministic.
+/// With `threads <= 1` (or fewer than two items) everything runs on the
+/// caller's thread and no threads are spawned.
+///
+/// A panic inside `f` propagates to the caller after the scope joins
+/// (callers that need isolation wrap `f` in `catch_unwind`).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(results) => {
+                    for (i, r) in results {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every index claimed exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = parallel_map(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[5u32], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |_, &x| x * x), vec![1, 4, 9]);
+    }
+}

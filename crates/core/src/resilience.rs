@@ -208,6 +208,10 @@ pub struct FlowDiagnostics {
     pub net_failures: Vec<(NetId, RouterError)>,
     /// Fault-plan sites that actually fired, with trigger counts.
     pub faults_fired: Vec<(FaultSite, u32)>,
+    /// Wall-clock time spent per stage (perf counters; identical to
+    /// `RouteOutcome::timings`, surfaced here so diagnostics alone carry
+    /// the full story of a run).
+    pub timings: crate::flow::StageTimings,
 }
 
 impl FlowDiagnostics {

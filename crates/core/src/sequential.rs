@@ -6,10 +6,12 @@
 //! exactly as the paper updates its routing graph after each net.
 
 use crate::config::RouterConfig;
+use crate::pool::parallel_map;
 use crate::resilience::{panic_message, FaultSite, FlowCtx, RouterError, Stage};
-use info_geom::x_arch_len;
+use info_geom::{x_arch_len, Rect};
 use info_model::{Layout, NetId, Package};
 use info_tile::{astar, realize, RoutingSpace, SpaceConfig};
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Result of the sequential stage.
@@ -64,18 +66,41 @@ pub fn route_sequential(
     let mut space = RoutingSpace::build(package, layout, space_config(package, cfg));
     let mut result = SequentialResult::default();
     let mut retry: Vec<NetId> = Vec::new();
+    let threads = effective_threads(cfg);
 
     for pass in 0..2 {
         let todo = if pass == 0 { std::mem::take(&mut order) } else { std::mem::take(&mut retry) };
+        if threads > 1 {
+            route_pass_speculative(
+                package,
+                layout,
+                &mut space,
+                &todo,
+                cfg,
+                ctx,
+                threads,
+                &mut |id, attempt| match attempt {
+                    Attempt::Deadline => result.failed.push(id),
+                    Attempt::Done(true) => result.routed.push(id),
+                    Attempt::Done(false) if pass == 0 => retry.push(id),
+                    Attempt::Done(false) => result.failed.push(id),
+                    Attempt::Internal(e) => {
+                        result.recovered.push((id, e));
+                        result.failed.push(id);
+                    }
+                },
+            );
+            continue;
+        }
         for id in todo {
             if ctx.deadline_exceeded() {
                 result.failed.push(id);
                 continue;
             }
             match guarded_route_net(package, layout, &mut space, id, cfg, ctx) {
-                Ok(true) => result.routed.push(id),
-                Ok(false) if pass == 0 => retry.push(id),
-                Ok(false) => result.failed.push(id),
+                Ok(Some(_)) => result.routed.push(id),
+                Ok(None) if pass == 0 => retry.push(id),
+                Ok(None) => result.failed.push(id),
                 Err(e) => {
                     result.recovered.push((id, e));
                     result.failed.push(id);
@@ -129,9 +154,136 @@ pub fn route_sequential(
     result
 }
 
+/// Worker threads the sequential stage actually uses. A non-empty fault
+/// plan forces single-threaded routing: [`FlowCtx::check`] trigger counts
+/// depend on the exact order sites are passed, which speculative planning
+/// (each plan passes `astar.expand` once, invalidated plans twice) would
+/// perturb.
+fn effective_threads(cfg: &RouterConfig) -> usize {
+    if cfg.fault_plan.is_empty() {
+        cfg.threads.max(1)
+    } else {
+        1
+    }
+}
+
+/// How one net's attempt ended, for the speculative executor's caller.
+enum Attempt {
+    /// The stage deadline tripped before this net was attempted.
+    Deadline,
+    /// Routed (`true`) or geometric failure (`false`).
+    Done(bool),
+    /// Internal failure (caught panic); costs exactly this net.
+    Internal(RouterError),
+}
+
+/// Routes one pass of nets with speculative parallel planning, reporting
+/// each net's outcome — in net order — through `emit`.
+///
+/// Determinism argument: outcomes are identical to the single-threaded
+/// loop because commits happen on this thread, in net order, and a
+/// speculative plan is applied only when every global cell it read is
+/// untouched by earlier commits of its batch. Untouched cells keep both
+/// their tile *content* and their tile *ids* (rebuilds never renumber
+/// other cells), so re-planning against the committed state would
+/// reproduce the speculative plan bit for bit — including A\*'s
+/// tile-id heap tie-breaks. Stale or panicked plans are recomputed
+/// through the exact single-threaded path.
+#[allow(clippy::too_many_arguments)]
+fn route_pass_speculative(
+    package: &Package,
+    layout: &mut Layout,
+    space: &mut RoutingSpace,
+    todo: &[NetId],
+    cfg: &RouterConfig,
+    ctx: &FlowCtx,
+    threads: usize,
+    emit: &mut dyn FnMut(NetId, Attempt),
+) {
+    let batch_size = threads * 2;
+    let mut start = 0;
+    while start < todo.len() {
+        let batch = &todo[start..(start + batch_size).min(todo.len())];
+        start += batch.len();
+        // Plan read-only against the batch-start state. Worker panics are
+        // converted to errors here and re-raised through the sequential
+        // recompute path below, which owns the rollback.
+        let plans: Vec<Result<PlanOutcome, RouterError>> =
+            parallel_map(batch, threads, |_, &id| {
+                catch_unwind(AssertUnwindSafe(|| plan_net(package, layout, space, id, ctx)))
+                    .unwrap_or_else(|payload| {
+                        Err(RouterError::Panic {
+                            stage: Stage::Sequential,
+                            message: panic_message(payload.as_ref()),
+                        })
+                    })
+            });
+        // Commit in net order; track which cells each commit rebuilt.
+        let mut dirty: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut all_dirty = false;
+        for (&id, plan) in batch.iter().zip(plans) {
+            if ctx.deadline_exceeded() {
+                emit(id, Attempt::Deadline);
+                continue;
+            }
+            let fresh = match &plan {
+                Ok(p) if !all_dirty => p.read_cells.iter().all(|c| !dirty.contains(c)),
+                _ => false,
+            };
+            let attempt = if fresh {
+                match plan.expect("fresh implies planned") {
+                    PlanOutcome { real: None, .. } => Attempt::Done(false),
+                    PlanOutcome { real: Some(real), .. } => {
+                        let commit = catch_unwind(AssertUnwindSafe(|| {
+                            commit_plan(package, layout, space, id, real, ctx)
+                        }));
+                        match commit {
+                            Ok(Ok(rebuilt)) => {
+                                dirty.extend(rebuilt);
+                                Attempt::Done(true)
+                            }
+                            Ok(Err(e)) => Attempt::Internal(e),
+                            Err(payload) => {
+                                // Same rollback as `guarded_route_net`.
+                                layout.remove_net(id);
+                                *space = RoutingSpace::build(
+                                    package,
+                                    layout,
+                                    space_config(package, cfg),
+                                );
+                                all_dirty = true;
+                                Attempt::Internal(RouterError::Panic {
+                                    stage: Stage::Sequential,
+                                    message: panic_message(payload.as_ref()),
+                                })
+                            }
+                        }
+                    }
+                }
+            } else {
+                match guarded_route_net(package, layout, space, id, cfg, ctx) {
+                    Ok(Some(rebuilt)) => {
+                        dirty.extend(rebuilt);
+                        Attempt::Done(true)
+                    }
+                    Ok(None) => Attempt::Done(false),
+                    Err(e) => {
+                        // The panic path rebuilt the whole space, which
+                        // renumbers every tile id.
+                        all_dirty = true;
+                        Attempt::Internal(e)
+                    }
+                }
+            };
+            emit(id, attempt);
+        }
+    }
+}
+
 /// One per-net attempt under a panic guard. On a caught panic the net's
 /// (possibly partial) geometry is removed and the routing space rebuilt,
-/// so the failure costs exactly this net.
+/// so the failure costs exactly this net. `Ok(Some(cells))` reports which
+/// global cells the commit rebuilt.
 fn guarded_route_net(
     package: &Package,
     layout: &mut Layout,
@@ -139,7 +291,7 @@ fn guarded_route_net(
     id: NetId,
     cfg: &RouterConfig,
     ctx: &FlowCtx,
-) -> Result<bool, RouterError> {
+) -> Result<Option<Vec<(usize, usize)>>, RouterError> {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         try_route_net(package, layout, space, id, cfg, ctx)
     }));
@@ -217,21 +369,25 @@ fn ripup_and_reroute(
             return Ok(false);
         }
         let snapshot = layout.clone();
-        let mut touched = corridor;
+        // Incremental rebuild over the exact rects that changed — the
+        // corridor plus each victim's own geometry — rather than their
+        // union hull, which for far-apart victims covers (and renumbers)
+        // most of the die for nothing.
+        let mut touched: Vec<Rect> = vec![corridor];
         for &v in &victims {
             if let Some(b) = net_bbox(layout, v) {
-                touched = touched.union(b);
+                touched.push(b);
             }
             layout.remove_net(v);
         }
-        space.rebuild_dirty(package, layout, touched);
+        space.rebuild_dirty_multi(package, layout, &touched);
         // try_route_net rebuilds the space over each commit's own bbox.
         let attempt: Result<bool, RouterError> = (|| {
-            if !try_route_net(package, layout, space, id, cfg, ctx)? {
+            if try_route_net(package, layout, space, id, cfg, ctx)?.is_none() {
                 return Ok(false);
             }
             for &v in &victims {
-                if !try_route_net(package, layout, space, v, cfg, ctx)? {
+                if try_route_net(package, layout, space, v, cfg, ctx)?.is_none() {
                     return Ok(false);
                 }
             }
@@ -244,11 +400,11 @@ fn ripup_and_reroute(
         // the failed attempt.
         for &n in std::iter::once(&id).chain(victims.iter()) {
             if let Some(b) = net_bbox(layout, n) {
-                touched = touched.union(b);
+                touched.push(b);
             }
         }
         *layout = snapshot;
-        space.rebuild_dirty(package, layout, touched);
+        space.rebuild_dirty_multi(package, layout, &touched);
         // An internal failure during eviction aborts the search for this
         // net (the layout is already restored); geometric failure tries
         // the next eviction set.
@@ -257,10 +413,125 @@ fn ripup_and_reroute(
     Ok(false)
 }
 
+/// What a read-only planning attempt produced, plus every global cell it
+/// read — tiles and via sites touched by A\*, and the cells covering the
+/// proposal's clearance halo (which bound the layout geometry the
+/// crossing and clearance checks depend on). The speculative executor
+/// applies `real` only while this read set is disjoint from the cells
+/// rebuilt by earlier commits in the same batch.
+struct PlanOutcome {
+    /// The validated realization, or `None` on geometric failure.
+    real: Option<realize::RealizedNet>,
+    /// Sorted global cells the plan read.
+    read_cells: Vec<(usize, usize)>,
+}
+
+/// Adds `cells` and their one-cell ring to `read` (neighbor enumeration
+/// in the tile space reads at most the 4-adjacent cells of a tile).
+fn extend_ring<I: IntoIterator<Item = (usize, usize)>>(
+    read: &mut BTreeSet<(usize, usize)>,
+    cells: I,
+    space: &RoutingSpace,
+) {
+    let (nx, ny) = (space.config().cells_x, space.config().cells_y);
+    for (cx, cy) in cells {
+        for dy in [-1i64, 0, 1] {
+            for dx in [-1i64, 0, 1] {
+                let (x, y) = (cx as i64 + dx, cy as i64 + dy);
+                if x >= 0 && y >= 0 && (x as usize) < nx && (y as usize) < ny {
+                    read.insert((x as usize, y as usize));
+                }
+            }
+        }
+    }
+}
+
+/// Plans one net without mutating anything: A\* search, realization,
+/// turn-rule validation, crossing rejection, clearance trial — everything
+/// [`try_route_net`] checks before its commit, in the same order.
+fn plan_net(
+    package: &Package,
+    layout: &Layout,
+    space: &RoutingSpace,
+    id: NetId,
+    ctx: &FlowCtx,
+) -> Result<PlanOutcome, RouterError> {
+    let net = package.net(id);
+    let src = (package.pad_layer(net.a), package.pad(net.a).center);
+    let dst = (package.pad_layer(net.b), package.pad(net.b).center);
+    ctx.check(FaultSite::AstarExpand)?;
+    let (found, trace) = astar::route_traced(space, id, src, dst);
+    let mut read = BTreeSet::new();
+    extend_ring(&mut read, trace, space);
+    let reject = |read: BTreeSet<(usize, usize)>| {
+        Ok(PlanOutcome { real: None, read_cells: read.into_iter().collect() })
+    };
+    let Some(found) = found else {
+        return reject(read);
+    };
+    let Some(real) = realize::realize(&found, src, dst) else {
+        return reject(read);
+    };
+    // The remaining checks read layout geometry near the proposal: any
+    // route that could cross it, or any shape that could violate spacing
+    // against it, has a point inside this halo — so its cells complete
+    // the read set.
+    if let Some(b) = real.bbox() {
+        let margin = space.config().clearance + space.config().via_width;
+        read.extend(space.cells_touching(b.inflate(margin)));
+    }
+    // Validate the realization before committing.
+    if real.routes.iter().any(|(_, pl)| pl.validate().is_err()) {
+        return reject(read);
+    }
+    // Reject hard crossings against foreign nets (the tile path should
+    // avoid them; realization corner cases can still clip a boundary).
+    for (layer, pl) in &real.routes {
+        for r in layout.routes_on(*layer) {
+            if r.net != id && pl.crosses(&r.path) {
+                return reject(read);
+            }
+        }
+    }
+    // Clearance trial: realization may stray slightly outside the tile
+    // path; never commit geometry the DRC would reject.
+    let proposal =
+        crate::trial::Proposal { routes: real.routes.clone(), vias: real.vias.clone() };
+    if !crate::trial::clearance_ok(package, layout, id, &proposal) {
+        return reject(read);
+    }
+    Ok(PlanOutcome { real: Some(real), read_cells: read.into_iter().collect() })
+}
+
+/// Commits a validated plan: adds its geometry to the layout and rebuilds
+/// the dirty cells of the space, returning them. The fault check runs
+/// before any mutation, so an `Err` leaves the layout untouched.
+fn commit_plan(
+    package: &Package,
+    layout: &mut Layout,
+    space: &mut RoutingSpace,
+    id: NetId,
+    real: realize::RealizedNet,
+    ctx: &FlowCtx,
+) -> Result<Vec<(usize, usize)>, RouterError> {
+    ctx.check(FaultSite::TileViaInsert)?;
+    let dirty = real.bbox();
+    for (layer, pl) in real.routes {
+        layout.add_route(id, layer, pl);
+    }
+    for (at, top, bot) in real.vias {
+        layout.add_via(id, at, package.rules().via_width, top, bot, false);
+    }
+    match dirty {
+        Some(d) => Ok(space.rebuild_dirty(package, layout, d)),
+        None => Ok(Vec::new()),
+    }
+}
+
 /// Attempts one net; on success commits geometry and rebuilds the dirty
-/// part of the space.
+/// part of the space, returning the rebuilt cells.
 ///
-/// `Ok(false)` is a geometric failure (no path / realization rejected) —
+/// `Ok(None)` is a geometric failure (no path / realization rejected) —
 /// the normal retry path. `Err` is an internal failure (injected fault);
 /// both fault checks run before any mutation, so an `Err` leaves the
 /// layout untouched.
@@ -271,49 +542,12 @@ fn try_route_net(
     id: NetId,
     _cfg: &RouterConfig,
     ctx: &FlowCtx,
-) -> Result<bool, RouterError> {
-    let net = package.net(id);
-    let src = (package.pad_layer(net.a), package.pad(net.a).center);
-    let dst = (package.pad_layer(net.b), package.pad(net.b).center);
-    ctx.check(FaultSite::AstarExpand)?;
-    let Some(found) = astar::route(space, id, src, dst) else {
-        return Ok(false);
+) -> Result<Option<Vec<(usize, usize)>>, RouterError> {
+    let outcome = plan_net(package, layout, space, id, ctx)?;
+    let Some(real) = outcome.real else {
+        return Ok(None);
     };
-    let Some(real) = realize::realize(&found, src, dst) else {
-        return Ok(false);
-    };
-    // Validate the realization before committing.
-    if real.routes.iter().any(|(_, pl)| pl.validate().is_err()) {
-        return Ok(false);
-    }
-    // Reject hard crossings against foreign nets (the tile path should
-    // avoid them; realization corner cases can still clip a boundary).
-    for (layer, pl) in &real.routes {
-        for r in layout.routes_on(*layer) {
-            if r.net != id && pl.crosses(&r.path) {
-                return Ok(false);
-            }
-        }
-    }
-    // Clearance trial: realization may stray slightly outside the tile
-    // path; never commit geometry the DRC would reject.
-    let proposal =
-        crate::trial::Proposal { routes: real.routes.clone(), vias: real.vias.clone() };
-    if !crate::trial::clearance_ok(package, layout, id, &proposal) {
-        return Ok(false);
-    }
-    ctx.check(FaultSite::TileViaInsert)?;
-    let dirty = real.bbox();
-    for (layer, pl) in real.routes {
-        layout.add_route(id, layer, pl);
-    }
-    for (at, top, bot) in real.vias {
-        layout.add_via(id, at, package.rules().via_width, top, bot, false);
-    }
-    if let Some(d) = dirty {
-        space.rebuild_dirty(package, layout, d);
-    }
-    Ok(true)
+    commit_plan(package, layout, space, id, real, ctx).map(Some)
 }
 
 #[cfg(test)]
@@ -373,6 +607,93 @@ mod tests {
             "{:?}",
             report.violations()
         );
+    }
+
+    #[test]
+    fn parallel_threads_produce_identical_layouts() {
+        let pkg = simple_package(6);
+        let nets: Vec<NetId> = pkg.nets().iter().map(|n| n.id).collect();
+        let route_with_threads = |threads: usize| {
+            let cfg = RouterConfig::default().with_global_cells(10).with_threads(threads);
+            let mut layout = Layout::new(&pkg);
+            let res = route_sequential(
+                &pkg,
+                &mut layout,
+                &nets,
+                &cfg,
+                &crate::resilience::FlowCtx::default(),
+            );
+            (layout.canonical_hash(), res.routed, res.failed)
+        };
+        let baseline = route_with_threads(1);
+        for threads in [2, 4, 8] {
+            let got = route_with_threads(threads);
+            assert_eq!(got, baseline, "threads={threads} diverged from threads=1");
+        }
+    }
+
+    #[test]
+    fn fault_plan_forces_single_thread() {
+        use crate::resilience::{FaultPlan, FaultSite};
+        let cfg = RouterConfig::default()
+            .with_threads(8)
+            .with_fault_plan(FaultPlan::single(FaultSite::AstarExpand));
+        assert_eq!(effective_threads(&cfg), 1);
+        assert_eq!(effective_threads(&RouterConfig::default().with_threads(8)), 8);
+    }
+
+    #[test]
+    fn failed_ripup_restores_untouched_geometry_exactly() {
+        // One wire layer. Net 0's I/O pad is fenced in by obstacles, so it
+        // can never route. Net 1 (second chip, outside the fence) routes
+        // through net 0's corridor, making it an eviction candidate.
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(1_000_000, 800_000)),
+            DesignRules::default(),
+            1,
+        );
+        let c1 = b.add_chip(Rect::new(Point::new(100_000, 100_000), Point::new(300_000, 300_000)));
+        let io0 = b.add_io_pad(c1, Point::new(200_000, 200_000)).unwrap();
+        let g0 = b.add_bump_pad(Point::new(700_000, 200_000)).unwrap();
+        b.add_net(io0, g0).unwrap();
+        let c2 = b.add_chip(Rect::new(Point::new(450_000, 150_000), Point::new(550_000, 250_000)));
+        let io1 = b.add_io_pad(c2, Point::new(500_000, 200_000)).unwrap();
+        let g1 = b.add_bump_pad(Point::new(600_000, 500_000)).unwrap();
+        b.add_net(io1, g1).unwrap();
+        for fence in [
+            Rect::new(Point::new(50_000, 50_000), Point::new(350_000, 60_000)),
+            Rect::new(Point::new(50_000, 340_000), Point::new(350_000, 350_000)),
+            Rect::new(Point::new(50_000, 50_000), Point::new(60_000, 350_000)),
+            Rect::new(Point::new(340_000, 50_000), Point::new(350_000, 350_000)),
+        ] {
+            b.add_obstacle(info_model::WireLayer(0), fence).unwrap();
+        }
+        let pkg = b.build().unwrap();
+        let cfg = RouterConfig::default().with_global_cells(10);
+        let ctx = crate::resilience::FlowCtx::default();
+        let mut layout = Layout::new(&pkg);
+        let res = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg, &ctx);
+        assert_eq!(res.routed, vec![NetId(1)], "net 1 must route: {res:?}");
+
+        let mut space = RoutingSpace::build(&pkg, &layout, space_config(&pkg, &cfg));
+        let before = layout.canonical_hash();
+        let got = ripup_and_reroute(
+            &pkg,
+            &mut layout,
+            &mut space,
+            NetId(0),
+            &cfg,
+            &[NetId(1)],
+            &ctx,
+        )
+        .expect("no internal failure");
+        assert!(!got, "fenced net cannot route even after evictions");
+        assert_eq!(
+            layout.canonical_hash(),
+            before,
+            "failed rip-up must restore every untouched net's geometry exactly"
+        );
+        assert!(drc::is_connected(&pkg, &layout, NetId(1)));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 mod dir;
 mod dist;
+mod grid_index;
 mod line;
 mod octagon;
 mod point;
@@ -45,6 +46,7 @@ mod segment;
 
 pub use dir::{Dir8, Orient4};
 pub use dist::{euclid, euclid_sq, manhattan, octagonal, x_arch_len};
+pub use grid_index::{EntryId, GridIndex};
 pub use line::XLine;
 pub use octagon::Octagon;
 pub use point::{Point, Vector};

@@ -1,0 +1,105 @@
+//! Differential property tests: every [`GridIndex`] query must return
+//! exactly what the naive O(n²) scan over the same items returns, in the
+//! same (insertion) order — on random soups of segment bboxes, via/pad
+//! boxes, and degenerate rectangles, under interleaved insertions and
+//! removals.
+
+use info_geom::{GridIndex, Point, Rect, Segment};
+use proptest::prelude::*;
+
+const R: i64 = 500_000;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-R..R, -R..R).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Mix of shapes that occur in real layouts: wire-segment bboxes (often
+/// degenerate: zero height/width for axis-parallel wires), small squares
+/// (vias, pads), and arbitrary boxes (obstacles).
+fn arb_item_bbox() -> impl Strategy<Value = Rect> {
+    prop_oneof![
+        // Wire segment hull (possibly degenerate).
+        (arb_point(), arb_point()).prop_map(|(a, b)| {
+            let (lo, hi) = Segment::new(a, b).bbox();
+            Rect::new(lo, hi)
+        }),
+        // Via / pad: small square around a center.
+        (arb_point(), 1i64..30_000).prop_map(|(c, half)| Rect::centered_square(c, half)),
+        // Obstacle: any box.
+        (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b)),
+    ]
+}
+
+fn arb_probe() -> impl Strategy<Value = Rect> {
+    (arb_point(), 0i64..200_000, 0i64..200_000)
+        .prop_map(|(p, w, h)| Rect::new(p, Point::new(p.x + w, p.y + h)))
+}
+
+fn naive_hits(items: &[(Rect, bool)], probe: Rect) -> Vec<usize> {
+    items
+        .iter()
+        .enumerate()
+        .filter(|(_, (b, alive))| *alive && b.intersects(probe))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_matches_naive_scan(
+        items in proptest::collection::vec(arb_item_bbox(), 0..120),
+        probes in proptest::collection::vec(arb_probe(), 1..12),
+    ) {
+        let bounds = Rect::new(Point::new(-R, -R), Point::new(R, R));
+        let mut idx = GridIndex::with_grid(bounds, 16, 16);
+        let ids: Vec<_> = items.iter().map(|&b| idx.insert(b, ())).collect();
+        let tagged: Vec<(Rect, bool)> = items.iter().map(|&b| (b, true)).collect();
+        for probe in probes {
+            let got: Vec<usize> = idx.query(probe).iter().map(|id| id.index()).collect();
+            let want = naive_hits(&tagged, probe);
+            prop_assert_eq!(&got, &want, "probe {:?}", probe);
+            // The immutable query path agrees with the stamped one.
+            let got_ref: Vec<usize> = idx.query_ref(probe).iter().map(|id| id.index()).collect();
+            prop_assert_eq!(&got_ref, &want);
+        }
+        prop_assert_eq!(ids.len(), idx.len());
+    }
+
+    #[test]
+    fn removals_track_naive_scan(
+        items in proptest::collection::vec(arb_item_bbox(), 1..80),
+        kill_mask in proptest::collection::vec(any::<bool>(), 1..80),
+        probe in arb_probe(),
+    ) {
+        let bounds = Rect::new(Point::new(-R, -R), Point::new(R, R));
+        let mut idx = GridIndex::with_grid(bounds, 8, 8);
+        let ids: Vec<_> = items.iter().map(|&b| idx.insert(b, ())).collect();
+        let mut tagged: Vec<(Rect, bool)> = items.iter().map(|&b| (b, true)).collect();
+        for (i, &kill) in kill_mask.iter().enumerate().take(items.len()) {
+            if kill {
+                idx.remove(ids[i]);
+                tagged[i].1 = false;
+            }
+        }
+        let got: Vec<usize> = idx.query(probe).iter().map(|id| id.index()).collect();
+        prop_assert_eq!(got, naive_hits(&tagged, probe));
+    }
+
+    #[test]
+    fn tiny_grid_equals_big_grid(
+        items in proptest::collection::vec(arb_item_bbox(), 0..60),
+        probe in arb_probe(),
+    ) {
+        // Bucket geometry must never change results, only speed.
+        let bounds = Rect::new(Point::new(-R, -R), Point::new(R, R));
+        let mut coarse = GridIndex::with_grid(bounds, 1, 1);
+        let mut fine = GridIndex::with_grid(bounds, 96, 96);
+        for &b in &items {
+            coarse.insert(b, ());
+            fine.insert(b, ());
+        }
+        prop_assert_eq!(coarse.query(probe), fine.query(probe));
+    }
+}

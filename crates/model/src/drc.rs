@@ -16,7 +16,7 @@
 use crate::ids::{NetId, ObstacleId, PadId, RouteId, ViaId, WireLayer};
 use crate::layout::Layout;
 use crate::package::Package;
-use info_geom::{Octagon, Rect, Segment, TurnRuleViolation};
+use info_geom::{GridIndex, Octagon, Rect, Segment, TurnRuleViolation};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -177,9 +177,23 @@ enum ItemShape {
 /// # }
 /// ```
 pub fn check(package: &Package, layout: &Layout) -> DrcReport {
+    check_impl(package, layout, true)
+}
+
+/// [`check`] with the spacing/crossing sweep done by the naive O(n²)
+/// all-pairs scan instead of the grid-bucket spatial index.
+///
+/// Kept as the differential-testing reference and the baseline the
+/// `table1` bench times the indexed query path against; the two must
+/// produce byte-identical reports on every layout.
+pub fn check_naive(package: &Package, layout: &Layout) -> DrcReport {
+    check_impl(package, layout, false)
+}
+
+fn check_impl(package: &Package, layout: &Layout, indexed: bool) -> DrcReport {
     let mut report = DrcReport::default();
     check_geometry_rules(package, layout, &mut report);
-    check_spacing_and_crossing(package, layout, &mut report);
+    check_spacing_and_crossing(package, layout, &mut report, indexed);
     for net in package.nets() {
         if !is_connected(package, layout, net.id) {
             report.push(Violation::Disconnected { net: net.id }, [net.id]);
@@ -262,72 +276,109 @@ fn layer_items(package: &Package, layout: &Layout, layer: WireLayer) -> Vec<Laye
     items
 }
 
-fn check_spacing_and_crossing(package: &Package, layout: &Layout, report: &mut DrcReport) {
+fn check_spacing_and_crossing(
+    package: &Package,
+    layout: &Layout,
+    report: &mut DrcReport,
+    indexed: bool,
+) {
     let rules = package.rules();
-    let s = rules.min_spacing as f64;
-    let half_wire = rules.wire_width as f64 / 2.0;
     for li in 0..package.wire_layer_count() {
         let layer = WireLayer(li as u8);
         let items = layer_items(package, layout, layer);
-        // Pairwise with bbox prefilter. The prefilter inflates by the
-        // largest possible clearance (spacing + full wire width).
+        // The bbox prefilter inflates by the largest possible clearance
+        // (spacing + full wire width).
         let reach = rules.min_spacing + rules.wire_width + 1;
-        for i in 0..items.len() {
-            let a = &items[i];
-            let abox = a.bbox.inflate(reach);
-            for b in items.iter().skip(i + 1) {
-                // Same-net (and pads vs their own routes) are exempt; two
-                // distinct nets or a net against a no-net obstacle are not.
-                let exempt = match (a.net, b.net) {
-                    (Some(x), Some(y)) => x == y,
-                    // Two netless items (pads without nets / obstacles) are
-                    // static input geometry — the builder validated them.
-                    (None, None) => true,
-                    _ => false,
-                };
-                if exempt || !abox.intersects(b.bbox) {
-                    continue;
-                }
-                // A proper crossing (route-route only) is reported as such;
-                // mere touches fall through to the spacing check, which
-                // records them as zero-distance spacing violations.
-                if let (ItemShape::Wire(sa), ItemShape::Wire(sb)) = (&a.shape, &b.shape) {
-                    if sa.crosses_properly(*sb) {
-                        if let (ItemRef::Route(ra), ItemRef::Route(rb)) = (a.item, b.item) {
-                            report.push(
-                                Violation::Crossing { layer, a: ra, b: rb },
-                                [a.net, b.net].into_iter().flatten(),
-                            );
-                            continue;
-                        }
+        if indexed {
+            // Each item id equals its position in `items`, and queries
+            // return ids in ascending order, so the (i, j>i) pair stream —
+            // and therefore the violation list — is byte-identical to the
+            // naive scan below.
+            let mut index: GridIndex<()> =
+                GridIndex::with_capacity_hint(package.die(), items.len());
+            for it in &items {
+                index.insert(it.bbox, ());
+            }
+            for i in 0..items.len() {
+                let abox = items[i].bbox.inflate(reach);
+                for id in index.query(abox) {
+                    let j = id.index();
+                    if j > i {
+                        check_pair(rules, layer, &items[i], &items[j], report);
                     }
                 }
-                let (distance, required) = match (&a.shape, &b.shape) {
-                    (ItemShape::Wire(sa), ItemShape::Wire(sb)) => {
-                        (sa.distance_to_segment(*sb) - 2.0 * half_wire, s)
+            }
+        } else {
+            for i in 0..items.len() {
+                let abox = items[i].bbox.inflate(reach);
+                for b in items.iter().skip(i + 1) {
+                    if abox.intersects(b.bbox) {
+                        check_pair(rules, layer, &items[i], b, report);
                     }
-                    (ItemShape::Wire(seg), ItemShape::Solid(oct))
-                    | (ItemShape::Solid(oct), ItemShape::Wire(seg)) => {
-                        (oct.distance_to_segment(*seg) - half_wire, s)
-                    }
-                    (ItemShape::Solid(oa), ItemShape::Solid(ob)) => {
-                        (oa.distance_to_octagon(ob), s)
-                    }
-                };
-                if distance < required - TOL {
-                    report.push(
-                        Violation::Spacing {
-                            layer,
-                            a: a.item,
-                            b: b.item,
-                            distance_nm: distance.max(0.0),
-                            required_nm: required,
-                        },
-                        [a.net, b.net].into_iter().flatten(),
-                    );
                 }
             }
         }
+    }
+}
+
+/// Exact spacing/crossing check of one candidate pair (bbox-prefiltered by
+/// the caller). Pushes at most one violation.
+fn check_pair(
+    rules: &crate::rules::DesignRules,
+    layer: WireLayer,
+    a: &LayerItem,
+    b: &LayerItem,
+    report: &mut DrcReport,
+) {
+    let s = rules.min_spacing as f64;
+    let half_wire = rules.wire_width as f64 / 2.0;
+    // Same-net (and pads vs their own routes) are exempt; two
+    // distinct nets or a net against a no-net obstacle are not.
+    let exempt = match (a.net, b.net) {
+        (Some(x), Some(y)) => x == y,
+        // Two netless items (pads without nets / obstacles) are
+        // static input geometry — the builder validated them.
+        (None, None) => true,
+        _ => false,
+    };
+    if exempt {
+        return;
+    }
+    // A proper crossing (route-route only) is reported as such;
+    // mere touches fall through to the spacing check, which
+    // records them as zero-distance spacing violations.
+    if let (ItemShape::Wire(sa), ItemShape::Wire(sb)) = (&a.shape, &b.shape) {
+        if sa.crosses_properly(*sb) {
+            if let (ItemRef::Route(ra), ItemRef::Route(rb)) = (a.item, b.item) {
+                report.push(
+                    Violation::Crossing { layer, a: ra, b: rb },
+                    [a.net, b.net].into_iter().flatten(),
+                );
+                return;
+            }
+        }
+    }
+    let (distance, required) = match (&a.shape, &b.shape) {
+        (ItemShape::Wire(sa), ItemShape::Wire(sb)) => {
+            (sa.distance_to_segment(*sb) - 2.0 * half_wire, s)
+        }
+        (ItemShape::Wire(seg), ItemShape::Solid(oct))
+        | (ItemShape::Solid(oct), ItemShape::Wire(seg)) => {
+            (oct.distance_to_segment(*seg) - half_wire, s)
+        }
+        (ItemShape::Solid(oa), ItemShape::Solid(ob)) => (oa.distance_to_octagon(ob), s),
+    };
+    if distance < required - TOL {
+        report.push(
+            Violation::Spacing {
+                layer,
+                a: a.item,
+                b: b.item,
+                distance_nm: distance.max(0.0),
+                required_nm: required,
+            },
+            [a.net, b.net].into_iter().flatten(),
+        );
     }
 }
 
@@ -593,6 +644,25 @@ mod tests {
         l.add_route(NetId(0), WireLayer(0), pl(&[(250_000, 250_000), (1_100_000, 250_000)]));
         let rep = check(&pkg, &l);
         assert!(rep.violations().iter().any(|v| matches!(v, Violation::OutOfDie { .. })));
+    }
+
+    #[test]
+    fn indexed_check_matches_naive_reference() {
+        // A layout with a crossing, a spacing violation, a turn-rule
+        // violation, and a disconnected net: the indexed sweep must
+        // reproduce the naive report *exactly*, including order.
+        let (pkg, _, _) = two_chip_package();
+        let mut l = Layout::new(&pkg);
+        l.add_route(NetId(0), WireLayer(0), pl(&[(250_000, 250_000), (750_000, 250_000)]));
+        l.add_route(NetId(1), WireLayer(0), pl(&[(300_000, 253_000), (700_000, 253_000)]));
+        l.add_route(NetId(2), WireLayer(0), pl(&[(400_000, 100_000), (500_000, 400_000)]));
+        l.add_route(NetId(3), WireLayer(1), pl(&[(400_000, 300_000), (600_000, 100_000)]));
+        l.add_route(NetId(4), WireLayer(1), pl(&[(400_000, 100_000), (600_000, 300_000)]));
+        let fast = check(&pkg, &l);
+        let slow = check_naive(&pkg, &l);
+        assert_eq!(fast.violations(), slow.violations());
+        assert_eq!(fast.dirty_nets(), slow.dirty_nets());
+        assert!(!fast.is_clean());
     }
 
     #[test]

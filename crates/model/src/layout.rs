@@ -164,6 +164,70 @@ impl Layout {
         nets.into_iter().map(|n| self.net_wirelength(n)).sum()
     }
 
+    /// Canonical 64-bit hash of all live geometry (FNV-1a over a sorted
+    /// serialization of routes and vias).
+    ///
+    /// Two layouts hash equal iff they contain the same set of
+    /// `(net, layer, centerline)` routes and `(net, center, width, span,
+    /// fixed)` vias — slot order, rip-up history, and id assignment do not
+    /// matter. This is the fingerprint the golden-layout suite pins and the
+    /// determinism test compares across `threads` settings.
+    pub fn canonical_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mix = |h: &mut u64, v: i64| {
+            for b in v.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        };
+        type RouteKey = (i64, i64, Vec<(i64, i64)>);
+        let mut routes: Vec<RouteKey> = self
+            .routes()
+            .map(|r| {
+                (
+                    i64::from(r.net.0),
+                    i64::from(r.layer.0),
+                    r.path.points().iter().map(|p| (p.x, p.y)).collect(),
+                )
+            })
+            .collect();
+        routes.sort();
+        let mut vias: Vec<[i64; 7]> = self
+            .vias()
+            .map(|v| {
+                [
+                    i64::from(v.net.0),
+                    v.center.x,
+                    v.center.y,
+                    v.width,
+                    i64::from(v.top.0),
+                    i64::from(v.bottom.0),
+                    i64::from(v.fixed),
+                ]
+            })
+            .collect();
+        vias.sort();
+        let mut h = OFFSET;
+        mix(&mut h, routes.len() as i64);
+        for (net, layer, pts) in routes {
+            mix(&mut h, net);
+            mix(&mut h, layer);
+            mix(&mut h, pts.len() as i64);
+            for (x, y) in pts {
+                mix(&mut h, x);
+                mix(&mut h, y);
+            }
+        }
+        mix(&mut h, vias.len() as i64);
+        for v in vias {
+            for c in v {
+                mix(&mut h, c);
+            }
+        }
+        h
+    }
+
     /// Count of live vias.
     pub fn via_count(&self) -> usize {
         self.vias().count()

@@ -4,7 +4,7 @@ use crate::space::{RoutingSpace, TileId};
 use info_geom::{x_arch_len, Point};
 use info_model::{NetId, WireLayer};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 /// One step of a tile path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,9 +58,46 @@ pub fn route_with(
     dst: (WireLayer, Point),
     allow_vias: bool,
 ) -> Option<AstarResult> {
+    search(space, net, src, dst, allow_vias, None)
+}
+
+/// [`route`] that additionally reports the global cells the search read:
+/// the terminals' cells plus the cell of every tile reached by the search
+/// frontier. Neighbor enumeration only examines the 4-adjacent cells of a
+/// reached tile, so the returned set expanded by one cell ring covers
+/// everything whose tiles, wires, or via sites could influence the result
+/// — the read set the speculative parallel router checks against commits.
+pub fn route_traced(
+    space: &RoutingSpace,
+    net: NetId,
+    src: (WireLayer, Point),
+    dst: (WireLayer, Point),
+) -> (Option<AstarResult>, Vec<(usize, usize)>) {
+    let mut cells = BTreeSet::new();
+    let result = search(space, net, src, dst, true, Some(&mut cells));
+    (result, cells.into_iter().collect())
+}
+
+fn search(
+    space: &RoutingSpace,
+    net: NetId,
+    src: (WireLayer, Point),
+    dst: (WireLayer, Point),
+    allow_vias: bool,
+    mut trace: Option<&mut BTreeSet<(usize, usize)>>,
+) -> Option<AstarResult> {
     if !allow_vias && src.0 != dst.0 {
         return None;
     }
+    if let Some(t) = trace.as_deref_mut() {
+        t.extend(space.cell_of(src.1));
+        t.extend(space.cell_of(dst.1));
+    }
+    let mut note = move |cell: (usize, usize)| {
+        if let Some(t) = trace.as_deref_mut() {
+            t.insert(cell);
+        }
+    };
     let src_tile = space.tile_at(src.0, src.1, net)?;
     let dst_tile = space.tile_at(dst.0, dst.1, net)?;
     let via_cost = space.config().via_cost;
@@ -86,6 +123,7 @@ pub fn route_with(
         let tid = TileId(tid_raw);
         let node = best[&tid];
         let f_popped = f64::from_bits(fbits);
+        note(space.tile(tid).cell);
         let layer = space.tile(tid).layer;
         // Stale heap entry?
         if f_popped > node.g + h(node.entry, layer) + 1e-6 {
@@ -115,6 +153,7 @@ pub fn route_with(
             let g2 = node.g + x_arch_len(node.entry, cross);
             let to_layer = space.tile(e.to).layer;
             if best.get(&e.to).is_none_or(|n| g2 < n.g - 1e-9) {
+                note(space.tile(e.to).cell);
                 best.insert(e.to, Node { g: g2, entry: cross, parent: Some(tid), via: None });
                 heap.push(Reverse(((g2 + h(cross, to_layer)).to_bits(), e.to.0)));
             }
@@ -128,6 +167,7 @@ pub fn route_with(
             let to_layer = space.tile(to).layer;
             let (upper, lower) = if to_layer > layer { (layer, to_layer) } else { (to_layer, layer) };
             if best.get(&to).is_none_or(|n| g2 < n.g - 1e-9) {
+                note(space.tile(to).cell);
                 best.insert(
                     to,
                     Node { g: g2, entry: site, parent: Some(tid), via: Some((site, upper, lower)) },

@@ -12,7 +12,7 @@
 //! tile and projected to the adjacent layer (§III-C3); the router
 //! materializes a real [`info_model::Via`] when a path uses one.
 
-use info_geom::{Coord, Octagon, Orient4, Point, Rect, Segment, XLine};
+use info_geom::{Coord, GridIndex, Octagon, Orient4, Point, Rect, Segment, XLine};
 use info_model::{Layout, NetId, Package, WireLayer};
 
 /// Identifier of a tile in a [`RoutingSpace`] (invalidated by rebuilds of
@@ -125,6 +125,63 @@ pub struct RoutingSpace {
     via_sites: Vec<Vec<ViaSite>>,
 }
 
+/// Per-rebuild spatial indexes over the package and layout geometry, so
+/// each cell rebuild queries only nearby items instead of scanning every
+/// pad, obstacle, via, and wire in the design.
+///
+/// Built once per [`RoutingSpace::build`] / [`RoutingSpace::rebuild_dirty`]
+/// call (O(geometry)), then queried per rebuilt cell (O(local)). All
+/// indexes are filled in the same iteration order the naive scans used —
+/// and [`GridIndex::query`] returns ids in insertion order — so the
+/// blockage lists, and therefore the tiles, are identical to the scans'.
+struct GeomScratch {
+    /// Pad slot → `package.pads()[slot]`, keyed by pad bbox.
+    pads: GridIndex<usize>,
+    /// Obstacle slot → `package.obstacles()[slot]`, keyed by rect.
+    obstacles: GridIndex<usize>,
+    /// Via `(net, shape, top, bottom)`, keyed by shape bbox.
+    vias: GridIndex<(NetId, Octagon, WireLayer, WireLayer)>,
+    /// Per wire layer: route segments `(net, seg)`, keyed by segment bbox.
+    route_segs: Vec<GridIndex<(NetId, Segment)>>,
+    /// Net of each pad (by pad slot), for blocker tags and escape keepouts.
+    pad_nets: Vec<Option<NetId>>,
+}
+
+impl GeomScratch {
+    fn build(package: &Package, layout: &Layout, layers: usize) -> Self {
+        let die = package.die();
+        let mut pads = GridIndex::with_capacity_hint(die, package.pads().len());
+        for (i, p) in package.pads().iter().enumerate() {
+            pads.insert(p.bbox(), i);
+        }
+        let mut obstacles = GridIndex::with_capacity_hint(die, package.obstacles().len());
+        for (i, o) in package.obstacles().iter().enumerate() {
+            obstacles.insert(o.rect, i);
+        }
+        let mut vias = GridIndex::with_capacity_hint(die, layout.via_count());
+        for v in layout.vias() {
+            let shape = v.shape();
+            vias.insert(shape.bbox(), (v.net, shape, v.top, v.bottom));
+        }
+        let mut route_segs: Vec<GridIndex<(NetId, Segment)>> = (0..layers)
+            .map(|_| GridIndex::with_capacity_hint(die, layout.route_count() * 2))
+            .collect();
+        for r in layout.routes() {
+            let idx = &mut route_segs[r.layer.index()];
+            for seg in r.path.segments() {
+                let (lo, hi) = seg.bbox();
+                idx.insert(Rect::new(lo, hi), (r.net, seg));
+            }
+        }
+        let mut pad_nets = vec![None; package.pads().len()];
+        for n in package.nets() {
+            pad_nets[n.a.index()] = Some(n.id);
+            pad_nets[n.b.index()] = Some(n.id);
+        }
+        GeomScratch { pads, obstacles, vias, route_segs, pad_nets }
+    }
+}
+
 impl RoutingSpace {
     /// Builds the space from the current layout.
     pub fn build(package: &Package, layout: &Layout, cfg: SpaceConfig) -> Self {
@@ -139,9 +196,10 @@ impl RoutingSpace {
             cell_wires: vec![Vec::new(); ncells * layers],
             via_sites: vec![Vec::new(); ncells],
         };
+        let mut scratch = GeomScratch::build(package, layout, layers);
         for cy in 0..cfg.cells_y {
             for cx in 0..cfg.cells_x {
-                space.rebuild_cell(package, layout, cx, cy);
+                space.rebuild_cell(package, layout, &mut scratch, cx, cy);
             }
         }
         space
@@ -229,28 +287,76 @@ impl RoutingSpace {
 
     /// Rebuilds every global cell whose rectangle intersects `dirty`
     /// (inflated by the clearance), refreshing tiles and via sites.
-    pub fn rebuild_dirty(&mut self, package: &Package, layout: &Layout, dirty: Rect) {
-        let dirty = dirty.inflate(self.cfg.clearance + self.cfg.via_width);
+    /// Returns the `(cx, cy)` cells that were rebuilt, in row-major order
+    /// (the dirty set the parallel router intersects against read sets).
+    pub fn rebuild_dirty(
+        &mut self,
+        package: &Package,
+        layout: &Layout,
+        dirty: Rect,
+    ) -> Vec<(usize, usize)> {
+        self.rebuild_dirty_multi(package, layout, std::slice::from_ref(&dirty))
+    }
+
+    /// Rebuilds the union of the cells touched by each rect in `dirty`
+    /// (each inflated by the clearance), visiting every affected cell
+    /// exactly once in row-major order. Returns the rebuilt cells.
+    pub fn rebuild_dirty_multi(
+        &mut self,
+        package: &Package,
+        layout: &Layout,
+        dirty: &[Rect],
+    ) -> Vec<(usize, usize)> {
+        let margin = self.cfg.clearance + self.cfg.via_width;
+        let areas: Vec<Rect> = dirty.iter().map(|r| r.inflate(margin)).collect();
+        let mut cells = Vec::new();
         for cy in 0..self.cfg.cells_y {
             for cx in 0..self.cfg.cells_x {
-                if self.cell_rect(cx, cy).intersects(dirty) {
-                    self.rebuild_cell(package, layout, cx, cy);
+                let rect = self.cell_rect(cx, cy);
+                if areas.iter().any(|a| rect.intersects(*a)) {
+                    cells.push((cx, cy));
                 }
             }
         }
+        if cells.is_empty() {
+            return cells;
+        }
+        let mut scratch = GeomScratch::build(package, layout, self.layers);
+        for &(cx, cy) in &cells {
+            self.rebuild_cell(package, layout, &mut scratch, cx, cy);
+        }
+        cells
+    }
+
+    /// The global cell containing `p`, if inside the die.
+    pub fn cell_of(&self, p: Point) -> Option<(usize, usize)> {
+        self.cell_of_point(p)
+    }
+
+    /// Every global cell whose rectangle intersects `area`, row-major.
+    pub fn cells_touching(&self, area: Rect) -> Vec<(usize, usize)> {
+        let mut cells = Vec::new();
+        for cy in 0..self.cfg.cells_y {
+            for cx in 0..self.cfg.cells_x {
+                if self.cell_rect(cx, cy).intersects(area) {
+                    cells.push((cx, cy));
+                }
+            }
+        }
+        cells
     }
 
     /// Rebuilds one global cell across all layers plus its via sites.
-    fn rebuild_cell(&mut self, package: &Package, layout: &Layout, cx: usize, cy: usize) {
+    fn rebuild_cell(
+        &mut self,
+        package: &Package,
+        layout: &Layout,
+        scratch: &mut GeomScratch,
+        cx: usize,
+        cy: usize,
+    ) {
         let cell = self.cell_rect(cx, cy);
-        let pad_nets = {
-            let mut map = vec![None; package.pads().len()];
-            for n in package.nets() {
-                map[n.a.index()] = Some(n.id);
-                map[n.b.index()] = Some(n.id);
-            }
-            map
-        };
+        let pad_nets = &scratch.pad_nets;
         for layer_idx in 0..self.layers {
             let layer = WireLayer(layer_idx as u8);
             let idx = self.cell_index(layer_idx, cx, cy);
@@ -272,7 +378,13 @@ impl RoutingSpace {
             // Cuts are taken at *inflated* blockage boundaries so that the
             // clearance band around each blocker occupies its own tiles
             // and never poisons surrounding free space.
-            for o in package.obstacles() {
+            //
+            // Each scratch query returns entry ids in insertion (= package /
+            // layout iteration) order and over-approximates the original
+            // intersection predicate, which is re-applied exactly below —
+            // so blockage and cut lists match the full scans byte for byte.
+            for id in scratch.obstacles.query(probe.inflate(reach)) {
+                let o = &package.obstacles()[*scratch.obstacles.get(id).expect("live entry").1];
                 if o.layer == layer && o.rect.inflate(reach).intersects(probe) {
                     let shape = Octagon::from_rect(o.rect).inflate(reach);
                     let inf = o.rect.inflate(reach);
@@ -281,7 +393,10 @@ impl RoutingSpace {
                     blockages.push((Blocker::Hard, shape));
                 }
             }
-            for p in package.pads() {
+            // Pad keepouts reach at most 2×clearance (escape lanes below),
+            // so probe that superset and re-check the exact reach per pad.
+            for id in scratch.pads.query(probe.inflate(reach * 2)) {
+                let p = &package.pads()[*scratch.pads.get(id).expect("live entry").1];
                 // Pads of still-unrouted nets carry an extra keepout so a
                 // foreign wire cannot seal off their escape lane before
                 // their own net gets its chance.
@@ -304,25 +419,28 @@ impl RoutingSpace {
                     blockages.push((tag, shape));
                 }
             }
-            for v in layout.vias() {
-                if v.spans(layer) {
-                    let bb = v.shape().bbox();
+            for id in scratch.vias.query(probe.inflate(reach)) {
+                let &(net, shape, top, bottom) = scratch.vias.get(id).expect("live entry").1;
+                if layer >= top && layer <= bottom {
+                    let bb = shape.bbox();
                     if bb.inflate(reach).intersects(probe) {
                         let inf = bb.inflate(reach);
                         xcuts.extend([bb.lo.x, bb.hi.x, inf.lo.x, inf.hi.x]);
                         ycuts.extend([bb.lo.y, bb.hi.y, inf.lo.y, inf.hi.y]);
-                        blockages.push((Blocker::Net(v.net), v.shape().inflate(reach)));
+                        blockages.push((Blocker::Net(net), shape.inflate(reach)));
                     }
                 }
             }
             let diag_reach = ((reach as f64) * info_geom::SQRT2).ceil() as Coord;
-            for r in layout.routes_on(layer) {
-                for seg in r.path.segments() {
+            {
+                let seg_index = &mut scratch.route_segs[layer_idx];
+                for id in seg_index.query(probe.inflate(reach)) {
+                    let &(net, seg) = seg_index.get(id).expect("live entry").1;
                     let (lo, hi) = seg.bbox();
                     if !Rect::new(lo, hi).inflate(reach).intersects(probe) {
                         continue;
                     }
-                    wires.push((r.net, seg));
+                    wires.push((net, seg));
                     // The wire's clearance band is carved out as its own
                     // strip of tiles: cut at the conductor line and at the
                     // band edges (± clearance), plus endpoint caps.
@@ -357,7 +475,7 @@ impl RoutingSpace {
                         seg.a.diff().min(seg.b.diff()),
                         seg.a.diff().max(seg.b.diff()),
                     );
-                    blockages.push((Blocker::Net(r.net), hull.inflate(reach)));
+                    blockages.push((Blocker::Net(net), hull.inflate(reach)));
                 }
             }
             self.cell_wires[idx] = wires.clone();
