@@ -23,6 +23,10 @@ struct Row {
     layout_hash: u64,
     drc_indexed_s: f64,
     drc_naive_s: f64,
+    /// Per-stage wall-clock (preprocess, concurrent, sequential, lp).
+    stage_s: [f64; 4],
+    /// Sequential-stage A\* statistics (see `info_tile::SearchStats`).
+    search: info_router::SearchStats,
 }
 
 impl Row {
@@ -126,7 +130,11 @@ fn write_bench_json(rows: &[Row], stress: &Stress, threads: usize) {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"nets\": {}, \"routability_pct\": {:.3}, \
              \"wirelength_um\": {:.1}, \"runtime_s\": {:.4}, \"layout_hash\": \"{:016x}\", \
-             \"drc_indexed_s\": {:.6}, \"drc_naive_s\": {:.6}, \"drc_speedup\": {:.2}}}{}\n",
+             \"drc_indexed_s\": {:.6}, \"drc_naive_s\": {:.6}, \"drc_speedup\": {:.2}, \
+             \"stage_s\": {{\"preprocess\": {:.4}, \"concurrent\": {:.4}, \
+             \"sequential\": {:.4}, \"lp\": {:.4}}}, \
+             \"search\": {{\"searches\": {}, \"nodes_expanded\": {}, \
+             \"window_escalations\": {}, \"heap_peak\": {}}}}}{}\n",
             r.name,
             r.nets,
             r.routability_pct,
@@ -136,6 +144,14 @@ fn write_bench_json(rows: &[Row], stress: &Stress, threads: usize) {
             r.drc_indexed_s,
             r.drc_naive_s,
             r.drc_speedup(),
+            r.stage_s[0],
+            r.stage_s[1],
+            r.stage_s[2],
+            r.stage_s[3],
+            r.search.searches,
+            r.search.nodes_expanded,
+            r.search.window_escalations,
+            r.search.heap_peak,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -176,6 +192,9 @@ fn main() {
     let mut ratios_rt = Vec::new();
     let mut ratios_time = Vec::new();
     let mut rows = Vec::new();
+    // `threads` as the router config actually clamps/records it, so the
+    // JSON "threads" field is the configured value, not the raw env var.
+    let configured_threads = RouterConfig::default().with_threads(threads).threads;
     for idx in 1..=max_index {
         let pkg = info_gen::dense(idx);
 
@@ -183,8 +202,9 @@ fn main() {
         let base = LinExtRouter::new(RouterConfig::default()).route(&pkg);
         let base_time = t0.elapsed();
 
+        let cfg = RouterConfig::default().with_threads(threads);
         let t1 = Instant::now();
-        let ours = InfoRouter::new(RouterConfig::default().with_threads(threads)).route(&pkg);
+        let ours = InfoRouter::new(cfg).route(&pkg);
         let ours_time = t1.elapsed();
 
         println!(
@@ -218,6 +238,13 @@ fn main() {
             layout_hash: ours.layout.canonical_hash(),
             drc_indexed_s: time_drc(&pkg, &ours.layout, false),
             drc_naive_s: time_drc(&pkg, &ours.layout, true),
+            stage_s: [
+                ours.timings.preprocess.as_secs_f64(),
+                ours.timings.concurrent.as_secs_f64(),
+                ours.timings.sequential.as_secs_f64(),
+                ours.timings.lp.as_secs_f64(),
+            ],
+            search: ours.timings.search,
         });
     }
     println!(
@@ -238,5 +265,5 @@ fn main() {
         stress.naive_s,
         stress.speedup(),
     );
-    write_bench_json(&rows, &stress, threads);
+    write_bench_json(&rows, &stress, configured_threads);
 }

@@ -44,6 +44,12 @@ pub struct RouterConfig {
     /// plan is armed, because injected-fault trigger counts are
     /// order-sensitive.
     pub threads: usize,
+    /// Windowed A\*: each sequential-stage search first explores an
+    /// inflated bounding box of its pad pair and escalates to the full
+    /// tile graph only when the windowed result is not provably identical
+    /// (see `info_tile::astar`). Lossless either way; `false` forces every
+    /// search onto the full graph (differential-testing baseline).
+    pub search_window: bool,
     /// Per-stage wall-clock budget. Stages check it cooperatively (per
     /// net, per candidate, per LP iteration) and stop early with partial
     /// results when it trips; `None` disables the budget.
@@ -68,6 +74,7 @@ impl Default for RouterConfig {
             peripheral_margin: 40_000,
             via_cost_factor: 4.0,
             threads: 1,
+            search_window: true,
             stage_budget: None,
             fault_plan: FaultPlan::none(),
         }
@@ -110,6 +117,12 @@ impl RouterConfig {
         self
     }
 
+    /// Disables the A\* search window (full-graph searches only).
+    pub fn without_search_window(mut self) -> Self {
+        self.search_window = false;
+        self
+    }
+
     /// Sets a per-stage wall-clock budget.
     pub fn with_stage_budget(mut self, budget: Duration) -> Self {
         self.stage_budget = Some(budget);
@@ -137,6 +150,8 @@ mod tests {
         assert_eq!(c.global_cells, 30);
         assert!(c.lp_enabled && c.concurrent_enabled && c.weighted_mpsc);
         assert_eq!(c.threads, 1);
+        assert!(c.search_window, "windowed search is on by default");
+        assert!(!c.without_search_window().search_window);
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct StageTimings {
     pub sequential: Duration,
     /// Stage 5: LP-based layout optimization (all passes).
     pub lp: Duration,
+    /// Aggregate A\* search statistics of the sequential stage (nodes
+    /// expanded, window escalations, open-list peak). Totals include
+    /// discarded speculative plans, so they can vary with `threads`;
+    /// the routed layout never does.
+    pub search: info_tile::SearchStats,
 }
 
 impl StageTimings {
@@ -176,6 +181,7 @@ impl InfoRouter {
         });
         diagnostics.net_failures = seq.recovered.clone();
         timings.sequential = t3.elapsed();
+        timings.search = seq.search;
 
         // --- Stage 5.
         let mut lp_final = None;

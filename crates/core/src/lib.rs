@@ -60,6 +60,7 @@ mod flow;
 
 pub use config::RouterConfig;
 pub use flow::{InfoRouter, RouteOutcome, StageTimings};
+pub use info_tile::{SearchOptions, SearchStats};
 pub use resilience::{
     FaultDirective, FaultKind, FaultPlan, FaultSite, FlowCtx, FlowDiagnostics, RouterError, Stage,
     StageOutcome,

@@ -11,7 +11,7 @@ use crate::resilience::{panic_message, FaultSite, FlowCtx, RouterError, Stage};
 use info_geom::{x_arch_len, Rect};
 use info_model::{Layout, NetId, Package};
 use info_tile::{astar, realize, RoutingSpace, SpaceConfig};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Result of the sequential stage.
@@ -25,6 +25,10 @@ pub struct SequentialResult {
     /// fault) rather than geometry; each such failure cost exactly that
     /// net. Every net here also appears in `failed`.
     pub recovered: Vec<(NetId, RouterError)>,
+    /// Aggregate A\* statistics over every search this stage ran,
+    /// including discarded speculative plans — so the totals can vary
+    /// with `threads` even though the routed layout never does.
+    pub search: astar::SearchStats,
 }
 
 /// Derives the tile-space configuration from the router configuration.
@@ -67,6 +71,11 @@ pub fn route_sequential(
     let mut result = SequentialResult::default();
     let mut retry: Vec<NetId> = Vec::new();
     let threads = effective_threads(cfg);
+    let mut stats = astar::SearchStats::default();
+    // Nodes the *authoritative* failed attempt of each net expanded (the
+    // committed sequential search, never a discarded speculative one), so
+    // the rip-up ordering below is identical at every `threads` setting.
+    let mut fail_expansions: BTreeMap<NetId, u64> = BTreeMap::new();
 
     for pass in 0..2 {
         let todo = if pass == 0 { std::mem::take(&mut order) } else { std::mem::take(&mut retry) };
@@ -79,11 +88,18 @@ pub fn route_sequential(
                 cfg,
                 ctx,
                 threads,
+                &mut stats,
                 &mut |id, attempt| match attempt {
                     Attempt::Deadline => result.failed.push(id),
-                    Attempt::Done(true) => result.routed.push(id),
-                    Attempt::Done(false) if pass == 0 => retry.push(id),
-                    Attempt::Done(false) => result.failed.push(id),
+                    Attempt::Routed => result.routed.push(id),
+                    Attempt::Failed(expanded) => {
+                        fail_expansions.insert(id, expanded);
+                        if pass == 0 {
+                            retry.push(id);
+                        } else {
+                            result.failed.push(id);
+                        }
+                    }
                     Attempt::Internal(e) => {
                         result.recovered.push((id, e));
                         result.failed.push(id);
@@ -97,10 +113,17 @@ pub fn route_sequential(
                 result.failed.push(id);
                 continue;
             }
-            match guarded_route_net(package, layout, &mut space, id, cfg, ctx) {
+            let before = stats.nodes_expanded;
+            match guarded_route_net(package, layout, &mut space, id, cfg, ctx, &mut stats) {
                 Ok(Some(_)) => result.routed.push(id),
-                Ok(None) if pass == 0 => retry.push(id),
-                Ok(None) => result.failed.push(id),
+                Ok(None) => {
+                    fail_expansions.insert(id, stats.nodes_expanded - before);
+                    if pass == 0 {
+                        retry.push(id);
+                    } else {
+                        result.failed.push(id);
+                    }
+                }
                 Err(e) => {
                     result.recovered.push((id, e));
                     result.failed.push(id);
@@ -111,12 +134,24 @@ pub fn route_sequential(
 
     // Pass 3: bounded rip-up-and-reroute. A net that failed both passes
     // is usually boxed in by an earlier commit; evicting nearby nets and
-    // re-routing everything often resolves it.
+    // re-routing everything often resolves it. Nets with the highest
+    // detour rate — authoritative failed-attempt expansions per unit of
+    // pad-pair X-architecture distance — go first: they searched hardest
+    // relative to their size, so they are the most congestion-bound and
+    // benefit most from picking their victims before the layout tightens
+    // further. This pass always runs sequentially, so the order is
+    // deterministic at every `threads` setting.
     for _round in 0..1 {
         if result.failed.is_empty() {
             break;
         }
-        let boxed_in = std::mem::take(&mut result.failed);
+        let mut boxed_in = std::mem::take(&mut result.failed);
+        let rate = |id: NetId| {
+            let n = package.net(id);
+            let d = x_arch_len(package.pad(n.a).center, package.pad(n.b).center).max(1.0);
+            fail_expansions.get(&id).copied().unwrap_or(0) as f64 / d
+        };
+        boxed_in.sort_by(|&x, &y| rate(y).total_cmp(&rate(x)).then(x.cmp(&y)));
         for id in boxed_in {
             if ctx.deadline_exceeded() {
                 result.failed.push(id);
@@ -126,7 +161,16 @@ pub fn route_sequential(
             // inside leaves mid-eviction state that must be rolled back.
             let snapshot = layout.clone();
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                ripup_and_reroute(package, layout, &mut space, id, cfg, &result.routed, ctx)
+                ripup_and_reroute(
+                    package,
+                    layout,
+                    &mut space,
+                    id,
+                    cfg,
+                    &result.routed,
+                    ctx,
+                    &mut stats,
+                )
             }));
             match attempt {
                 Ok(Ok(true)) => result.routed.push(id),
@@ -151,6 +195,7 @@ pub fn route_sequential(
             }
         }
     }
+    result.search = stats;
     result
 }
 
@@ -171,8 +216,13 @@ fn effective_threads(cfg: &RouterConfig) -> usize {
 enum Attempt {
     /// The stage deadline tripped before this net was attempted.
     Deadline,
-    /// Routed (`true`) or geometric failure (`false`).
-    Done(bool),
+    /// Committed into the layout.
+    Routed,
+    /// Geometric failure; carries the nodes the authoritative attempt
+    /// expanded (a fresh plan's own count, or the sequential recompute's
+    /// for a stale one — either way the number the single-threaded loop
+    /// would have recorded).
+    Failed(u64),
     /// Internal failure (caught panic); costs exactly this net.
     Internal(RouterError),
 }
@@ -198,6 +248,7 @@ fn route_pass_speculative(
     cfg: &RouterConfig,
     ctx: &FlowCtx,
     threads: usize,
+    stats: &mut astar::SearchStats,
     emit: &mut dyn FnMut(NetId, Attempt),
 ) {
     let batch_size = threads * 2;
@@ -210,7 +261,7 @@ fn route_pass_speculative(
         // recompute path below, which owns the rollback.
         let plans: Vec<Result<PlanOutcome, RouterError>> =
             parallel_map(batch, threads, |_, &id| {
-                catch_unwind(AssertUnwindSafe(|| plan_net(package, layout, space, id, ctx)))
+                catch_unwind(AssertUnwindSafe(|| plan_net(package, layout, space, id, cfg, ctx)))
                     .unwrap_or_else(|payload| {
                         Err(RouterError::Panic {
                             stage: Stage::Sequential,
@@ -218,6 +269,13 @@ fn route_pass_speculative(
                         })
                     })
             });
+        // Every plan's search ran, so every plan's search counts — even
+        // ones discarded as stale below (this is why aggregate totals are
+        // thread-variant). Absorbed in batch order for reproducibility at
+        // a fixed thread count.
+        for p in plans.iter().filter_map(|p| p.as_ref().ok()) {
+            stats.absorb(&p.search);
+        }
         // Commit in net order; track which cells each commit rebuilt.
         let mut dirty: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut all_dirty = false;
@@ -232,7 +290,9 @@ fn route_pass_speculative(
             };
             let attempt = if fresh {
                 match plan.expect("fresh implies planned") {
-                    PlanOutcome { real: None, .. } => Attempt::Done(false),
+                    PlanOutcome { real: None, search, .. } => {
+                        Attempt::Failed(search.nodes_expanded)
+                    }
                     PlanOutcome { real: Some(real), .. } => {
                         let commit = catch_unwind(AssertUnwindSafe(|| {
                             commit_plan(package, layout, space, id, real, ctx)
@@ -240,7 +300,7 @@ fn route_pass_speculative(
                         match commit {
                             Ok(Ok(rebuilt)) => {
                                 dirty.extend(rebuilt);
-                                Attempt::Done(true)
+                                Attempt::Routed
                             }
                             Ok(Err(e)) => Attempt::Internal(e),
                             Err(payload) => {
@@ -261,12 +321,13 @@ fn route_pass_speculative(
                     }
                 }
             } else {
-                match guarded_route_net(package, layout, space, id, cfg, ctx) {
+                let before = stats.nodes_expanded;
+                match guarded_route_net(package, layout, space, id, cfg, ctx, stats) {
                     Ok(Some(rebuilt)) => {
                         dirty.extend(rebuilt);
-                        Attempt::Done(true)
+                        Attempt::Routed
                     }
-                    Ok(None) => Attempt::Done(false),
+                    Ok(None) => Attempt::Failed(stats.nodes_expanded - before),
                     Err(e) => {
                         // The panic path rebuilt the whole space, which
                         // renumbers every tile id.
@@ -291,9 +352,10 @@ fn guarded_route_net(
     id: NetId,
     cfg: &RouterConfig,
     ctx: &FlowCtx,
+    stats: &mut astar::SearchStats,
 ) -> Result<Option<Vec<(usize, usize)>>, RouterError> {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
-        try_route_net(package, layout, space, id, cfg, ctx)
+        try_route_net(package, layout, space, id, cfg, ctx, stats)
     }));
     match attempt {
         Ok(r) => r,
@@ -311,7 +373,12 @@ fn guarded_route_net(
 /// Tries to free a path for `id` by evicting nearby routed nets: up to
 /// six single victims, then the nearest pair. The failed net and every
 /// evicted net must all re-route for an eviction to stick; otherwise the
-/// layout is restored exactly.
+/// layout **and the routing space** are restored exactly — the space by
+/// value from a pre-eviction clone, which is far cheaper than the
+/// corridor-wide rebuild it replaces and leaves bit-identical state (a
+/// clone carries its original revision tag precisely because it *is*
+/// that state).
+#[allow(clippy::too_many_arguments)]
 fn ripup_and_reroute(
     package: &Package,
     layout: &mut Layout,
@@ -320,6 +387,7 @@ fn ripup_and_reroute(
     cfg: &RouterConfig,
     routed: &[NetId],
     ctx: &FlowCtx,
+    stats: &mut astar::SearchStats,
 ) -> Result<bool, RouterError> {
     let net = package.net(id);
     let (pa, pb) = (package.pad(net.a).center, package.pad(net.b).center);
@@ -345,18 +413,18 @@ fn ripup_and_reroute(
         };
         d(x).cmp(&d(y))
     });
-    let net_bbox = |layout: &Layout, n: NetId| -> Option<info_geom::Rect> {
-        let mut pts = layout
-            .routes_of(n)
-            .flat_map(|r| r.path.points().iter().copied())
-            .chain(layout.vias_of(n).map(|v| v.center));
-        let first = pts.next()?;
-        let (mut lo, mut hi) = (first, first);
-        for p in pts {
-            lo = lo.min(p);
-            hi = hi.max(p);
+    // Per-segment rects of a net's geometry, not its bounding hull: a
+    // long route's hull can cover most of the die while the geometry only
+    // touches a thin corridor of cells, and rebuild cost is per cell.
+    let net_rects = |layout: &Layout, n: NetId, out: &mut Vec<Rect>| {
+        for r in layout.routes_of(n) {
+            for s in r.path.segments() {
+                out.push(Rect::new(s.a, s.b));
+            }
         }
-        Some(info_geom::Rect::new(lo, hi))
+        for v in layout.vias_of(n) {
+            out.push(Rect::new(v.center, v.center));
+        }
     };
     // Eviction sets: up to six single victims, then the nearest pair.
     let mut eviction_sets: Vec<Vec<NetId>> =
@@ -369,25 +437,23 @@ fn ripup_and_reroute(
             return Ok(false);
         }
         let snapshot = layout.clone();
-        // Incremental rebuild over the exact rects that changed — the
-        // corridor plus each victim's own geometry — rather than their
-        // union hull, which for far-apart victims covers (and renumbers)
-        // most of the die for nothing.
-        let mut touched: Vec<Rect> = vec![corridor];
+        let space_snapshot = space.clone();
+        // Incremental rebuild over each victim's own geometry: removing a
+        // net can only change cells its shapes touch, so the corridor —
+        // whose cells the removals leave untouched — needs no rebuild.
+        let mut touched: Vec<Rect> = Vec::new();
         for &v in &victims {
-            if let Some(b) = net_bbox(layout, v) {
-                touched.push(b);
-            }
+            net_rects(layout, v, &mut touched);
             layout.remove_net(v);
         }
         space.rebuild_dirty_multi(package, layout, &touched);
         // try_route_net rebuilds the space over each commit's own bbox.
         let attempt: Result<bool, RouterError> = (|| {
-            if try_route_net(package, layout, space, id, cfg, ctx)?.is_none() {
+            if try_route_net(package, layout, space, id, cfg, ctx, stats)?.is_none() {
                 return Ok(false);
             }
             for &v in &victims {
-                if try_route_net(package, layout, space, v, cfg, ctx)?.is_none() {
+                if try_route_net(package, layout, space, v, cfg, ctx, stats)?.is_none() {
                     return Ok(false);
                 }
             }
@@ -396,15 +462,10 @@ fn ripup_and_reroute(
         if matches!(attempt, Ok(true)) {
             return Ok(true);
         }
-        // Restore exactly, widening the rebuild to everything touched by
-        // the failed attempt.
-        for &n in std::iter::once(&id).chain(victims.iter()) {
-            if let Some(b) = net_bbox(layout, n) {
-                touched.push(b);
-            }
-        }
+        // Restore exactly — both by value, so no rebuild runs at all on
+        // the (common) failure path.
         *layout = snapshot;
-        space.rebuild_dirty_multi(package, layout, &touched);
+        *space = space_snapshot;
         // An internal failure during eviction aborts the search for this
         // net (the layout is already restored); geometric failure tries
         // the next eviction set.
@@ -424,6 +485,8 @@ struct PlanOutcome {
     real: Option<realize::RealizedNet>,
     /// Sorted global cells the plan read.
     read_cells: Vec<(usize, usize)>,
+    /// Statistics of this plan's one A\* search.
+    search: astar::SearchStats,
 }
 
 /// Adds `cells` and their one-cell ring to `read` (neighbor enumeration
@@ -454,17 +517,20 @@ fn plan_net(
     layout: &Layout,
     space: &RoutingSpace,
     id: NetId,
+    cfg: &RouterConfig,
     ctx: &FlowCtx,
 ) -> Result<PlanOutcome, RouterError> {
     let net = package.net(id);
     let src = (package.pad_layer(net.a), package.pad(net.a).center);
     let dst = (package.pad_layer(net.b), package.pad(net.b).center);
     ctx.check(FaultSite::AstarExpand)?;
-    let (found, trace) = astar::route_traced(space, id, src, dst);
+    let opts = astar::SearchOptions { windowed: cfg.search_window, ..Default::default() };
+    let mut search = astar::SearchStats::default();
+    let (found, trace) = astar::route_traced_opts(space, id, src, dst, opts, &mut search);
     let mut read = BTreeSet::new();
     extend_ring(&mut read, trace, space);
     let reject = |read: BTreeSet<(usize, usize)>| {
-        Ok(PlanOutcome { real: None, read_cells: read.into_iter().collect() })
+        Ok(PlanOutcome { real: None, read_cells: read.into_iter().collect(), search })
     };
     let Some(found) = found else {
         return reject(read);
@@ -500,7 +566,7 @@ fn plan_net(
     if !crate::trial::clearance_ok(package, layout, id, &proposal) {
         return reject(read);
     }
-    Ok(PlanOutcome { real: Some(real), read_cells: read.into_iter().collect() })
+    Ok(PlanOutcome { real: Some(real), read_cells: read.into_iter().collect(), search })
 }
 
 /// Commits a validated plan: adds its geometry to the layout and rebuilds
@@ -515,17 +581,25 @@ fn commit_plan(
     ctx: &FlowCtx,
 ) -> Result<Vec<(usize, usize)>, RouterError> {
     ctx.check(FaultSite::TileViaInsert)?;
-    let dirty = real.bbox();
+    // Dirty rects per wire segment and via, not the geometry's bounding
+    // hull — rebuild cost is per touched cell, and a diagonal route's
+    // hull is mostly empty space.
+    let mut dirty: Vec<Rect> = Vec::new();
+    for (_, pl) in &real.routes {
+        for s in pl.segments() {
+            dirty.push(Rect::new(s.a, s.b));
+        }
+    }
+    for (at, _, _) in &real.vias {
+        dirty.push(Rect::new(*at, *at));
+    }
     for (layer, pl) in real.routes {
         layout.add_route(id, layer, pl);
     }
     for (at, top, bot) in real.vias {
         layout.add_via(id, at, package.rules().via_width, top, bot, false);
     }
-    match dirty {
-        Some(d) => Ok(space.rebuild_dirty(package, layout, d)),
-        None => Ok(Vec::new()),
-    }
+    Ok(space.rebuild_dirty_multi(package, layout, &dirty))
 }
 
 /// Attempts one net; on success commits geometry and rebuilds the dirty
@@ -535,15 +609,18 @@ fn commit_plan(
 /// the normal retry path. `Err` is an internal failure (injected fault);
 /// both fault checks run before any mutation, so an `Err` leaves the
 /// layout untouched.
+#[allow(clippy::too_many_arguments)]
 fn try_route_net(
     package: &Package,
     layout: &mut Layout,
     space: &mut RoutingSpace,
     id: NetId,
-    _cfg: &RouterConfig,
+    cfg: &RouterConfig,
     ctx: &FlowCtx,
+    stats: &mut astar::SearchStats,
 ) -> Result<Option<Vec<(usize, usize)>>, RouterError> {
-    let outcome = plan_net(package, layout, space, id, ctx)?;
+    let outcome = plan_net(package, layout, space, id, cfg, ctx)?;
+    stats.absorb(&outcome.search);
     let Some(real) = outcome.real else {
         return Ok(None);
     };
@@ -685,6 +762,7 @@ mod tests {
             &cfg,
             &[NetId(1)],
             &ctx,
+            &mut astar::SearchStats::default(),
         )
         .expect("no internal failure");
         assert!(!got, "fenced net cannot route even after evictions");

@@ -1,10 +1,45 @@
 //! A\*-search over the multi-layer tile graph (§III-D).
+//!
+//! ## Search architecture (see DESIGN.md §4d)
+//!
+//! The hot path avoids per-net allocation entirely:
+//!
+//! - **Open list** — a [`BucketQueue`] (exact-min calendar queue) instead
+//!   of a binary heap; pop order, including `(f_bits, tile_id)`
+//!   tie-breaks, is identical to the historical
+//!   `BinaryHeap<Reverse<(u64, u32)>>`.
+//! - **Node state** — generation-stamped flat arrays ([`SearchScratch`],
+//!   one per thread, reused across every net) instead of a per-net
+//!   `HashMap`.
+//! - **Heuristic cache** — `h(tile) = x_arch_len(entry, dst) +
+//!   layer_hops · via_cost` is memoized per tile, keyed by the target
+//!   `(space revision, dst layer, dst point, via cost)`; rip-up retries of
+//!   the same net against the same space state reuse cached values.
+//! - **Windowed search** — each net first searches inside an inflated
+//!   bounding box of its pad pair. Edges leaving the window are pruned but
+//!   their would-be key `f = g + h` feeds a running lower bound
+//!   `pruned_min_f`. The windowed result is accepted only when it is
+//!   *provably* identical to a full-graph search (see below); otherwise
+//!   the search escalates to the full graph, so windowing is lossless by
+//!   construction.
+//!
+//! **Window fence argument.** The heuristic is consistent, so pops come
+//! off the queue in non-decreasing `f`. The windowed and full searches
+//! perform identical pops as long as every full-search-only queue entry —
+//! exactly the pruned edges, whose keys are ≥ `pruned_min_f` — stays
+//! strictly above the keys being popped. Hence if the destination pops at
+//! `f_pop < pruned_min_f`, every pop (all ≤ `f_pop`) was identical in
+//! both searches and the full search would return the same path, cost,
+//! and parent chain bit for bit. Symmetrically, if the window exhausts
+//! without pruning anything (`pruned_min_f = ∞`), the windowed search
+//! *was* the full search and its failure is authoritative.
 
-use crate::space::{RoutingSpace, TileId};
-use info_geom::{x_arch_len, Point};
+use crate::bucket::BucketQueue;
+use crate::space::{PlanarEdge, RoutingSpace, TileId};
+use info_geom::{x_arch_len, Point, Rect};
 use info_model::{NetId, WireLayer};
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 
 /// One step of a tile path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,12 +62,46 @@ pub struct AstarResult {
     pub cost: f64,
 }
 
+/// Aggregate statistics of one or more searches. Totals can vary with the
+/// thread count (speculative plans that are discarded still searched);
+/// authoritative per-net numbers come from the sequential commit path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Public search entry points taken.
+    pub searches: u64,
+    /// Nodes expanded (neighbor enumerations), across all searches.
+    pub nodes_expanded: u64,
+    /// Windowed searches that escalated to the full graph.
+    pub window_escalations: u64,
+    /// Largest open-list population observed.
+    pub heap_peak: u64,
+}
+
+impl SearchStats {
+    /// Folds another stats block into this one (sums, max of peaks).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.searches += other.searches;
+        self.nodes_expanded += other.nodes_expanded;
+        self.window_escalations += other.window_escalations;
+        self.heap_peak = self.heap_peak.max(other.heap_peak);
+    }
+}
+
+/// Search behavior knobs.
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    g: f64,
-    entry: Point,
-    parent: Option<TileId>,
-    via: Option<(Point, WireLayer, WireLayer)>,
+pub struct SearchOptions {
+    /// Try the pad-pair window first, escalating only when the result is
+    /// not provably identical to a full-graph search. Lossless; `false`
+    /// forces the full graph directly (the differential-test baseline).
+    pub windowed: bool,
+    /// Allow layer changes through candidate via sites.
+    pub allow_vias: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { windowed: true, allow_vias: true }
+    }
 }
 
 /// Routes `net` from `(src_layer, src)` to `(dst_layer, dst)` over the
@@ -58,7 +127,9 @@ pub fn route_with(
     dst: (WireLayer, Point),
     allow_vias: bool,
 ) -> Option<AstarResult> {
-    search(space, net, src, dst, allow_vias, None)
+    let mut stats = SearchStats::default();
+    let opts = SearchOptions { allow_vias, ..SearchOptions::default() };
+    search(space, net, src, dst, opts, None, &mut stats)
 }
 
 /// [`route`] that additionally reports the global cells the search read:
@@ -67,15 +138,196 @@ pub fn route_with(
 /// reached tile, so the returned set expanded by one cell ring covers
 /// everything whose tiles, wires, or via sites could influence the result
 /// — the read set the speculative parallel router checks against commits.
+/// (Edges pruned by the search window are covered by the same ring: their
+/// source tile's cell is always traced, and `pruned_min_f` depends on
+/// nothing else outside the window.)
 pub fn route_traced(
     space: &RoutingSpace,
     net: NetId,
     src: (WireLayer, Point),
     dst: (WireLayer, Point),
 ) -> (Option<AstarResult>, Vec<(usize, usize)>) {
+    let mut stats = SearchStats::default();
+    route_traced_opts(space, net, src, dst, SearchOptions::default(), &mut stats)
+}
+
+/// [`route_traced`] with explicit [`SearchOptions`], accumulating search
+/// statistics into `stats`.
+pub fn route_traced_opts(
+    space: &RoutingSpace,
+    net: NetId,
+    src: (WireLayer, Point),
+    dst: (WireLayer, Point),
+    opts: SearchOptions,
+    stats: &mut SearchStats,
+) -> (Option<AstarResult>, Vec<(usize, usize)>) {
     let mut cells = BTreeSet::new();
-    let result = search(space, net, src, dst, true, Some(&mut cells));
+    let result = search(space, net, src, dst, opts, Some(&mut cells), stats);
     (result, cells.into_iter().collect())
+}
+
+/// Sentinel for "no parent" in the scratch parent array.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Expansion budget: keeps pathological searches bounded. Legitimate
+/// paths expand a few thousand tiles; a flat cap keeps *failing* searches
+/// (which otherwise sweep the whole reachable space) cheap on large
+/// circuits.
+const MAX_EXPANSIONS: usize = 60_000;
+
+/// Per-thread reusable search state. All node arrays are indexed by tile
+/// id and validated by generation stamps, so consecutive searches share
+/// allocations without clearing; the heuristic cache has its own
+/// generation that survives across searches aimed at the same target over
+/// the same space revision.
+struct SearchScratch {
+    /// Node-state generation; `stamp[i] == gen` means slot `i` is live.
+    gen: u32,
+    stamp: Vec<u32>,
+    g: Vec<f64>,
+    entry: Vec<Point>,
+    parent: Vec<u32>,
+    via: Vec<Option<(Point, WireLayer, WireLayer)>>,
+    /// Heuristic-cache generation and key (space revision + target).
+    h_gen: u32,
+    h_key: Option<(u64, WireLayer, Point, u64)>,
+    h_stamp: Vec<u32>,
+    h_entry: Vec<Point>,
+    h_val: Vec<f64>,
+    /// Window mask over global cells, stamped like the node arrays.
+    win_gen: u32,
+    win_stamp: Vec<u32>,
+    queue: BucketQueue,
+    nbr: Vec<PlanarEdge>,
+    vnbr: Vec<(TileId, Point)>,
+}
+
+impl SearchScratch {
+    fn new() -> Self {
+        SearchScratch {
+            gen: 0,
+            stamp: Vec::new(),
+            g: Vec::new(),
+            entry: Vec::new(),
+            parent: Vec::new(),
+            via: Vec::new(),
+            h_gen: 0,
+            h_key: None,
+            h_stamp: Vec::new(),
+            h_entry: Vec::new(),
+            h_val: Vec::new(),
+            win_gen: 0,
+            win_stamp: Vec::new(),
+            queue: BucketQueue::new(1.0),
+            nbr: Vec::new(),
+            vnbr: Vec::new(),
+        }
+    }
+
+    /// Grows every array to the space's current tile/cell counts.
+    fn ensure(&mut self, space: &RoutingSpace) {
+        let slots = space.tile_slots();
+        if self.stamp.len() < slots {
+            let origin = Point::new(0, 0);
+            self.stamp.resize(slots, 0);
+            self.g.resize(slots, 0.0);
+            self.entry.resize(slots, origin);
+            self.parent.resize(slots, NO_PARENT);
+            self.via.resize(slots, None);
+            self.h_stamp.resize(slots, 0);
+            self.h_entry.resize(slots, origin);
+            self.h_val.resize(slots, 0.0);
+        }
+        let cfg = space.config();
+        let ncells = cfg.cells_x * cfg.cells_y;
+        if self.win_stamp.len() < ncells {
+            self.win_stamp.resize(ncells, 0);
+        }
+    }
+
+    /// Starts a fresh node generation (stamp-invalidates every slot).
+    fn next_gen(&mut self) {
+        if self.gen == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    /// Keeps the heuristic cache when the target (and space state) is
+    /// unchanged since the previous search; otherwise starts a fresh
+    /// heuristic generation.
+    fn retune_h(&mut self, key: (u64, WireLayer, Point, u64)) {
+        if self.h_key == Some(key) {
+            return;
+        }
+        self.h_key = Some(key);
+        if self.h_gen == u32::MAX {
+            self.h_stamp.iter_mut().for_each(|s| *s = 0);
+            self.h_gen = 1;
+        } else {
+            self.h_gen += 1;
+        }
+    }
+
+    /// The consistent heuristic, memoized per tile: straight-line
+    /// X-architecture length to the target plus the via penalty of the
+    /// remaining layer hops. A cached value is valid only for the same
+    /// entry point (re-entries at a new point recompute and re-cache).
+    #[inline]
+    fn h(&mut self, tile: u32, p: Point, layer: WireLayer, dst: &(WireLayer, Point), via_cost: f64) -> f64 {
+        let i = tile as usize;
+        if self.h_stamp[i] == self.h_gen && self.h_entry[i] == p {
+            return self.h_val[i];
+        }
+        let hops = layer.index().abs_diff(dst.0.index()) as f64;
+        let v = x_arch_len(p, dst.1) + hops * via_cost;
+        self.h_stamp[i] = self.h_gen;
+        self.h_entry[i] = p;
+        self.h_val[i] = v;
+        v
+    }
+
+    /// Stamps the window mask: every global cell intersecting the
+    /// pad-pair bounding box inflated by a margin proportional to the net
+    /// span (plus a clearance-scaled floor for short nets).
+    fn set_window(&mut self, space: &RoutingSpace, a: Point, b: Point) {
+        if self.win_gen == u32::MAX {
+            self.win_stamp.iter_mut().for_each(|s| *s = 0);
+            self.win_gen = 1;
+        } else {
+            self.win_gen += 1;
+        }
+        let cfg = space.config();
+        let bbox = Rect::new(a, b);
+        let margin =
+            (bbox.width() + bbox.height()) / 6 + 10 * (cfg.clearance + cfg.via_width);
+        for (cx, cy) in space.cells_touching(bbox.inflate(margin)) {
+            self.win_stamp[cy * cfg.cells_x + cx] = self.win_gen;
+        }
+    }
+
+    #[inline]
+    fn in_window(&self, cells_x: usize, cell: (usize, usize)) -> bool {
+        self.win_stamp[cell.1 * cells_x + cell.0] == self.win_gen
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new());
+}
+
+/// How one bounded A\* run over the (possibly windowed) graph ended.
+enum RunOutcome {
+    /// Destination popped: the finished result plus the queue key it
+    /// popped at (the fence compares this against `pruned_min_f`).
+    Found { result: AstarResult, f_pop: f64 },
+    /// Queue exhausted or expansion budget spent without reaching the
+    /// destination. Either way, if nothing was pruned the failure is
+    /// authoritative: the run explored exactly what a full-graph run
+    /// would have (including hitting the expansion cap at the same pop).
+    Exhausted,
 }
 
 fn search(
@@ -83,100 +335,230 @@ fn search(
     net: NetId,
     src: (WireLayer, Point),
     dst: (WireLayer, Point),
-    allow_vias: bool,
+    opts: SearchOptions,
     mut trace: Option<&mut BTreeSet<(usize, usize)>>,
+    stats: &mut SearchStats,
 ) -> Option<AstarResult> {
-    if !allow_vias && src.0 != dst.0 {
+    if !opts.allow_vias && src.0 != dst.0 {
         return None;
     }
     if let Some(t) = trace.as_deref_mut() {
         t.extend(space.cell_of(src.1));
         t.extend(space.cell_of(dst.1));
     }
-    let mut note = move |cell: (usize, usize)| {
-        if let Some(t) = trace.as_deref_mut() {
-            t.insert(cell);
-        }
-    };
     let src_tile = space.tile_at(src.0, src.1, net)?;
     let dst_tile = space.tile_at(dst.0, dst.1, net)?;
+    stats.searches += 1;
+
+    SCRATCH.with(|cell| {
+        let mut s = cell.borrow_mut();
+        let s = &mut *s;
+        s.ensure(space);
+        s.retune_h((space.revision(), dst.0, dst.1, space.config().via_cost.to_bits()));
+        s.queue.reset_peak();
+
+        if opts.windowed {
+            s.set_window(space, src.1, dst.1);
+            let mut pruned_min_f = f64::INFINITY;
+            let outcome = run(
+                s,
+                space,
+                net,
+                src,
+                dst,
+                (src_tile, dst_tile),
+                opts.allow_vias,
+                true,
+                Some(&mut pruned_min_f),
+                trace.as_deref_mut(),
+                stats,
+            );
+            match outcome {
+                // Fence: every pop was ≤ f_pop < every pruned key, so the
+                // full search would have popped the identical sequence.
+                RunOutcome::Found { result, f_pop } if f_pop < pruned_min_f => {
+                    return Some(result)
+                }
+                // Nothing was ever pruned: the windowed run *was* the
+                // full-graph run, so its failure is authoritative.
+                RunOutcome::Exhausted if pruned_min_f.is_infinite() => return None,
+                _ => stats.window_escalations += 1,
+            }
+        }
+        match run(
+            s,
+            space,
+            net,
+            src,
+            dst,
+            (src_tile, dst_tile),
+            opts.allow_vias,
+            false,
+            None,
+            trace,
+            stats,
+        ) {
+            RunOutcome::Found { result, .. } => Some(result),
+            RunOutcome::Exhausted => None,
+        }
+    })
+}
+
+/// One bounded A\* run over the tile graph, windowed or full.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    s: &mut SearchScratch,
+    space: &RoutingSpace,
+    net: NetId,
+    src: (WireLayer, Point),
+    dst: (WireLayer, Point),
+    (src_tile, dst_tile): (TileId, TileId),
+    allow_vias: bool,
+    windowed: bool,
+    mut pruned_min_f: Option<&mut f64>,
+    mut trace: Option<&mut BTreeSet<(usize, usize)>>,
+    stats: &mut SearchStats,
+) -> RunOutcome {
     let via_cost = space.config().via_cost;
+    let cells_x = space.config().cells_x;
+    s.next_gen();
+    // Bucket width: one via penalty (≥ one tile thickness) groups a
+    // search's frontier into a handful of buckets without letting any
+    // bucket grow die-sized.
+    s.queue.clear(Some(via_cost.max(space.config().min_thickness as f64).max(64.0)));
 
-    let h = |p: Point, layer: WireLayer| -> f64 {
-        let hops = layer.index().abs_diff(dst.0.index()) as f64;
-        x_arch_len(p, dst.1) + hops * via_cost
-    };
+    let si = src_tile.0 as usize;
+    s.stamp[si] = s.gen;
+    s.g[si] = 0.0;
+    s.entry[si] = src.1;
+    s.parent[si] = NO_PARENT;
+    s.via[si] = None;
+    let h0 = s.h(src_tile.0, src.1, src.0, &dst, via_cost);
+    s.queue.push(h0.to_bits(), src_tile.0);
 
-    let mut best: HashMap<TileId, Node> = HashMap::new();
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    best.insert(src_tile, Node { g: 0.0, entry: src.1, parent: None, via: None });
-    heap.push(Reverse((h(src.1, src.0).to_bits(), src_tile.0)));
-
-    // Expansion budget keeps pathological searches bounded: legitimate
-    // paths expand a few thousand tiles; a flat cap keeps *failing*
-    // searches (which otherwise sweep the whole reachable space) cheap on
-    // large circuits.
     let mut expansions = 0usize;
-    let max_expansions = 60_000;
 
-    while let Some(Reverse((fbits, tid_raw))) = heap.pop() {
+    while let Some((fbits, tid_raw)) = s.queue.pop() {
         let tid = TileId(tid_raw);
-        let node = best[&tid];
+        let ti = tid_raw as usize;
         let f_popped = f64::from_bits(fbits);
-        note(space.tile(tid).cell);
+        let node_g = s.g[ti];
+        let node_entry = s.entry[ti];
+        if let Some(t) = trace.as_deref_mut() {
+            t.insert(space.tile(tid).cell);
+        }
         let layer = space.tile(tid).layer;
         // Stale heap entry?
-        if f_popped > node.g + h(node.entry, layer) + 1e-6 {
+        if f_popped > node_g + s.h(tid_raw, node_entry, layer, &dst, via_cost) + 1e-6 {
             continue;
         }
         if tid == dst_tile {
             // Reconstruct.
             let mut steps = Vec::new();
-            let mut cur = Some(tid);
-            while let Some(c) = cur {
-                let n = best[&c];
-                steps.push(PathStep { tile: c, entry: n.entry, via: n.via });
-                cur = n.parent;
+            let mut cur = tid_raw;
+            loop {
+                steps.push(PathStep {
+                    tile: TileId(cur),
+                    entry: s.entry[cur as usize],
+                    via: s.via[cur as usize],
+                });
+                cur = s.parent[cur as usize];
+                if cur == NO_PARENT {
+                    break;
+                }
             }
             steps.reverse();
-            let cost = node.g + x_arch_len(node.entry, dst.1);
-            return Some(AstarResult { steps, cost });
+            // Cost of the path actually returned, recomputed over the
+            // final parent chain. This can differ (rarely) from the
+            // accumulated g: a tile's entry point may improve *after* a
+            // child's parent pointer was set from the old entry, and the
+            // chain snapshot is what realization consumes. The recompute
+            // makes `cost` exactly the edge-cost sum of `steps` — the
+            // invariant the search property suite pins.
+            let mut cost = 0.0;
+            for i in 1..steps.len() {
+                cost += x_arch_len(steps[i - 1].entry, steps[i].entry);
+                if steps[i].via.is_some() {
+                    cost += via_cost;
+                }
+            }
+            cost += x_arch_len(steps[steps.len() - 1].entry, dst.1);
+            stats.heap_peak = stats.heap_peak.max(s.queue.peak() as u64);
+            return RunOutcome::Found { result: AstarResult { steps, cost }, f_pop: f_popped };
         }
         expansions += 1;
-        if expansions > max_expansions {
-            return None;
+        stats.nodes_expanded += 1;
+        if expansions > MAX_EXPANSIONS {
+            stats.heap_peak = stats.heap_peak.max(s.queue.peak() as u64);
+            return RunOutcome::Exhausted;
         }
 
         // Planar moves.
-        for e in space.planar_neighbors(tid, net) {
+        let mut nbr = std::mem::take(&mut s.nbr);
+        space.planar_neighbors_into(tid, net, &mut nbr);
+        for e in &nbr {
             let cross = e.crossing.midpoint();
-            let g2 = node.g + x_arch_len(node.entry, cross);
+            let g2 = node_g + x_arch_len(node_entry, cross);
+            let to = e.to.0 as usize;
             let to_layer = space.tile(e.to).layer;
-            if best.get(&e.to).is_none_or(|n| g2 < n.g - 1e-9) {
-                note(space.tile(e.to).cell);
-                best.insert(e.to, Node { g: g2, entry: cross, parent: Some(tid), via: None });
-                heap.push(Reverse(((g2 + h(cross, to_layer)).to_bits(), e.to.0)));
+            if windowed && !s.in_window(cells_x, space.tile(e.to).cell) {
+                if let Some(p) = pruned_min_f.as_deref_mut() {
+                    let f2 = g2 + s.h(e.to.0, cross, to_layer, &dst, via_cost);
+                    *p = p.min(f2);
+                }
+                continue;
+            }
+            if s.stamp[to] != s.gen || g2 < s.g[to] - 1e-9 {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.insert(space.tile(e.to).cell);
+                }
+                s.stamp[to] = s.gen;
+                s.g[to] = g2;
+                s.entry[to] = cross;
+                s.parent[to] = tid_raw;
+                s.via[to] = None;
+                let f2 = g2 + s.h(e.to.0, cross, to_layer, &dst, via_cost);
+                s.queue.push(f2.to_bits(), e.to.0);
             }
         }
+        s.nbr = nbr;
+
         // Via moves.
         if !allow_vias {
             continue;
         }
-        for (to, site) in space.via_neighbors(tid, net) {
-            let g2 = node.g + x_arch_len(node.entry, site) + via_cost;
-            let to_layer = space.tile(to).layer;
-            let (upper, lower) = if to_layer > layer { (layer, to_layer) } else { (to_layer, layer) };
-            if best.get(&to).is_none_or(|n| g2 < n.g - 1e-9) {
-                note(space.tile(to).cell);
-                best.insert(
-                    to,
-                    Node { g: g2, entry: site, parent: Some(tid), via: Some((site, upper, lower)) },
-                );
-                heap.push(Reverse(((g2 + h(site, to_layer)).to_bits(), to.0)));
+        let mut vnbr = std::mem::take(&mut s.vnbr);
+        space.via_neighbors_into(tid, net, &mut vnbr);
+        for &(to_tile, site) in &vnbr {
+            let g2 = node_g + x_arch_len(node_entry, site) + via_cost;
+            let to = to_tile.0 as usize;
+            let to_layer = space.tile(to_tile).layer;
+            if windowed && !s.in_window(cells_x, space.tile(to_tile).cell) {
+                if let Some(p) = pruned_min_f.as_deref_mut() {
+                    let f2 = g2 + s.h(to_tile.0, site, to_layer, &dst, via_cost);
+                    *p = p.min(f2);
+                }
+                continue;
+            }
+            let (upper, lower) =
+                if to_layer > layer { (layer, to_layer) } else { (to_layer, layer) };
+            if s.stamp[to] != s.gen || g2 < s.g[to] - 1e-9 {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.insert(space.tile(to_tile).cell);
+                }
+                s.stamp[to] = s.gen;
+                s.g[to] = g2;
+                s.entry[to] = site;
+                s.parent[to] = tid_raw;
+                s.via[to] = Some((site, upper, lower));
+                let f2 = g2 + s.h(to_tile.0, site, to_layer, &dst, via_cost);
+                s.queue.push(f2.to_bits(), to_tile.0);
             }
         }
+        s.vnbr = vnbr;
     }
-    None
+    stats.heap_peak = stats.heap_peak.max(s.queue.peak() as u64);
+    RunOutcome::Exhausted
 }
 
 #[cfg(test)]
@@ -318,5 +700,38 @@ mod tests {
             (WireLayer(0), Point::new(300_000, 200_000)),
         )
         .is_none());
+    }
+
+    #[test]
+    fn windowed_matches_full_graph_and_reports_stats() {
+        let pkg = pkg_two_layer();
+        let layout = Layout::new(&pkg);
+        let space = RoutingSpace::build(&pkg, &layout, cfg());
+        let src = (WireLayer(0), Point::new(100_000, 100_000));
+        let dst = (WireLayer(1), Point::new(300_000, 300_000));
+        let mut ws = SearchStats::default();
+        let mut fs = SearchStats::default();
+        let (win, _) = route_traced_opts(
+            &space,
+            NetId(0),
+            src,
+            dst,
+            SearchOptions { windowed: true, allow_vias: true },
+            &mut ws,
+        );
+        let (full, _) = route_traced_opts(
+            &space,
+            NetId(0),
+            src,
+            dst,
+            SearchOptions { windowed: false, allow_vias: true },
+            &mut fs,
+        );
+        let win = win.expect("windowed route");
+        let full = full.expect("full route");
+        assert_eq!(win.cost.to_bits(), full.cost.to_bits(), "bit-identical cost");
+        assert_eq!(win.steps, full.steps, "identical step sequence");
+        assert!(ws.searches == 1 && fs.searches == 1);
+        assert!(ws.nodes_expanded > 0 && ws.heap_peak > 0);
     }
 }

@@ -1,0 +1,198 @@
+//! Bucketed (calendar-queue) open list for the A\* hot path.
+//!
+//! A\* over the tile graph pushes monotonically non-decreasing `f` values
+//! (the octagonal-distance heuristic is consistent), so a delta-stepping
+//! style bucket array beats a binary heap: pushes are O(1) into the bucket
+//! `floor(f / delta)`, and pops scan only the lowest non-empty bucket.
+//!
+//! Unlike classic delta-stepping, [`BucketQueue::pop`] is **exact**: it
+//! returns the global minimum `(f_bits, id)` in lexicographic order —
+//! bucket ranges are disjoint and ordered, and within the lowest bucket a
+//! linear scan picks the minimum — so pop order (including ties, broken by
+//! the smaller tile id) is identical to
+//! `BinaryHeap<Reverse<(u64, u32)>>`. That equivalence is what keeps
+//! layouts byte-reproducible and is locked by
+//! `crates/tile/tests/bucket_queue.rs`.
+//!
+//! The queue is designed for reuse across consecutive searches:
+//! [`BucketQueue::clear`] retains every bucket allocation, so steady-state
+//! routing performs no per-net allocation here.
+
+/// An exact-min bucket queue over `(f_bits, id)` keys.
+///
+/// `f_bits` must be the [`f64::to_bits`] image of a non-negative finite
+/// cost, so bit order equals numeric order.
+#[derive(Debug, Clone)]
+pub struct BucketQueue {
+    /// Bucket width in cost units (nm of wirelength).
+    delta: f64,
+    /// Cost at the lower edge of bucket 0; fixed by the first push after a
+    /// clear (every later key clamps into bucket 0 if below it).
+    base: f64,
+    /// `buckets[i]` holds keys in `[base + i·delta, base + (i+1)·delta)`.
+    buckets: Vec<Vec<(u64, u32)>>,
+    /// Index of the lowest possibly non-empty bucket.
+    cursor: usize,
+    len: usize,
+    peak: usize,
+    primed: bool,
+}
+
+impl BucketQueue {
+    /// An empty queue with the given bucket width (clamped to ≥ 1.0).
+    pub fn new(delta: f64) -> Self {
+        BucketQueue {
+            delta: if delta.is_finite() && delta >= 1.0 { delta } else { 1.0 },
+            base: 0.0,
+            buckets: Vec::new(),
+            cursor: 0,
+            len: 0,
+            peak: 0,
+            primed: false,
+        }
+    }
+
+    /// Empties the queue, retaining bucket allocations and the peak
+    /// counter. Optionally re-tunes the bucket width for the next search.
+    pub fn clear(&mut self, delta: Option<f64>) {
+        if let Some(d) = delta {
+            if d.is_finite() && d >= 1.0 {
+                self.delta = d;
+            }
+        }
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.cursor = 0;
+        self.len = 0;
+        self.primed = false;
+    }
+
+    /// Number of queued keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest queue length observed since construction (heap-peak
+    /// diagnostic; survives [`BucketQueue::clear`]).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Resets the peak counter (start of a new measurement window).
+    pub fn reset_peak(&mut self) {
+        self.peak = 0;
+    }
+
+    #[inline]
+    fn bucket_of(&self, f: f64) -> usize {
+        if f <= self.base {
+            return 0;
+        }
+        // Monotone in f, so cross-bucket order is preserved exactly.
+        ((f - self.base) / self.delta) as usize
+    }
+
+    /// Queues `(f_bits, id)`.
+    #[inline]
+    pub fn push(&mut self, f_bits: u64, id: u32) {
+        let f = f64::from_bits(f_bits);
+        if !self.primed {
+            self.base = f;
+            self.primed = true;
+            self.cursor = 0;
+        }
+        let idx = self.bucket_of(f);
+        if idx >= self.buckets.len() {
+            self.buckets.resize_with(idx + 1, Vec::new);
+        }
+        self.buckets[idx].push((f_bits, id));
+        // A consistent heuristic never pushes below the cursor, but the
+        // queue stays exact for arbitrary inputs (the equivalence tests
+        // exercise fully random sequences).
+        if idx < self.cursor {
+            self.cursor = idx;
+        }
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
+    }
+
+    /// Removes and returns the minimum `(f_bits, id)` key, ties broken by
+    /// the smaller id — exactly `BinaryHeap<Reverse<(u64, u32)>>::pop`.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.cursor].is_empty() {
+            self.cursor += 1;
+        }
+        let bucket = &mut self.buckets[self.cursor];
+        let mut at = 0;
+        for (i, key) in bucket.iter().enumerate().skip(1) {
+            if *key < bucket[at] {
+                at = i;
+            }
+        }
+        let key = bucket.swap_remove(at);
+        self.len -= 1;
+        Some(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn pops_in_heap_order_with_ties() {
+        let mut q = BucketQueue::new(1000.0);
+        let mut h: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let keys = [
+            (5_000.0f64, 7u32),
+            (5_000.0, 3),
+            (100.0, 9),
+            (99_999.5, 1),
+            (100.0, 2),
+            (0.0, 40),
+        ];
+        for (f, id) in keys {
+            q.push(f.to_bits(), id);
+            h.push(Reverse((f.to_bits(), id)));
+        }
+        while let Some(Reverse(want)) = h.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_peak() {
+        let mut q = BucketQueue::new(10.0);
+        for i in 0..100u32 {
+            q.push((i as f64 * 3.0).to_bits(), i);
+        }
+        assert_eq!(q.peak(), 100);
+        q.clear(None);
+        assert!(q.is_empty());
+        assert_eq!(q.peak(), 100, "peak survives clear");
+        q.push(7.0f64.to_bits(), 1);
+        assert_eq!(q.pop(), Some((7.0f64.to_bits(), 1)));
+    }
+
+    #[test]
+    fn push_below_base_still_pops_first() {
+        let mut q = BucketQueue::new(50.0);
+        q.push(10_000.0f64.to_bits(), 4);
+        q.push(2.0f64.to_bits(), 8); // below the primed base
+        assert_eq!(q.pop(), Some((2.0f64.to_bits(), 8)));
+        assert_eq!(q.pop(), Some((10_000.0f64.to_bits(), 4)));
+    }
+}

@@ -14,13 +14,15 @@
 //!   that honor the 90°/135° turn rule.
 
 pub mod astar;
+pub mod bucket;
 pub mod cell_graph;
 pub mod mcmf;
 pub mod partition;
 pub mod realize;
 pub mod space;
 
-pub use astar::{AstarResult, PathStep};
+pub use astar::{AstarResult, PathStep, SearchOptions, SearchStats};
+pub use bucket::BucketQueue;
 pub use cell_graph::{CellGraph, MstEdge};
 pub use partition::{line_extension_partition, merge_cells};
 pub use space::{RoutingSpace, SpaceConfig, TileId, TileNode};

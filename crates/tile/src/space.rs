@@ -14,6 +14,14 @@
 
 use info_geom::{Coord, GridIndex, Octagon, Orient4, Point, Rect, Segment, XLine};
 use info_model::{Layout, NetId, Package, WireLayer};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotone source of space revisions: every (re)build of any space takes
+/// a fresh value, so two spaces with equal revisions hold identical tiles
+/// (a clone restored over a mutated space genuinely is the cloned state).
+static REVISION: AtomicU64 = AtomicU64::new(1);
 
 /// Identifier of a tile in a [`RoutingSpace`] (invalidated by rebuilds of
 /// the tile's global cell).
@@ -110,6 +118,46 @@ pub struct PlanarEdge {
     pub crossing: Segment,
 }
 
+/// One net-agnostic adjacency record: a neighbor sharing a positive-length
+/// boundary with the owning tile, plus every wire interval lying along
+/// that boundary (tagged with the wire's net so per-net queries can drop
+/// the querying net's own wires). Cached per tile in [`AdjCache`].
+#[derive(Debug, Clone)]
+struct RawEdge {
+    to: TileId,
+    /// The full shared-boundary segment (before wire subtraction).
+    seg: Segment,
+    /// Covered parameter intervals `(net, lo, hi)` of `seg`, clamped to
+    /// `[0, 1]` and stably sorted by `lo` — the same order a per-net scan
+    /// followed by a stable sort would produce.
+    covered: Vec<(NetId, f64, f64)>,
+}
+
+/// Lazily built per-tile adjacency lists, the A\* hot path's amortization
+/// of the octagon-intersection work in [`RoutingSpace::planar_neighbors`].
+///
+/// Entries are pure functions of the two cells' tiles and wires, so they
+/// stay valid until either cell rebuilds; [`RoutingSpace::rebuild_cell`]
+/// drops every entry of the rebuilt cell and its 4-adjacent ring. Tile ids
+/// are never reused by rebuilds (retired slots stay `None`), so a live
+/// entry can only describe the current tile.
+#[derive(Debug, Default)]
+struct AdjCache {
+    map: Mutex<HashMap<u32, Arc<Vec<RawEdge>>>>,
+}
+
+impl AdjCache {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u32, Arc<Vec<RawEdge>>>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Clone for AdjCache {
+    fn clone(&self) -> Self {
+        AdjCache { map: Mutex::new(self.lock().clone()) }
+    }
+}
+
 /// The tile space over all layers.
 #[derive(Debug, Clone)]
 pub struct RoutingSpace {
@@ -123,6 +171,11 @@ pub struct RoutingSpace {
     cell_wires: Vec<Vec<(NetId, Segment)>>,
     /// Candidate via sites per cell column-major; refreshed on rebuild.
     via_sites: Vec<Vec<ViaSite>>,
+    /// Lazily built planar-adjacency lists (see [`AdjCache`]).
+    adjacency: AdjCache,
+    /// Monotone state tag: two spaces with equal revisions are identical.
+    /// Search-side caches (the per-target heuristic cache) key on it.
+    revision: u64,
 }
 
 /// Per-rebuild spatial indexes over the package and layout geometry, so
@@ -195,6 +248,8 @@ impl RoutingSpace {
             cell_tiles: vec![Vec::new(); ncells * layers],
             cell_wires: vec![Vec::new(); ncells * layers],
             via_sites: vec![Vec::new(); ncells],
+            adjacency: AdjCache::default(),
+            revision: REVISION.fetch_add(1, Ordering::Relaxed),
         };
         let mut scratch = GeomScratch::build(package, layout, layers);
         for cy in 0..cfg.cells_y {
@@ -213,6 +268,19 @@ impl RoutingSpace {
     /// Configuration in effect.
     pub fn config(&self) -> &SpaceConfig {
         &self.cfg
+    }
+
+    /// Upper bound on live tile ids: every `TileId` is `< tile_slots()`.
+    /// Search scratch arrays (stamps, g-values, parents) are sized by this.
+    pub fn tile_slots(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The space's state revision: strictly fresh after every rebuild, and
+    /// equal only between value-identical spaces (clones/restores). Caches
+    /// outside the space key their validity on it.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// The rectangle of global cell `(cx, cy)`.
@@ -325,6 +393,7 @@ impl RoutingSpace {
         for &(cx, cy) in &cells {
             self.rebuild_cell(package, layout, &mut scratch, cx, cy);
         }
+        self.revision = REVISION.fetch_add(1, Ordering::Relaxed);
         cells
     }
 
@@ -355,6 +424,10 @@ impl RoutingSpace {
         cx: usize,
         cy: usize,
     ) {
+        // Adjacency lists of this cell's tiles (about to be retired) and
+        // of every tile in a 4-adjacent cell (their cross-border edges
+        // reference the tiles being replaced) become stale now.
+        self.invalidate_adjacency(cx, cy);
         let cell = self.cell_rect(cx, cy);
         let pad_nets = &scratch.pad_nets;
         for layer_idx in 0..self.layers {
@@ -639,10 +712,74 @@ impl RoutingSpace {
         }
     }
 
+    /// Drops cached adjacency lists of every tile in cell `(cx, cy)` and
+    /// its 4-adjacent cells, on every layer. Called by cell rebuilds:
+    /// edges of ring tiles reference the tiles being replaced.
+    fn invalidate_adjacency(&mut self, cx: usize, cy: usize) {
+        let mut cells = vec![(cx, cy)];
+        if cx > 0 {
+            cells.push((cx - 1, cy));
+        }
+        if cy > 0 {
+            cells.push((cx, cy - 1));
+        }
+        if cx + 1 < self.cfg.cells_x {
+            cells.push((cx + 1, cy));
+        }
+        if cy + 1 < self.cfg.cells_y {
+            cells.push((cx, cy + 1));
+        }
+        let mut map = self.adjacency.lock();
+        for layer in 0..self.layers {
+            for &(ox, oy) in &cells {
+                let idx = self.cell_index(layer, ox, oy);
+                for id in &self.cell_tiles[idx] {
+                    map.remove(&id.0);
+                }
+            }
+        }
+    }
+
     /// Planar neighbors of a tile passable for `net`: tiles in the same or
     /// 4-adjacent global cells on the same layer sharing a positive-length
     /// boundary not covered by a wire.
     pub fn planar_neighbors(&self, id: TileId, net: NetId) -> Vec<PlanarEdge> {
+        let mut out = Vec::new();
+        self.planar_neighbors_into(id, net, &mut out);
+        out
+    }
+
+    /// [`RoutingSpace::planar_neighbors`] into a caller-owned buffer
+    /// (cleared first) — the A\* inner loop reuses one buffer across every
+    /// expansion. Net-agnostic adjacency comes from the per-tile cache;
+    /// only the per-net passability filter and wire subtraction run here.
+    pub fn planar_neighbors_into(&self, id: TileId, net: NetId, out: &mut Vec<PlanarEdge>) {
+        out.clear();
+        let cached = self.adjacency.lock().get(&id.0).cloned();
+        let raw = match cached {
+            Some(r) => r,
+            None => {
+                let built = Arc::new(self.build_raw_edges(id));
+                self.adjacency.lock().insert(id.0, Arc::clone(&built));
+                built
+            }
+        };
+        let min_t = self.cfg.min_thickness as f64;
+        for e in raw.iter() {
+            if !self.tile(e.to).passable_for(net) {
+                continue;
+            }
+            if let Some(crossing) = open_from_covered(e.seg, &e.covered, net, min_t) {
+                out.push(PlanarEdge { to: e.to, crossing });
+            }
+        }
+    }
+
+    /// Computes the net-agnostic adjacency list of one tile: every
+    /// boundary-sharing neighbor (passable or not — passability is a
+    /// per-net query-time filter) with the wire intervals along the shared
+    /// boundary.
+    fn build_raw_edges(&self, id: TileId) -> Vec<RawEdge> {
         let t = self.tile(id);
         let (cx, cy) = t.cell;
         let layer = t.layer;
@@ -667,9 +804,6 @@ impl RoutingSpace {
                     continue;
                 }
                 let o = self.tile(other);
-                if !o.passable_for(net) {
-                    continue;
-                }
                 // Cheap bbox rejection before the exact octagon
                 // intersection: tiles sharing a boundary must have
                 // touching bounding boxes.
@@ -683,30 +817,31 @@ impl RoutingSpace {
                 if seg.len_euclid() < self.cfg.min_thickness as f64 {
                     continue;
                 }
-                // Subtract wires lying along the shared boundary.
-                if let Some(crossing) = self.open_interval(layer, (cx, cy), (ox, oy), seg, net) {
-                    out.push(PlanarEdge { to: other, crossing });
-                }
+                let Some(covered) = self.covered_intervals(layer, (cx, cy), (ox, oy), seg)
+                else {
+                    continue;
+                };
+                out.push(RawEdge { to: other, seg, covered });
             }
         }
         out
     }
 
-    /// The longest sub-interval of `seg` not covered by a foreign wire
-    /// running along it, if long enough to pass.
-    fn open_interval(
+    /// Collects the parameter intervals `[lo, hi] ⊂ [0, 1]` of `seg`
+    /// covered by wires running along it, every net included, stably
+    /// sorted by `lo`. `None` when the segment has no supporting line
+    /// (the edge is unusable for every net).
+    fn covered_intervals(
         &self,
         layer: WireLayer,
         cell_a: (usize, usize),
         cell_b: (usize, usize),
         seg: Segment,
-        net: NetId,
-    ) -> Option<Segment> {
+    ) -> Option<Vec<(NetId, f64, f64)>> {
         let line = seg.supporting_line()?;
         let dir = seg.delta();
         let len_sq = dir.norm_sq() as f64;
-        // Collect covered parameter intervals [t0, t1] ⊂ [0, 1].
-        let mut covered: Vec<(f64, f64)> = Vec::new();
+        let mut covered: Vec<(NetId, f64, f64)> = Vec::new();
         let mut cells = vec![cell_a];
         if cell_b != cell_a {
             cells.push(cell_b);
@@ -714,9 +849,6 @@ impl RoutingSpace {
         for (ox, oy) in cells {
             let idx = self.cell_index(layer.index(), ox, oy);
             for (wnet, w) in &self.cell_wires[idx] {
-                if *wnet == net {
-                    continue;
-                }
                 let Some(wline) = w.supporting_line() else { continue };
                 if wline != line {
                     continue;
@@ -727,47 +859,32 @@ impl RoutingSpace {
                 let lo = lo.max(0.0);
                 let hi = hi.min(1.0);
                 if lo < hi {
-                    covered.push((lo, hi));
+                    covered.push((*wnet, lo, hi));
                 }
             }
         }
-        if covered.is_empty() {
-            return Some(seg);
-        }
-        covered.sort_by(|a, b| a.0.total_cmp(&b.0));
-        // Longest gap.
-        let mut best: Option<(f64, f64)> = None;
-        let mut cursor = 0.0f64;
-        for (lo, hi) in covered.into_iter().chain([(1.0, 1.0)]) {
-            if lo > cursor {
-                let gap = (cursor, lo);
-                if best.is_none_or(|(a, b)| gap.1 - gap.0 > b - a) {
-                    best = Some(gap);
-                }
-            }
-            cursor = cursor.max(hi);
-        }
-        let (lo, hi) = best?;
-        let min_t = self.cfg.min_thickness as f64 / len_sq.sqrt();
-        if hi - lo < min_t {
-            return None;
-        }
-        let at = |t: f64| {
-            Point::new(
-                seg.a.x + (dir.dx as f64 * t).round() as Coord,
-                seg.a.y + (dir.dy as f64 * t).round() as Coord,
-            )
-        };
-        Some(Segment::new(at(lo), at(hi)))
+        // Stable sort: a per-net filter of this list followed by the
+        // longest-gap scan reproduces the historical filter-then-sort
+        // result byte for byte.
+        covered.sort_by(|a, b| a.1.total_cmp(&b.1));
+        Some(covered)
     }
 
     /// Via-site edges usable from a tile: sites in the tile's cell whose
     /// point lies inside the tile, each linking to the tile at the same
     /// point on the adjacent layer.
     pub fn via_neighbors(&self, id: TileId, net: NetId) -> Vec<(TileId, Point)> {
+        let mut out = Vec::new();
+        self.via_neighbors_into(id, net, &mut out);
+        out
+    }
+
+    /// [`RoutingSpace::via_neighbors`] into a caller-owned buffer
+    /// (cleared first).
+    pub fn via_neighbors_into(&self, id: TileId, net: NetId, out: &mut Vec<(TileId, Point)>) {
+        out.clear();
         let t = self.tile(id);
         let (cx, cy) = t.cell;
-        let mut out = Vec::new();
         for site in self.via_sites(cx, cy) {
             let other_layer = if site.upper == t.layer {
                 site.lower
@@ -783,8 +900,59 @@ impl RoutingSpace {
                 out.push((dst, site.at));
             }
         }
-        out
     }
+}
+
+/// The longest sub-interval of `seg` not covered by a foreign wire
+/// (intervals of `net` itself are skipped), if long enough to pass.
+/// `covered` must be sorted by `lo` — see
+/// [`RoutingSpace::covered_intervals`].
+fn open_from_covered(
+    seg: Segment,
+    covered: &[(NetId, f64, f64)],
+    net: NetId,
+    min_thickness: f64,
+) -> Option<Segment> {
+    let dir = seg.delta();
+    let len_sq = dir.norm_sq() as f64;
+    let mut best: Option<(f64, f64)> = None;
+    let mut cursor = 0.0f64;
+    let mut any = false;
+    for &(wnet, lo, hi) in covered {
+        if wnet == net {
+            continue;
+        }
+        any = true;
+        if lo > cursor {
+            let gap = (cursor, lo);
+            if best.is_none_or(|(a, b)| gap.1 - gap.0 > b - a) {
+                best = Some(gap);
+            }
+        }
+        cursor = cursor.max(hi);
+    }
+    if !any {
+        return Some(seg);
+    }
+    // Trailing sentinel interval (1.0, 1.0): closes the final gap.
+    if 1.0 > cursor {
+        let gap = (cursor, 1.0);
+        if best.is_none_or(|(a, b)| gap.1 - gap.0 > b - a) {
+            best = Some(gap);
+        }
+    }
+    let (lo, hi) = best?;
+    let min_t = min_thickness / len_sq.sqrt();
+    if hi - lo < min_t {
+        return None;
+    }
+    let at = |t: f64| {
+        Point::new(
+            seg.a.x + (dir.dx as f64 * t).round() as Coord,
+            seg.a.y + (dir.dy as f64 * t).round() as Coord,
+        )
+    };
+    Some(Segment::new(at(lo), at(hi)))
 }
 
 /// Two-pass strip merging of disjoint rectangles: first horizontally

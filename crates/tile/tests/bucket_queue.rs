@@ -1,0 +1,131 @@
+//! Equivalence of the bucketed open list against the reference
+//! `BinaryHeap<Reverse<(u64, u32)>>` it replaced: on arbitrary interleaved
+//! push/pop sequences — including exact key ties — both structures must
+//! produce the same pop sequence, and `clear` must make the queue safe to
+//! reuse across consecutive searches (the per-net reuse pattern of the A\*
+//! scratch state).
+
+use info_tile::BucketQueue;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pop sequence: `(f_bits, id)` in the order the queue yielded them.
+type Pops = Vec<(u64, u32)>;
+
+/// Drives both queues through the same random schedule and returns their
+/// pop sequences. Keys are f64 cost bits (`to_bits` of non-negative
+/// finite costs, the only keys A\* produces); `tie_pool` shrinks the key
+/// space so exact ties are common.
+fn run_schedule(
+    seed: u64,
+    ops: usize,
+    delta: f64,
+    tie_pool: u64,
+) -> (Pops, Pops) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut bucket = BucketQueue::new(delta);
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let mut got = Vec::new();
+    let mut want = Vec::new();
+    for _ in 0..ops {
+        if heap.is_empty() || rng.gen_bool(0.6) {
+            // Costs drawn from a small pool of magnitudes so ties happen;
+            // ids drawn small so equal (cost, id) pairs also happen.
+            let cost = (rng.gen_range(0..tie_pool) as f64) * 1_000.5;
+            let id = rng.gen_range(0..64u32);
+            bucket.push(cost.to_bits(), id);
+            heap.push(Reverse((cost.to_bits(), id)));
+        } else {
+            got.push(bucket.pop().expect("bucket queue must mirror heap length"));
+            want.push(heap.pop().expect("non-empty by branch guard").0);
+        }
+    }
+    while let Some(Reverse(k)) = heap.pop() {
+        want.push(k);
+        got.push(bucket.pop().expect("bucket queue must mirror heap length"));
+    }
+    assert!(bucket.is_empty(), "bucket queue must drain with the heap");
+    (got, want)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interleaved pushes and pops pop in exactly the reference heap's
+    /// order, ties (equal cost bits) broken identically by tile id.
+    fn pops_match_reference_heap(
+        seed in 0u64..1_000_000,
+        ops in 10usize..400,
+        delta_exp in 0u32..12,
+        tie_pool in 1u64..40,
+    ) {
+        let delta = (1u64 << delta_exp) as f64;
+        let (got, want) = run_schedule(seed, ops, delta, tie_pool);
+        prop_assert_eq!(got, want);
+    }
+
+    /// `clear` between schedules reproduces a fresh queue: the reuse
+    /// pattern of consecutive nets sharing one scratch allocation.
+    fn reuse_after_clear_matches_fresh_queue(
+        seed in 0u64..1_000_000,
+        rounds in 2usize..5,
+        ops in 10usize..120,
+    ) {
+        let mut reused = BucketQueue::new(64.0);
+        for round in 0..rounds as u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ round);
+            // Vary the bucket width across rounds, as per-net deltas do.
+            let delta = 64.0 * (1 + (round % 3)) as f64;
+            reused.clear(Some(delta));
+            let mut fresh = BucketQueue::new(delta);
+            let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+            for _ in 0..ops {
+                if heap.is_empty() || rng.gen_bool(0.5) {
+                    let cost = (rng.gen_range(0..32u64) as f64) * 777.25;
+                    let id = rng.gen_range(0..1_000u32);
+                    reused.push(cost.to_bits(), id);
+                    fresh.push(cost.to_bits(), id);
+                    heap.push(Reverse((cost.to_bits(), id)));
+                } else {
+                    let want = heap.pop().expect("non-empty by branch guard").0;
+                    prop_assert_eq!(reused.pop(), Some(want));
+                    prop_assert_eq!(fresh.pop(), Some(want));
+                }
+            }
+            while let Some(Reverse(k)) = heap.pop() {
+                prop_assert_eq!(reused.pop(), Some(k));
+                prop_assert_eq!(fresh.pop(), Some(k));
+            }
+            prop_assert!(reused.is_empty());
+        }
+    }
+
+    /// The population peak is the true high-water mark across the whole
+    /// schedule and survives `clear` (it feeds cross-net statistics).
+    fn peak_is_true_high_water_mark(
+        seed in 0u64..1_000_000,
+        ops in 10usize..200,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut q = BucketQueue::new(128.0);
+        let mut live = 0usize;
+        let mut high = 0usize;
+        for _ in 0..ops {
+            if live == 0 || rng.gen_bool(0.6) {
+                q.push((rng.gen_range(0..1_000u64) as f64).to_bits(), rng.gen_range(0..64u32));
+                live += 1;
+                high = high.max(live);
+            } else {
+                q.pop().expect("live > 0");
+                live -= 1;
+            }
+        }
+        prop_assert_eq!(q.peak(), high);
+        q.clear(None);
+        prop_assert_eq!(q.peak(), high, "clear must retain the peak");
+        q.reset_peak();
+        prop_assert_eq!(q.peak(), q.len());
+    }
+}

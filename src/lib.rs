@@ -55,4 +55,4 @@ pub use info_router as router;
 pub use info_tile as tile;
 
 pub use info_baseline::{LinExtOutcome, LinExtRouter};
-pub use info_router::{InfoRouter, RouteOutcome, RouterConfig};
+pub use info_router::{InfoRouter, RouteOutcome, RouterConfig, SearchOptions, SearchStats};
