@@ -1,0 +1,68 @@
+//! Calibration sweep for `drc::INDEX_CUTOFF`.
+//!
+//! Builds violation-free single-layer layouts of growing item counts and
+//! times the spacing/crossing sweep with the spatial index forced on
+//! (`drc::check_forced_index`) against the naive all-pairs reference
+//! (`drc::check_naive`). The crossover of the two curves is where the
+//! cutoff belongs; the committed constant (1024) sits at the measured
+//! crossover on this harness (table in EXPERIMENTS.md).
+//!
+//! Usage: `drc_cutoff [reps]` (default 5, best-of).
+
+use info_geom::{Point, Polyline, Rect};
+use info_model::{drc, DesignRules, Layout, NetId, Package, PackageBuilder, WireLayer};
+use std::time::Instant;
+
+/// `n` disjoint short horizontal wires on layer 0 of a 10 mm die, packed
+/// row-major at a comfortable pitch (no violations, so both sweeps do
+/// identical pair work and the timing difference is pure data-structure
+/// overhead).
+fn instance(n: usize) -> (Package, Layout) {
+    let die = Rect::new(Point::new(0, 0), Point::new(10_000_000, 10_000_000));
+    let pkg =
+        PackageBuilder::new(die, DesignRules::default(), 1).build().expect("empty package");
+    let mut layout = Layout::new(&pkg);
+    let per_row = 200usize;
+    for i in 0..n {
+        let row = (i / per_row) as i64;
+        let col = (i % per_row) as i64;
+        let x = 30_000 + col * 48_000;
+        let y = 30_000 + row * 40_000;
+        let path = Polyline::new(vec![Point::new(x, y), Point::new(x + 30_000, y)]);
+        layout.add_route(NetId(i as u32), WireLayer(0), path);
+    }
+    (pkg, layout)
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    println!("DRC sweep-path calibration (best of {reps}); committed cutoff = {}", drc::INDEX_CUTOFF);
+    println!("{:>7} {:>12} {:>12} {:>9}", "items", "indexed_s", "naive_s", "ratio");
+    for n in [128usize, 256, 512, 768, 1024, 1536, 2048, 4096, 8192] {
+        let (pkg, layout) = instance(n);
+        // Both paths must agree on every instance before we trust the times.
+        let a = drc::check_forced_index(&pkg, &layout);
+        let b = drc::check_naive(&pkg, &layout);
+        assert_eq!(a.violations(), b.violations(), "paths diverged at n={n}");
+        let indexed_s = best_of(reps, || {
+            std::hint::black_box(drc::check_forced_index(&pkg, &layout).violations().len());
+        });
+        let naive_s = best_of(reps, || {
+            std::hint::black_box(drc::check_naive(&pkg, &layout).violations().len());
+        });
+        println!(
+            "{n:>7} {indexed_s:>12.6} {naive_s:>12.6} {:>9.2}",
+            if indexed_s > 0.0 { naive_s / indexed_s } else { 0.0 }
+        );
+    }
+}

@@ -57,6 +57,13 @@ pub struct RouterConfig {
     /// Deterministic fault-injection plan (testing aid; the default plan
     /// injects nothing and the checks are branch-predictable no-ops).
     pub fault_plan: FaultPlan,
+    /// Collect routing telemetry (stage spans, counters, histograms, and
+    /// the per-net route journal) into [`RouteOutcome::telemetry`]. Off by
+    /// default: the disabled sink is a no-op and the routed layout is
+    /// byte-identical either way.
+    ///
+    /// [`RouteOutcome::telemetry`]: crate::flow::RouteOutcome::telemetry
+    pub telemetry: bool,
 }
 
 impl Default for RouterConfig {
@@ -77,6 +84,7 @@ impl Default for RouterConfig {
             search_window: true,
             stage_budget: None,
             fault_plan: FaultPlan::none(),
+            telemetry: false,
         }
     }
 }
@@ -134,6 +142,12 @@ impl RouterConfig {
         self.fault_plan = plan;
         self
     }
+
+    /// Enables telemetry collection (spans, counters, route journal).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +166,8 @@ mod tests {
         assert_eq!(c.threads, 1);
         assert!(c.search_window, "windowed search is on by default");
         assert!(!c.without_search_window().search_window);
+        assert!(!c.telemetry, "telemetry is off by default");
+        assert!(c.with_telemetry().telemetry);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::preprocess::preprocess;
 use crate::resilience::{guard_stage, FlowCtx, FlowDiagnostics, Stage, StageOutcome};
 use crate::sequential::{route_sequential, SequentialResult};
 use info_model::{drc::DrcReport, stats::LayoutStats, Layout, NetId, Package};
+use info_telemetry::{AttemptOutcome, AttemptRecord, Counter, Pass, Sink, TelemetryReport};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -74,6 +75,11 @@ pub struct RouteOutcome {
     /// Per-stage outcomes: what ran clean, what was recovered from, what
     /// timed out, and which injected faults fired.
     pub diagnostics: FlowDiagnostics,
+    /// Telemetry collected during the run (stage spans, counters,
+    /// histograms, and the per-net route journal). `None` unless
+    /// [`RouterConfig::telemetry`] is set; the layout is byte-identical
+    /// either way.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// The via-based multi-chip multi-layer InFO RDL router.
@@ -105,6 +111,7 @@ impl InfoRouter {
     pub fn route(&self, package: &Package) -> RouteOutcome {
         let ctx = FlowCtx::new(self.cfg.fault_plan);
         let budget = self.cfg.stage_budget;
+        let tel = if self.cfg.telemetry { Sink::enabled() } else { Sink::disabled() };
         let mut layout = Layout::new(package);
         let mut timings = StageTimings::default();
         let mut diagnostics = FlowDiagnostics::default();
@@ -135,7 +142,32 @@ impl InfoRouter {
                     });
                     diagnostics.concurrent = outcome;
                     match res {
-                        Some(res) => concurrent_done = res.routed,
+                        Some(res) => {
+                            tel.count(Counter::ConcurrentCommitted, res.routed.len() as u64);
+                            tel.count(Counter::ConcurrentSkipped, res.skipped.len() as u64);
+                            if tel.is_enabled() {
+                                // One journal record per concurrent commit;
+                                // the committed wirelength stands in for the
+                                // accept cost (this stage is pattern-based,
+                                // not A\*-driven).
+                                for &id in &res.routed {
+                                    let wl: f64 = layout
+                                        .routes_of(id)
+                                        .map(|r| r.path.length())
+                                        .sum();
+                                    tel.record(AttemptRecord {
+                                        net: id.0,
+                                        pass: Pass::Concurrent,
+                                        windowed: false,
+                                        escalated: false,
+                                        expansions: 0,
+                                        outcome: AttemptOutcome::Routed { f: wl, g: wl },
+                                        victims: Vec::new(),
+                                    });
+                                }
+                            }
+                            concurrent_done = res.routed;
+                        }
                         None => layout = snapshot,
                     }
                 }
@@ -148,7 +180,7 @@ impl InfoRouter {
             if self.cfg.lp_enabled && !concurrent_done.is_empty() {
                 let t2 = Instant::now();
                 let (rep, outcome) =
-                    self.guarded_lp(Stage::LpMid, package, &mut layout, &ctx, budget);
+                    self.guarded_lp(Stage::LpMid, package, &mut layout, &ctx, budget, &tel);
                 diagnostics.lp_mid = outcome;
                 lp_mid = rep;
                 timings.lp += t2.elapsed();
@@ -161,7 +193,7 @@ impl InfoRouter {
         let remaining: Vec<NetId> =
             package.nets().iter().map(|n| n.id).filter(|id| !done.contains(id)).collect();
         let (seq, outcome) = guard_stage(Stage::Sequential, &ctx, budget, || {
-            Ok(route_sequential(package, &mut layout, &remaining, &self.cfg, &ctx))
+            Ok(route_sequential(package, &mut layout, &remaining, &self.cfg, &ctx, &tel))
         });
         diagnostics.sequential = outcome;
         let seq = seq.unwrap_or_else(|| {
@@ -188,7 +220,7 @@ impl InfoRouter {
         if self.cfg.lp_enabled {
             let t4 = Instant::now();
             let (rep, outcome) =
-                self.guarded_lp(Stage::LpFinal, package, &mut layout, &ctx, budget);
+                self.guarded_lp(Stage::LpFinal, package, &mut layout, &ctx, budget, &tel);
             diagnostics.lp_final = outcome;
             lp_final = rep;
             timings.lp += t4.elapsed();
@@ -197,8 +229,25 @@ impl InfoRouter {
         diagnostics.faults_fired = ctx.faults_fired();
         diagnostics.timings = timings;
 
+        // Search-layer counters come from the authoritative stage totals
+        // (they are thread-variant, like SearchStats itself; the journal
+        // above is not).
+        tel.count(Counter::Searches, seq.search.searches);
+        tel.count(Counter::NodesExpanded, seq.search.nodes_expanded);
+        tel.count(Counter::WindowEscalations, seq.search.window_escalations);
+        tel.count(Counter::EscalationExpansions, seq.search.escalation_expansions);
+
         // --- Verification.
-        let report = info_model::drc::check(package, &layout);
+        let t5 = Instant::now();
+        let report = info_model::drc::check_with(package, &layout, &tel);
+        let drc_elapsed = t5.elapsed();
+        if tel.is_enabled() {
+            tel.record_span("preprocess", timings.preprocess.as_secs_f64());
+            tel.record_span("concurrent", timings.concurrent.as_secs_f64());
+            tel.record_span("sequential", timings.sequential.as_secs_f64());
+            tel.record_span("lp", timings.lp.as_secs_f64());
+            tel.record_span("drc_verify", drc_elapsed.as_secs_f64());
+        }
         let stats = LayoutStats::from_report(package, &layout, &report);
         RouteOutcome {
             layout,
@@ -211,6 +260,7 @@ impl InfoRouter {
             lp_mid,
             lp_final,
             diagnostics,
+            telemetry: tel.report(),
         }
     }
 
@@ -218,6 +268,7 @@ impl InfoRouter {
     /// inside `optimize` (the component keeps its pre-LP geometry) but
     /// still surface as a recovered outcome; a stage-level panic restores
     /// the whole pre-LP layout.
+    #[allow(clippy::too_many_arguments)]
     fn guarded_lp(
         &self,
         stage: Stage,
@@ -225,6 +276,7 @@ impl InfoRouter {
         layout: &mut Layout,
         ctx: &FlowCtx,
         budget: Option<Duration>,
+        tel: &Sink,
     ) -> (Option<LpOptReport>, StageOutcome) {
         let snapshot = layout.clone();
         let (rep, outcome) = guard_stage(stage, ctx, budget, || {
@@ -232,6 +284,8 @@ impl InfoRouter {
         });
         match rep {
             Some(rep) => {
+                tel.count(Counter::LpPasses, 1);
+                tel.count(Counter::LpIterations, rep.iterations as u64);
                 let outcome = match (&outcome, rep.failures.first()) {
                     (StageOutcome::Ok, Some(e)) => StageOutcome::Recovered(e.clone()),
                     _ => outcome,

@@ -10,6 +10,7 @@ use crate::pool::parallel_map;
 use crate::resilience::{panic_message, FaultSite, FlowCtx, RouterError, Stage};
 use info_geom::{x_arch_len, Rect};
 use info_model::{Layout, NetId, Package};
+use info_telemetry::{AttemptOutcome, AttemptRecord, Counter, FailureReason, Pass, Sink};
 use info_tile::{astar, realize, RoutingSpace, SpaceConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -57,6 +58,7 @@ pub fn route_sequential(
     nets: &[NetId],
     cfg: &RouterConfig,
     ctx: &FlowCtx,
+    tel: &Sink,
 ) -> SequentialResult {
     let mut order: Vec<NetId> = nets.to_vec();
     order.sort_by(|&x, &y| {
@@ -79,6 +81,7 @@ pub fn route_sequential(
 
     for pass in 0..2 {
         let todo = if pass == 0 { std::mem::take(&mut order) } else { std::mem::take(&mut retry) };
+        let journal_pass = if pass == 0 { Pass::First } else { Pass::Retry };
         if threads > 1 {
             route_pass_speculative(
                 package,
@@ -89,11 +92,16 @@ pub fn route_sequential(
                 ctx,
                 threads,
                 &mut stats,
+                tel,
                 &mut |id, attempt| match attempt {
                     Attempt::Deadline => result.failed.push(id),
-                    Attempt::Routed => result.routed.push(id),
-                    Attempt::Failed(expanded) => {
-                        fail_expansions.insert(id, expanded);
+                    Attempt::Routed(draft) => {
+                        tel.record(draft.to_record(id, journal_pass, Vec::new()));
+                        result.routed.push(id);
+                    }
+                    Attempt::Failed(draft) => {
+                        tel.record(draft.to_record(id, journal_pass, Vec::new()));
+                        fail_expansions.insert(id, draft.expansions);
                         if pass == 0 {
                             retry.push(id);
                         } else {
@@ -113,11 +121,14 @@ pub fn route_sequential(
                 result.failed.push(id);
                 continue;
             }
-            let before = stats.nodes_expanded;
-            match guarded_route_net(package, layout, &mut space, id, cfg, ctx, &mut stats) {
-                Ok(Some(_)) => result.routed.push(id),
-                Ok(None) => {
-                    fail_expansions.insert(id, stats.nodes_expanded - before);
+            match guarded_route_net(package, layout, &mut space, id, cfg, ctx, &mut stats, tel) {
+                Ok((draft, Some(_))) => {
+                    tel.record(draft.to_record(id, journal_pass, Vec::new()));
+                    result.routed.push(id);
+                }
+                Ok((draft, None)) => {
+                    tel.record(draft.to_record(id, journal_pass, Vec::new()));
+                    fail_expansions.insert(id, draft.expansions);
                     if pass == 0 {
                         retry.push(id);
                     } else {
@@ -170,6 +181,7 @@ pub fn route_sequential(
                     &result.routed,
                     ctx,
                     &mut stats,
+                    tel,
                 )
             }));
             match attempt {
@@ -217,14 +229,59 @@ enum Attempt {
     /// The stage deadline tripped before this net was attempted.
     Deadline,
     /// Committed into the layout.
-    Routed,
-    /// Geometric failure; carries the nodes the authoritative attempt
-    /// expanded (a fresh plan's own count, or the sequential recompute's
-    /// for a stale one — either way the number the single-threaded loop
-    /// would have recorded).
-    Failed(u64),
+    Routed(AttemptDraft),
+    /// Geometric failure; the draft carries the nodes the authoritative
+    /// attempt expanded (a fresh plan's own count, or the sequential
+    /// recompute's for a stale one — either way the numbers the
+    /// single-threaded loop would have recorded).
+    Failed(AttemptDraft),
     /// Internal failure (caught panic); costs exactly this net.
     Internal(RouterError),
+}
+
+/// Everything the route journal needs about one *authoritative* attempt.
+/// Drafts are computed where the search ran but recorded only at commit
+/// points — the speculative executor's in-net-order emit, the sequential
+/// loop, and the rip-up pass — so the journal is identical at every
+/// thread count (discarded speculative plans never produce a record).
+#[derive(Debug, Clone, Copy)]
+struct AttemptDraft {
+    windowed: bool,
+    escalated: bool,
+    expansions: u64,
+    outcome: AttemptOutcome,
+}
+
+impl AttemptDraft {
+    fn to_record(self, id: NetId, pass: Pass, victims: Vec<u32>) -> AttemptRecord {
+        AttemptRecord {
+            net: id.0,
+            pass,
+            windowed: self.windowed,
+            escalated: self.escalated,
+            expansions: self.expansions,
+            outcome: self.outcome,
+            victims,
+        }
+    }
+}
+
+/// Maps a search-layer failure onto the journal's failure taxonomy. An
+/// exhausted open list after an escalation means the window failed to
+/// contain the net *and* the full graph still had no path; without an
+/// escalation, exhaustion is an authoritative no-path proof.
+fn search_failure_reason(f: astar::SearchFailure, escalated: bool) -> FailureReason {
+    match f {
+        astar::SearchFailure::BlockedTerminal => FailureReason::Unreachable,
+        astar::SearchFailure::Exhausted if escalated => FailureReason::WindowFenced,
+        astar::SearchFailure::Exhausted => FailureReason::Unreachable,
+        astar::SearchFailure::BudgetCapped { last_tile } => {
+            FailureReason::Congested { tile: last_tile.0 }
+        }
+        astar::SearchFailure::NoViaPath { cell } => {
+            FailureReason::ViaCapacity { cell: (cell.0 as u32, cell.1 as u32) }
+        }
+    }
 }
 
 /// Routes one pass of nets with speculative parallel planning, reporting
@@ -249,6 +306,7 @@ fn route_pass_speculative(
     ctx: &FlowCtx,
     threads: usize,
     stats: &mut astar::SearchStats,
+    tel: &Sink,
     emit: &mut dyn FnMut(NetId, Attempt),
 ) {
     let batch_size = threads * 2;
@@ -290,17 +348,16 @@ fn route_pass_speculative(
             };
             let attempt = if fresh {
                 match plan.expect("fresh implies planned") {
-                    PlanOutcome { real: None, search, .. } => {
-                        Attempt::Failed(search.nodes_expanded)
-                    }
-                    PlanOutcome { real: Some(real), .. } => {
+                    PlanOutcome { real: None, draft, .. } => Attempt::Failed(draft),
+                    PlanOutcome { real: Some(real), draft, .. } => {
                         let commit = catch_unwind(AssertUnwindSafe(|| {
                             commit_plan(package, layout, space, id, real, ctx)
                         }));
                         match commit {
                             Ok(Ok(rebuilt)) => {
+                                tel.count(Counter::CellsRebuilt, rebuilt.len() as u64);
                                 dirty.extend(rebuilt);
-                                Attempt::Routed
+                                Attempt::Routed(draft)
                             }
                             Ok(Err(e)) => Attempt::Internal(e),
                             Err(payload) => {
@@ -321,13 +378,12 @@ fn route_pass_speculative(
                     }
                 }
             } else {
-                let before = stats.nodes_expanded;
-                match guarded_route_net(package, layout, space, id, cfg, ctx, stats) {
-                    Ok(Some(rebuilt)) => {
+                match guarded_route_net(package, layout, space, id, cfg, ctx, stats, tel) {
+                    Ok((draft, Some(rebuilt))) => {
                         dirty.extend(rebuilt);
-                        Attempt::Routed
+                        Attempt::Routed(draft)
                     }
-                    Ok(None) => Attempt::Failed(stats.nodes_expanded - before),
+                    Ok((draft, None)) => Attempt::Failed(draft),
                     Err(e) => {
                         // The panic path rebuilt the whole space, which
                         // renumbers every tile id.
@@ -341,10 +397,15 @@ fn route_pass_speculative(
     }
 }
 
+/// What one per-net attempt produced: the journal draft plus, when the
+/// net committed, the global cells the commit rebuilt.
+type AttemptResult = Result<(AttemptDraft, Option<Vec<(usize, usize)>>), RouterError>;
+
 /// One per-net attempt under a panic guard. On a caught panic the net's
 /// (possibly partial) geometry is removed and the routing space rebuilt,
 /// so the failure costs exactly this net. `Ok(Some(cells))` reports which
 /// global cells the commit rebuilt.
+#[allow(clippy::too_many_arguments)]
 fn guarded_route_net(
     package: &Package,
     layout: &mut Layout,
@@ -353,9 +414,10 @@ fn guarded_route_net(
     cfg: &RouterConfig,
     ctx: &FlowCtx,
     stats: &mut astar::SearchStats,
-) -> Result<Option<Vec<(usize, usize)>>, RouterError> {
+    tel: &Sink,
+) -> AttemptResult {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
-        try_route_net(package, layout, space, id, cfg, ctx, stats)
+        try_route_net(package, layout, space, id, cfg, ctx, stats, tel)
     }));
     match attempt {
         Ok(r) => r,
@@ -388,31 +450,39 @@ fn ripup_and_reroute(
     routed: &[NetId],
     ctx: &FlowCtx,
     stats: &mut astar::SearchStats,
+    tel: &Sink,
 ) -> Result<bool, RouterError> {
     let net = package.net(id);
     let (pa, pb) = (package.pad(net.a).center, package.pad(net.b).center);
     let corridor = info_geom::Rect::new(pa, pb)
         .inflate(8 * (package.rules().min_spacing + package.rules().wire_width));
-    let mid = corridor.center();
-    // Routed nets with geometry inside the corridor, nearest first.
-    let mut candidates: Vec<NetId> = routed
+    // Routed nets with geometry inside the corridor, ranked by how close
+    // that geometry comes to either blocked terminal. A failed net is
+    // usually starved right at a pad (the route journal shows such nets
+    // dying with a tiny reachable component), and the wall around a pad
+    // is whichever routes hug *that pad* — not the nets whose own pads
+    // happen to sit near the corridor's center, which is what the old
+    // pad-midpoint ranking rewarded and why the true blocker could sort
+    // past the eviction cutoff.
+    let mut keyed: Vec<(NetId, i128, i128)> = routed
         .iter()
         .copied()
-        .filter(|&c| {
-            layout.routes_of(c).any(|r| {
-                r.path.points().iter().any(|p| corridor.contains(*p))
-            })
+        .filter_map(|c| {
+            let mut da = i128::MAX;
+            let mut db = i128::MAX;
+            let mut inside = false;
+            for r in layout.routes_of(c) {
+                for p in r.path.points() {
+                    inside |= corridor.contains(*p);
+                    da = da.min(info_geom::euclid_sq(*p, pa));
+                    db = db.min(info_geom::euclid_sq(*p, pb));
+                }
+            }
+            if inside { Some((c, da, db)) } else { None }
         })
         .collect();
-    candidates.sort_by(|&x, &y| {
-        let d = |n: NetId| {
-            let nn = package.net(n);
-            let c = info_geom::Segment::new(package.pad(nn.a).center, package.pad(nn.b).center)
-                .midpoint();
-            info_geom::euclid_sq(c, mid)
-        };
-        d(x).cmp(&d(y))
-    });
+    keyed.sort_by_key(|&(n, da, db)| (da.min(db), n));
+    let candidates: Vec<NetId> = keyed.iter().map(|&(n, ..)| n).collect();
     // Per-segment rects of a net's geometry, not its bounding hull: a
     // long route's hull can cover most of the die while the geometry only
     // touches a thin corridor of cells, and rebuild cost is per cell.
@@ -426,16 +496,36 @@ fn ripup_and_reroute(
             out.push(Rect::new(v.center, v.center));
         }
     };
-    // Eviction sets: up to six single victims, then the nearest pair.
+    // Eviction sets: up to six single victims, then terminal-aware pairs.
+    // A wall around a pad can be two routes deep (the journal shows
+    // single evictions enlarging the starved component without freeing
+    // it), so try the two nets nearest each terminal together, and one
+    // net per terminal for nets pinched at both ends.
     let mut eviction_sets: Vec<Vec<NetId>> =
         candidates.iter().take(6).map(|&v| vec![v]).collect();
-    if candidates.len() >= 2 {
-        eviction_sets.push(vec![candidates[0], candidates[1]]);
+    let mut by_a = keyed.clone();
+    by_a.sort_by_key(|&(n, da, _)| (da, n));
+    let mut by_b = keyed;
+    by_b.sort_by_key(|&(n, _, db)| (db, n));
+    let mut push_pair = |x: NetId, y: NetId| {
+        if x != y {
+            let pair = vec![x.min(y), x.max(y)];
+            if !eviction_sets.contains(&pair) {
+                eviction_sets.push(pair);
+            }
+        }
+    };
+    if by_a.len() >= 2 {
+        push_pair(by_a[0].0, by_a[1].0);
+        push_pair(by_b[0].0, by_b[1].0);
+        push_pair(by_a[0].0, by_b[0].0);
     }
     for victims in eviction_sets {
         if ctx.deadline_exceeded() {
             return Ok(false);
         }
+        tel.count(Counter::RipupAttempts, 1);
+        let victim_ids: Vec<u32> = victims.iter().map(|v| v.0).collect();
         let snapshot = layout.clone();
         let space_snapshot = space.clone();
         // Incremental rebuild over each victim's own geometry: removing a
@@ -446,26 +536,41 @@ fn ripup_and_reroute(
             net_rects(layout, v, &mut touched);
             layout.remove_net(v);
         }
-        space.rebuild_dirty_multi(package, layout, &touched);
+        let rebuilt = space.rebuild_dirty_multi(package, layout, &touched);
+        tel.count(Counter::CellsRebuilt, rebuilt.len() as u64);
         // try_route_net rebuilds the space over each commit's own bbox.
-        let attempt: Result<bool, RouterError> = (|| {
-            if try_route_net(package, layout, space, id, cfg, ctx, stats)?.is_none() {
-                return Ok(false);
+        // One journal record per eviction-set trial: the target's own
+        // draft when it decides the trial, or — when the target routed
+        // but a victim could not re-route — the target's draft with the
+        // victim's failure substituted (that victim is why the set fell
+        // through).
+        let attempt: Result<(bool, AttemptDraft), RouterError> = (|| {
+            let (draft, committed) =
+                try_route_net(package, layout, space, id, cfg, ctx, stats, tel)?;
+            if committed.is_none() {
+                return Ok((false, draft));
             }
             for &v in &victims {
-                if try_route_net(package, layout, space, v, cfg, ctx, stats)?.is_none() {
-                    return Ok(false);
+                let (vdraft, vcommitted) =
+                    try_route_net(package, layout, space, v, cfg, ctx, stats, tel)?;
+                if vcommitted.is_none() {
+                    return Ok((false, AttemptDraft { outcome: vdraft.outcome, ..draft }));
                 }
             }
-            Ok(true)
+            Ok((true, draft))
         })();
-        if matches!(attempt, Ok(true)) {
-            return Ok(true);
+        if let Ok((stuck, draft)) = &attempt {
+            tel.record(draft.to_record(id, Pass::RipUp, victim_ids));
+            if *stuck {
+                tel.count(Counter::RipupCommits, 1);
+                return Ok(true);
+            }
         }
         // Restore exactly — both by value, so no rebuild runs at all on
         // the (common) failure path.
         *layout = snapshot;
         *space = space_snapshot;
+        tel.count(Counter::SnapshotRestores, 1);
         // An internal failure during eviction aborts the search for this
         // net (the layout is already restored); geometric failure tries
         // the next eviction set.
@@ -487,6 +592,9 @@ struct PlanOutcome {
     read_cells: Vec<(usize, usize)>,
     /// Statistics of this plan's one A\* search.
     search: astar::SearchStats,
+    /// The journal draft of this attempt (recorded only if the plan is
+    /// applied, or recomputed, at an authoritative commit point).
+    draft: AttemptDraft,
 }
 
 /// Adds `cells` and their one-cell ring to `read` (neighbor enumeration
@@ -526,17 +634,30 @@ fn plan_net(
     ctx.check(FaultSite::AstarExpand)?;
     let opts = astar::SearchOptions { windowed: cfg.search_window, ..Default::default() };
     let mut search = astar::SearchStats::default();
-    let (found, trace) = astar::route_traced_opts(space, id, src, dst, opts, &mut search);
+    let (found, trace) = astar::route_traced_fallible(space, id, src, dst, opts, &mut search);
     let mut read = BTreeSet::new();
     extend_ring(&mut read, trace, space);
-    let reject = |read: BTreeSet<(usize, usize)>| {
-        Ok(PlanOutcome { real: None, read_cells: read.into_iter().collect(), search })
+    let escalated = search.window_escalations > 0;
+    let draft = move |outcome: AttemptOutcome| AttemptDraft {
+        windowed: opts.windowed,
+        escalated,
+        expansions: search.nodes_expanded,
+        outcome,
     };
-    let Some(found) = found else {
-        return reject(read);
+    let reject = |read: BTreeSet<(usize, usize)>, reason: FailureReason| {
+        Ok(PlanOutcome {
+            real: None,
+            read_cells: read.into_iter().collect(),
+            search,
+            draft: draft(AttemptOutcome::Failed(reason)),
+        })
+    };
+    let found = match found {
+        Ok(found) => found,
+        Err(f) => return reject(read, search_failure_reason(f, escalated)),
     };
     let Some(real) = realize::realize(&found, src, dst) else {
-        return reject(read);
+        return reject(read, FailureReason::RealizeRejected);
     };
     // The remaining checks read layout geometry near the proposal: any
     // route that could cross it, or any shape that could violate spacing
@@ -548,14 +669,14 @@ fn plan_net(
     }
     // Validate the realization before committing.
     if real.routes.iter().any(|(_, pl)| pl.validate().is_err()) {
-        return reject(read);
+        return reject(read, FailureReason::RealizeRejected);
     }
     // Reject hard crossings against foreign nets (the tile path should
     // avoid them; realization corner cases can still clip a boundary).
     for (layer, pl) in &real.routes {
         for r in layout.routes_on(*layer) {
             if r.net != id && pl.crosses(&r.path) {
-                return reject(read);
+                return reject(read, FailureReason::CrossingRejected);
             }
         }
     }
@@ -564,9 +685,14 @@ fn plan_net(
     let proposal =
         crate::trial::Proposal { routes: real.routes.clone(), vias: real.vias.clone() };
     if !crate::trial::clearance_ok(package, layout, id, &proposal) {
-        return reject(read);
+        return reject(read, FailureReason::ClearanceRejected);
     }
-    Ok(PlanOutcome { real: Some(real), read_cells: read.into_iter().collect(), search })
+    Ok(PlanOutcome {
+        real: Some(real),
+        read_cells: read.into_iter().collect(),
+        search,
+        draft: draft(AttemptOutcome::Routed { f: found.f_accept, g: found.g_accept }),
+    })
 }
 
 /// Commits a validated plan: adds its geometry to the layout and rebuilds
@@ -618,13 +744,16 @@ fn try_route_net(
     cfg: &RouterConfig,
     ctx: &FlowCtx,
     stats: &mut astar::SearchStats,
-) -> Result<Option<Vec<(usize, usize)>>, RouterError> {
+    tel: &Sink,
+) -> AttemptResult {
     let outcome = plan_net(package, layout, space, id, cfg, ctx)?;
     stats.absorb(&outcome.search);
     let Some(real) = outcome.real else {
-        return Ok(None);
+        return Ok((outcome.draft, None));
     };
-    commit_plan(package, layout, space, id, real, ctx).map(Some)
+    let rebuilt = commit_plan(package, layout, space, id, real, ctx)?;
+    tel.count(Counter::CellsRebuilt, rebuilt.len() as u64);
+    Ok((outcome.draft, Some(rebuilt)))
 }
 
 #[cfg(test)]
@@ -655,7 +784,7 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(8);
         let mut layout = Layout::new(&pkg);
         let nets: Vec<NetId> = pkg.nets().iter().map(|n| n.id).collect();
-        let res = route_sequential(&pkg, &mut layout, &nets, &cfg, &crate::resilience::FlowCtx::default());
+        let res = route_sequential(&pkg, &mut layout, &nets, &cfg, &crate::resilience::FlowCtx::default(), &Sink::disabled());
         assert_eq!(res.failed.len(), 0, "failed: {:?}", res.failed);
         for n in pkg.nets() {
             assert!(drc::is_connected(&pkg, &layout, n.id), "{} disconnected", n.id);
@@ -671,9 +800,9 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(8);
         let mut layout = Layout::new(&pkg);
         // Route net 0 first, then net 1 must avoid it.
-        let res0 = route_sequential(&pkg, &mut layout, &[NetId(0)], &cfg, &crate::resilience::FlowCtx::default());
+        let res0 = route_sequential(&pkg, &mut layout, &[NetId(0)], &cfg, &crate::resilience::FlowCtx::default(), &Sink::disabled());
         assert_eq!(res0.routed.len(), 1);
-        let res1 = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg, &crate::resilience::FlowCtx::default());
+        let res1 = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg, &crate::resilience::FlowCtx::default(), &Sink::disabled());
         assert_eq!(res1.routed.len(), 1);
         let report = drc::check(&pkg, &layout);
         assert!(
@@ -699,6 +828,7 @@ mod tests {
                 &nets,
                 &cfg,
                 &crate::resilience::FlowCtx::default(),
+                &Sink::disabled(),
             );
             (layout.canonical_hash(), res.routed, res.failed)
         };
@@ -749,7 +879,7 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(10);
         let ctx = crate::resilience::FlowCtx::default();
         let mut layout = Layout::new(&pkg);
-        let res = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg, &ctx);
+        let res = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg, &ctx, &Sink::disabled());
         assert_eq!(res.routed, vec![NetId(1)], "net 1 must route: {res:?}");
 
         let mut space = RoutingSpace::build(&pkg, &layout, space_config(&pkg, &cfg));
@@ -763,6 +893,7 @@ mod tests {
             &[NetId(1)],
             &ctx,
             &mut astar::SearchStats::default(),
+            &Sink::disabled(),
         )
         .expect("no internal failure");
         assert!(!got, "fenced net cannot route even after evictions");
@@ -799,7 +930,7 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(10);
         let mut layout = Layout::new(&pkg);
         let nets: Vec<NetId> = pkg.nets().iter().map(|n| n.id).collect();
-        let res = route_sequential(&pkg, &mut layout, &nets, &cfg, &crate::resilience::FlowCtx::default());
+        let res = route_sequential(&pkg, &mut layout, &nets, &cfg, &crate::resilience::FlowCtx::default(), &Sink::disabled());
         assert_eq!(res.failed.len(), 2, "fenced nets cannot route: {res:?}");
     }
 }

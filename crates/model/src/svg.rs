@@ -2,11 +2,24 @@
 
 use crate::layout::Layout;
 use crate::package::Package;
-use info_geom::{Octagon, Rect};
+use info_geom::{Octagon, Point, Rect};
 use std::fmt::Write as _;
 
 /// Per-wire-layer stroke colors (cycled when layers exceed the palette).
 const LAYER_COLORS: [&str; 6] = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+
+/// A callout drawn on top of the layout: a ring around `at` with a short
+/// text label — used by the failure report to point at the terminals of
+/// unrouted nets.
+#[derive(Debug, Clone)]
+pub struct Mark {
+    /// Die coordinate the ring is centered on.
+    pub at: Point,
+    /// Short label drawn beside the ring (escaped for XML).
+    pub label: String,
+    /// CSS color of the ring and label (e.g. `"#c00"`).
+    pub color: String,
+}
 
 /// Renders the package and (optionally) its layout as an SVG document.
 ///
@@ -29,6 +42,12 @@ const LAYER_COLORS: [&str; 6] = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#f
 /// # }
 /// ```
 pub fn render(package: &Package, layout: Option<&Layout>) -> String {
+    render_with_marks(package, layout, &[])
+}
+
+/// [`render`], plus a layer of [`Mark`] callouts drawn on top of
+/// everything else (rings with labels, e.g. around failed-net terminals).
+pub fn render_with_marks(package: &Package, layout: Option<&Layout>, marks: &[Mark]) -> String {
     let die = package.die();
     let (w, h) = (die.width(), die.height());
     // Scale to a ~1000 px canvas.
@@ -115,6 +134,28 @@ pub fn render(package: &Package, layout: Option<&Layout>) -> String {
             oct_el(&mut s, &v.shape(), "#111", 0.95);
         }
     }
+    for m in marks {
+        let label: String = m
+            .label
+            .chars()
+            .map(|c| match c {
+                '<' | '>' | '&' | '"' => '_',
+                c => c,
+            })
+            .collect();
+        let _ = write!(
+            s,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"9\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" fill=\"{}\">{}</text>",
+            fx(m.at.x),
+            fy(m.at.y),
+            m.color,
+            fx(m.at.x) + 11.0,
+            fy(m.at.y) - 4.0,
+            m.color,
+            label
+        );
+    }
     s.push_str("</svg>");
     s
 }
@@ -153,6 +194,26 @@ mod tests {
         assert!(doc.contains("<polyline")); // route
         assert!(doc.matches("<rect").count() >= 4); // bg, chip, obstacle, io pad
         assert!(doc.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn marks_render_as_rings_with_escaped_labels() {
+        let b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(100_000, 100_000)),
+            DesignRules::default(),
+            1,
+        );
+        let pkg = b.build().unwrap();
+        let marks = vec![Mark {
+            at: Point::new(50_000, 50_000),
+            label: "net 33 <unreachable>".into(),
+            color: "#c00".into(),
+        }];
+        let doc = render_with_marks(&pkg, None, &marks);
+        assert!(doc.contains("<circle"));
+        assert!(doc.contains("net 33 _unreachable_"), "label must be XML-escaped");
+        assert!(!doc.contains("<unreachable>"));
+        assert_eq!(render(&pkg, None), render_with_marks(&pkg, None, &[]));
     }
 
     #[test]

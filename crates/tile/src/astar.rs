@@ -60,6 +60,37 @@ pub struct AstarResult {
     pub steps: Vec<PathStep>,
     /// Total path cost (wirelength estimate plus via penalties), in nm.
     pub cost: f64,
+    /// Queue key (`g + h`) of the accepting destination pop.
+    pub f_accept: f64,
+    /// Accumulated path cost at the accepting destination pop. Can differ
+    /// from `cost` in the last bits (see the reconstruction comment in
+    /// `run`).
+    pub g_accept: f64,
+}
+
+/// Why a search found no path (the telemetry taxonomy's search half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchFailure {
+    /// A terminal had no usable tile (blocked pad), or the search was
+    /// asked to cross layers with vias disallowed.
+    BlockedTerminal,
+    /// The open list went dry: provably no path in the searched graph.
+    /// Combined with [`SearchStats::window_escalations`], callers can
+    /// tell a windowed-authoritative failure from an escalated one.
+    Exhausted,
+    /// The expansion budget tripped; `last_tile` is where the search was
+    /// grinding when it gave up.
+    BudgetCapped {
+        /// The last tile popped before the budget tripped.
+        last_tile: TileId,
+    },
+    /// A cross-layer search that never enumerated a single via adjacency:
+    /// the terminal's region offers no via capacity at all. `cell` is the
+    /// source tile's global cell.
+    NoViaPath {
+        /// Global cell `(cx, cy)` of the stranded source.
+        cell: (usize, usize),
+    },
 }
 
 /// Aggregate statistics of one or more searches. Totals can vary with the
@@ -73,6 +104,11 @@ pub struct SearchStats {
     pub nodes_expanded: u64,
     /// Windowed searches that escalated to the full graph.
     pub window_escalations: u64,
+    /// Nodes expanded by escalated continuations specifically (a subset
+    /// of `nodes_expanded`). An escalation no longer restarts from
+    /// scratch — it resumes from the windowed run's surviving open list —
+    /// so this measures exactly the extra work escalations cost.
+    pub escalation_expansions: u64,
     /// Largest open-list population observed.
     pub heap_peak: u64,
 }
@@ -83,6 +119,7 @@ impl SearchStats {
         self.searches += other.searches;
         self.nodes_expanded += other.nodes_expanded;
         self.window_escalations += other.window_escalations;
+        self.escalation_expansions += other.escalation_expansions;
         self.heap_peak = self.heap_peak.max(other.heap_peak);
     }
 }
@@ -129,7 +166,7 @@ pub fn route_with(
 ) -> Option<AstarResult> {
     let mut stats = SearchStats::default();
     let opts = SearchOptions { allow_vias, ..SearchOptions::default() };
-    search(space, net, src, dst, opts, None, &mut stats)
+    search(space, net, src, dst, opts, None, &mut stats).ok()
 }
 
 /// [`route`] that additionally reports the global cells the search read:
@@ -161,6 +198,20 @@ pub fn route_traced_opts(
     opts: SearchOptions,
     stats: &mut SearchStats,
 ) -> (Option<AstarResult>, Vec<(usize, usize)>) {
+    let (result, cells) = route_traced_fallible(space, net, src, dst, opts, stats);
+    (result.ok(), cells)
+}
+
+/// [`route_traced_opts`] that reports *why* a failed search failed (the
+/// telemetry journal's search-level failure taxonomy).
+pub fn route_traced_fallible(
+    space: &RoutingSpace,
+    net: NetId,
+    src: (WireLayer, Point),
+    dst: (WireLayer, Point),
+    opts: SearchOptions,
+    stats: &mut SearchStats,
+) -> (Result<AstarResult, SearchFailure>, Vec<(usize, usize)>) {
     let mut cells = BTreeSet::new();
     let result = search(space, net, src, dst, opts, Some(&mut cells), stats);
     (result, cells.into_iter().collect())
@@ -200,6 +251,22 @@ struct SearchScratch {
     queue: BucketQueue,
     nbr: Vec<PlanarEdge>,
     vnbr: Vec<(TileId, Point)>,
+    /// Edges the windowed run pruned, kept so an escalation can re-inject
+    /// them instead of restarting the search from scratch.
+    pruned: Vec<PrunedEdge>,
+}
+
+/// One edge the windowed run refused to relax because its target cell was
+/// outside the window. Everything needed to re-inject it — the would-be
+/// node state plus the queue key computed at prune time — is recorded.
+#[derive(Clone, Copy)]
+struct PrunedEdge {
+    to: u32,
+    f_bits: u64,
+    g: f64,
+    entry: Point,
+    parent: u32,
+    via: Option<(Point, WireLayer, WireLayer)>,
 }
 
 impl SearchScratch {
@@ -221,6 +288,7 @@ impl SearchScratch {
             queue: BucketQueue::new(1.0),
             nbr: Vec::new(),
             vnbr: Vec::new(),
+            pruned: Vec::new(),
         }
     }
 
@@ -323,11 +391,14 @@ enum RunOutcome {
     /// Destination popped: the finished result plus the queue key it
     /// popped at (the fence compares this against `pruned_min_f`).
     Found { result: AstarResult, f_pop: f64 },
-    /// Queue exhausted or expansion budget spent without reaching the
+    /// The open list went dry (`capped: None`) or the expansion budget
+    /// was spent (`capped: Some(last popped tile)`) without reaching the
     /// destination. Either way, if nothing was pruned the failure is
     /// authoritative: the run explored exactly what a full-graph run
     /// would have (including hitting the expansion cap at the same pop).
-    Exhausted,
+    /// On a budget cap the capping pop is pushed back onto the queue, so
+    /// the surviving open list stays complete for a warm continuation.
+    Exhausted { capped: Option<TileId> },
 }
 
 fn search(
@@ -338,17 +409,21 @@ fn search(
     opts: SearchOptions,
     mut trace: Option<&mut BTreeSet<(usize, usize)>>,
     stats: &mut SearchStats,
-) -> Option<AstarResult> {
+) -> Result<AstarResult, SearchFailure> {
     if !opts.allow_vias && src.0 != dst.0 {
-        return None;
+        return Err(SearchFailure::BlockedTerminal);
     }
     if let Some(t) = trace.as_deref_mut() {
         t.extend(space.cell_of(src.1));
         t.extend(space.cell_of(dst.1));
     }
-    let src_tile = space.tile_at(src.0, src.1, net)?;
-    let dst_tile = space.tile_at(dst.0, dst.1, net)?;
+    let (Some(src_tile), Some(dst_tile)) =
+        (space.tile_at(src.0, src.1, net), space.tile_at(dst.0, dst.1, net))
+    else {
+        return Err(SearchFailure::BlockedTerminal);
+    };
     stats.searches += 1;
+    let cross_layer = src.0 != dst.0;
 
     SCRATCH.with(|cell| {
         let mut s = cell.borrow_mut();
@@ -356,77 +431,143 @@ fn search(
         s.ensure(space);
         s.retune_h((space.revision(), dst.0, dst.1, space.config().via_cost.to_bits()));
         s.queue.reset_peak();
+        let via_cost = space.config().via_cost;
+        // A cross-layer search that never enumerates a single via
+        // adjacency is stranded by via capacity, not by congestion.
+        let mut saw_via = false;
+        let no_path = |saw_via: bool| {
+            if cross_layer && !saw_via {
+                SearchFailure::NoViaPath { cell: space.tile(src_tile).cell }
+            } else {
+                SearchFailure::Exhausted
+            }
+        };
 
         if opts.windowed {
             s.set_window(space, src.1, dst.1);
+            s.next_gen();
+            s.queue.clear(Some(bucket_width(space)));
+            seed_source(s, src, dst, src_tile, via_cost);
             let mut pruned_min_f = f64::INFINITY;
+            let mut pruned = std::mem::take(&mut s.pruned);
+            pruned.clear();
             let outcome = run(
                 s,
                 space,
                 net,
-                src,
                 dst,
-                (src_tile, dst_tile),
+                dst_tile,
                 opts.allow_vias,
                 true,
-                Some(&mut pruned_min_f),
+                Some((&mut pruned_min_f, &mut pruned)),
                 trace.as_deref_mut(),
                 stats,
+                &mut saw_via,
             );
-            match outcome {
+            let verdict = match outcome {
                 // Fence: every pop was ≤ f_pop < every pruned key, so the
                 // full search would have popped the identical sequence.
-                RunOutcome::Found { result, f_pop } if f_pop < pruned_min_f => {
-                    return Some(result)
-                }
+                RunOutcome::Found { result, f_pop } if f_pop < pruned_min_f => Some(Ok(result)),
                 // Nothing was ever pruned: the windowed run *was* the
                 // full-graph run, so its failure is authoritative.
-                RunOutcome::Exhausted if pruned_min_f.is_infinite() => return None,
-                _ => stats.window_escalations += 1,
+                RunOutcome::Exhausted { capped: None } if pruned_min_f.is_infinite() => {
+                    Some(Err(no_path(saw_via)))
+                }
+                RunOutcome::Exhausted { capped: Some(t) } if pruned_min_f.is_infinite() => {
+                    Some(Err(SearchFailure::BudgetCapped { last_tile: t }))
+                }
+                outcome => {
+                    // Escalate — warm. The node states, heuristic cache,
+                    // and surviving open list all carry over; the pruned
+                    // edges are re-injected through the normal relax
+                    // condition (which permits improvement, so A* stays
+                    // optimal with the consistent heuristic even when a
+                    // window-interior node must be re-expanded). Only the
+                    // frontier the window actually cut off is explored
+                    // again, instead of the whole reachable graph.
+                    stats.window_escalations += 1;
+                    let before = stats.nodes_expanded;
+                    for e in &pruned {
+                        inject_pruned(s, space, e, trace.as_deref_mut());
+                    }
+                    if matches!(outcome, RunOutcome::Found { .. }) {
+                        // The destination's queue entry was consumed by
+                        // the (unproven) windowed accept; restore it.
+                        let di = dst_tile.0 as usize;
+                        if s.stamp[di] == s.gen {
+                            let (g_d, e_d) = (s.g[di], s.entry[di]);
+                            let h_d = s.h(dst_tile.0, e_d, dst.0, &dst, via_cost);
+                            s.queue.push((g_d + h_d).to_bits(), dst_tile.0);
+                        }
+                    }
+                    let continued = run(
+                        s,
+                        space,
+                        net,
+                        dst,
+                        dst_tile,
+                        opts.allow_vias,
+                        false,
+                        None,
+                        trace.as_deref_mut(),
+                        stats,
+                        &mut saw_via,
+                    );
+                    stats.escalation_expansions += stats.nodes_expanded - before;
+                    Some(match continued {
+                        RunOutcome::Found { result, .. } => Ok(result),
+                        RunOutcome::Exhausted { capped: Some(t) } => {
+                            Err(SearchFailure::BudgetCapped { last_tile: t })
+                        }
+                        RunOutcome::Exhausted { capped: None } => Err(no_path(saw_via)),
+                    })
+                }
+            };
+            s.pruned = pruned;
+            if let Some(v) = verdict {
+                return v;
             }
         }
+        s.next_gen();
+        s.queue.clear(Some(bucket_width(space)));
+        seed_source(s, src, dst, src_tile, via_cost);
         match run(
             s,
             space,
             net,
-            src,
             dst,
-            (src_tile, dst_tile),
+            dst_tile,
             opts.allow_vias,
             false,
             None,
             trace,
             stats,
+            &mut saw_via,
         ) {
-            RunOutcome::Found { result, .. } => Some(result),
-            RunOutcome::Exhausted => None,
+            RunOutcome::Found { result, .. } => Ok(result),
+            RunOutcome::Exhausted { capped: Some(t) } => {
+                Err(SearchFailure::BudgetCapped { last_tile: t })
+            }
+            RunOutcome::Exhausted { capped: None } => Err(no_path(saw_via)),
         }
     })
 }
 
-/// One bounded A\* run over the tile graph, windowed or full.
-#[allow(clippy::too_many_arguments)]
-fn run(
+/// Bucket width for the open list: one via penalty (≥ one tile thickness)
+/// groups a search's frontier into a handful of buckets without letting
+/// any bucket grow die-sized.
+fn bucket_width(space: &RoutingSpace) -> f64 {
+    space.config().via_cost.max(space.config().min_thickness as f64).max(64.0)
+}
+
+/// Seeds the (freshly cleared) scratch state with the source node.
+fn seed_source(
     s: &mut SearchScratch,
-    space: &RoutingSpace,
-    net: NetId,
     src: (WireLayer, Point),
     dst: (WireLayer, Point),
-    (src_tile, dst_tile): (TileId, TileId),
-    allow_vias: bool,
-    windowed: bool,
-    mut pruned_min_f: Option<&mut f64>,
-    mut trace: Option<&mut BTreeSet<(usize, usize)>>,
-    stats: &mut SearchStats,
-) -> RunOutcome {
-    let via_cost = space.config().via_cost;
-    let cells_x = space.config().cells_x;
-    s.next_gen();
-    // Bucket width: one via penalty (≥ one tile thickness) groups a
-    // search's frontier into a handful of buckets without letting any
-    // bucket grow die-sized.
-    s.queue.clear(Some(via_cost.max(space.config().min_thickness as f64).max(64.0)));
-
+    src_tile: TileId,
+    via_cost: f64,
+) {
     let si = src_tile.0 as usize;
     s.stamp[si] = s.gen;
     s.g[si] = 0.0;
@@ -435,6 +576,51 @@ fn run(
     s.via[si] = None;
     let h0 = s.h(src_tile.0, src.1, src.0, &dst, via_cost);
     s.queue.push(h0.to_bits(), src_tile.0);
+}
+
+/// Re-injects one pruned edge into the live search state, through the same
+/// relax condition `run` uses (improvements win; stale entries are caught
+/// by the pop-time check).
+fn inject_pruned(
+    s: &mut SearchScratch,
+    space: &RoutingSpace,
+    e: &PrunedEdge,
+    trace: Option<&mut BTreeSet<(usize, usize)>>,
+) {
+    let to = e.to as usize;
+    if s.stamp[to] != s.gen || e.g < s.g[to] - 1e-9 {
+        if let Some(t) = trace {
+            t.insert(space.tile(TileId(e.to)).cell);
+        }
+        s.stamp[to] = s.gen;
+        s.g[to] = e.g;
+        s.entry[to] = e.entry;
+        s.parent[to] = e.parent;
+        s.via[to] = e.via;
+        s.queue.push(e.f_bits, e.to);
+    }
+}
+
+/// One bounded A\* run over the tile graph, windowed or full. The caller
+/// owns generation/queue setup (`next_gen` + `clear` + [`seed_source`]),
+/// which is what lets an escalated continuation resume the same
+/// generation with the surviving open list intact.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    s: &mut SearchScratch,
+    space: &RoutingSpace,
+    net: NetId,
+    dst: (WireLayer, Point),
+    dst_tile: TileId,
+    allow_vias: bool,
+    windowed: bool,
+    mut pruned_sink: Option<(&mut f64, &mut Vec<PrunedEdge>)>,
+    mut trace: Option<&mut BTreeSet<(usize, usize)>>,
+    stats: &mut SearchStats,
+    saw_via: &mut bool,
+) -> RunOutcome {
+    let via_cost = space.config().via_cost;
+    let cells_x = space.config().cells_x;
 
     let mut expansions = 0usize;
 
@@ -484,13 +670,19 @@ fn run(
             }
             cost += x_arch_len(steps[steps.len() - 1].entry, dst.1);
             stats.heap_peak = stats.heap_peak.max(s.queue.peak() as u64);
-            return RunOutcome::Found { result: AstarResult { steps, cost }, f_pop: f_popped };
+            return RunOutcome::Found {
+                result: AstarResult { steps, cost, f_accept: f_popped, g_accept: node_g },
+                f_pop: f_popped,
+            };
         }
         expansions += 1;
         stats.nodes_expanded += 1;
         if expansions > MAX_EXPANSIONS {
+            // Put the capping pop back so the surviving open list is a
+            // complete frontier for a warm continuation.
+            s.queue.push(fbits, tid_raw);
             stats.heap_peak = stats.heap_peak.max(s.queue.peak() as u64);
-            return RunOutcome::Exhausted;
+            return RunOutcome::Exhausted { capped: Some(tid) };
         }
 
         // Planar moves.
@@ -502,9 +694,17 @@ fn run(
             let to = e.to.0 as usize;
             let to_layer = space.tile(e.to).layer;
             if windowed && !s.in_window(cells_x, space.tile(e.to).cell) {
-                if let Some(p) = pruned_min_f.as_deref_mut() {
+                if let Some((min_f, edges)) = pruned_sink.as_mut() {
                     let f2 = g2 + s.h(e.to.0, cross, to_layer, &dst, via_cost);
-                    *p = p.min(f2);
+                    **min_f = min_f.min(f2);
+                    edges.push(PrunedEdge {
+                        to: e.to.0,
+                        f_bits: f2.to_bits(),
+                        g: g2,
+                        entry: cross,
+                        parent: tid_raw,
+                        via: None,
+                    });
                 }
                 continue;
             }
@@ -529,19 +729,30 @@ fn run(
         }
         let mut vnbr = std::mem::take(&mut s.vnbr);
         space.via_neighbors_into(tid, net, &mut vnbr);
+        if !vnbr.is_empty() {
+            *saw_via = true;
+        }
         for &(to_tile, site) in &vnbr {
             let g2 = node_g + x_arch_len(node_entry, site) + via_cost;
             let to = to_tile.0 as usize;
             let to_layer = space.tile(to_tile).layer;
+            let (upper, lower) =
+                if to_layer > layer { (layer, to_layer) } else { (to_layer, layer) };
             if windowed && !s.in_window(cells_x, space.tile(to_tile).cell) {
-                if let Some(p) = pruned_min_f.as_deref_mut() {
+                if let Some((min_f, edges)) = pruned_sink.as_mut() {
                     let f2 = g2 + s.h(to_tile.0, site, to_layer, &dst, via_cost);
-                    *p = p.min(f2);
+                    **min_f = min_f.min(f2);
+                    edges.push(PrunedEdge {
+                        to: to_tile.0,
+                        f_bits: f2.to_bits(),
+                        g: g2,
+                        entry: site,
+                        parent: tid_raw,
+                        via: Some((site, upper, lower)),
+                    });
                 }
                 continue;
             }
-            let (upper, lower) =
-                if to_layer > layer { (layer, to_layer) } else { (to_layer, layer) };
             if s.stamp[to] != s.gen || g2 < s.g[to] - 1e-9 {
                 if let Some(t) = trace.as_deref_mut() {
                     t.insert(space.tile(to_tile).cell);
@@ -558,7 +769,7 @@ fn run(
         s.vnbr = vnbr;
     }
     stats.heap_peak = stats.heap_peak.max(s.queue.peak() as u64);
-    RunOutcome::Exhausted
+    RunOutcome::Exhausted { capped: None }
 }
 
 #[cfg(test)]

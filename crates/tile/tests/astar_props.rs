@@ -180,8 +180,34 @@ proptest! {
         match (win, full) {
             (None, None) => {}
             (Some(w), Some(f)) => {
-                prop_assert_eq!(w.cost.to_bits(), f.cost.to_bits());
-                prop_assert_eq!(w.steps, f.steps);
+                if ws.window_escalations == 0 {
+                    // The fence accepted the windowed run, so it must be
+                    // the full-graph search bit for bit.
+                    prop_assert_eq!(w.cost.to_bits(), f.cost.to_bits());
+                    prop_assert_eq!(w.steps, f.steps);
+                } else {
+                    // An escalated continuation resumes from the windowed
+                    // run's surviving open list rather than restarting, so
+                    // tie-breaks (and hence the step sequence) may differ —
+                    // but A* optimality guarantees the same path cost, and
+                    // the path must still be a genuine graph walk.
+                    prop_assert!(
+                        (w.cost - f.cost).abs() <= 1e-6,
+                        "escalated cost {} != full-graph cost {}",
+                        w.cost,
+                        f.cost
+                    );
+                    assert_well_formed_path(&space, &w, src, dst);
+                    // The continuation only re-explores the frontier the
+                    // window cut off; it can never expand more nodes than
+                    // a from-scratch full-graph search.
+                    prop_assert!(
+                        ws.escalation_expansions <= fs.nodes_expanded,
+                        "warm continuation ({}) costlier than scratch full search ({})",
+                        ws.escalation_expansions,
+                        fs.nodes_expanded
+                    );
+                }
             }
             (w, f) => {
                 prop_assert!(
@@ -192,8 +218,12 @@ proptest! {
                 );
             }
         }
+        if ws.window_escalations == 0 {
+            prop_assert_eq!(ws.escalation_expansions, 0);
+        }
         prop_assert_eq!(ws.searches, 1);
         prop_assert_eq!(fs.window_escalations, 0, "full-graph runs never escalate");
+        prop_assert_eq!(fs.escalation_expansions, 0, "full-graph runs never escalate");
     }
 
     /// Fully fenced instances return `None` — never panic — with or
@@ -241,4 +271,106 @@ proptest! {
         // absence of a panic is asserted.
         let _ = astar::route_with(&space, NetId(0), src, (src.0, dst.1), false);
     }
+}
+
+/// A pad pair close together but separated by a wall (on both layers)
+/// that outspans the search window: the only path detours around the
+/// wall ends, outside the window, so the windowed run must escalate.
+fn escalation_instance() -> (Package, Layout) {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(600_000, 600_000)),
+        DesignRules::default(),
+        2,
+    );
+    let chip = b.add_chip(Rect::new(Point::new(60_000, 200_000), Point::new(180_000, 400_000)));
+    let io = b.add_io_pad(chip, Point::new(150_000, 300_000)).unwrap();
+    let bump = b.add_bump_pad(Point::new(280_000, 300_000)).unwrap();
+    b.add_net(io, bump).unwrap();
+    // The wall: x = 220k..230k, y = 60k..540k, both layers. The pad-pair
+    // window (6×6 cells, margin ≈ 112k) covers cells y1..y4 — the wall
+    // ends at y < 60k / y > 540k are in cells y0/y5, outside it.
+    for layer in [WireLayer(0), WireLayer(1)] {
+        b.add_obstacle(
+            layer,
+            Rect::new(Point::new(220_000, 60_000), Point::new(230_000, 540_000)),
+        )
+        .unwrap();
+    }
+    let pkg = b.build().unwrap();
+    let layout = Layout::new(&pkg);
+    (pkg, layout)
+}
+
+/// A forced escalation resumes warm: it returns the full-graph-optimal
+/// cost while expanding strictly fewer continuation nodes than a
+/// from-scratch full-graph search would.
+#[test]
+fn forced_escalation_is_cost_identical_and_cheaper() {
+    let (pkg, layout) = escalation_instance();
+    let space = RoutingSpace::build(&pkg, &layout, cfg());
+    let (src, dst) = terminals(&pkg);
+    let mut ws = astar::SearchStats::default();
+    let mut fs = astar::SearchStats::default();
+    let (win, _) = astar::route_traced_opts(
+        &space,
+        NetId(0),
+        src,
+        dst,
+        SearchOptions { windowed: true, allow_vias: true },
+        &mut ws,
+    );
+    let (full, _) = astar::route_traced_opts(
+        &space,
+        NetId(0),
+        src,
+        dst,
+        SearchOptions { windowed: false, allow_vias: true },
+        &mut fs,
+    );
+    let win = win.expect("detour route exists around the wall ends");
+    let full = full.expect("full-graph route");
+    assert_eq!(ws.window_escalations, 1, "the wall must force an escalation");
+    assert!(
+        (win.cost - full.cost).abs() <= 1e-6,
+        "escalated cost {} != full-graph cost {}",
+        win.cost,
+        full.cost
+    );
+    assert_well_formed_path(&space, &win, src, dst);
+    assert!(ws.escalation_expansions > 0, "continuation did real work");
+    assert!(
+        ws.escalation_expansions < fs.nodes_expanded,
+        "warm continuation ({}) must be cheaper than a scratch full search ({})",
+        ws.escalation_expansions,
+        fs.nodes_expanded
+    );
+    // The total windowed+continuation work also stays bounded by the
+    // windowed attempt plus one full search (the old restart cost).
+    assert!(ws.nodes_expanded < 2 * fs.nodes_expanded);
+}
+
+/// Escalated searches are deterministic: byte-identical stats and paths
+/// across repeated runs (the scratch state fully resets between nets).
+#[test]
+fn forced_escalation_is_deterministic() {
+    let (pkg, layout) = escalation_instance();
+    let space = RoutingSpace::build(&pkg, &layout, cfg());
+    let (src, dst) = terminals(&pkg);
+    let run_once = || {
+        let mut st = astar::SearchStats::default();
+        let (r, cells) = astar::route_traced_opts(
+            &space,
+            NetId(0),
+            src,
+            dst,
+            SearchOptions { windowed: true, allow_vias: true },
+            &mut st,
+        );
+        (r.expect("route").steps, st, cells)
+    };
+    let (steps1, st1, cells1) = run_once();
+    let (steps2, st2, cells2) = run_once();
+    assert_eq!(steps1, steps2);
+    assert_eq!(st1, st2);
+    assert_eq!(cells1, cells2);
 }

@@ -52,7 +52,9 @@ pub use info_lp as lp;
 pub use info_model as model;
 pub use info_mpsc as mpsc;
 pub use info_router as router;
+pub use info_telemetry as telemetry;
 pub use info_tile as tile;
 
 pub use info_baseline::{LinExtOutcome, LinExtRouter};
 pub use info_router::{InfoRouter, RouteOutcome, RouterConfig, SearchOptions, SearchStats};
+pub use info_telemetry::{NetSummary, TelemetryReport};
