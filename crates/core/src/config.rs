@@ -64,6 +64,24 @@ pub struct RouterConfig {
     ///
     /// [`RouteOutcome::telemetry`]: crate::flow::RouteOutcome::telemetry
     pub telemetry: bool,
+    /// ALT landmark count for the sequential stage's A\* heuristic: `> 0`
+    /// builds per-stage landmark distance tables (`info_tile::landmarks`)
+    /// and tightens the heuristic to the max of the geometric bound and
+    /// the landmark lower bound. `0` (the default) keeps the heuristic
+    /// purely geometric. The tightened heuristic is still admissible and
+    /// consistent, so per-net path *costs* are unchanged — but equal-cost
+    /// paths may be broken differently, so layouts are only guaranteed
+    /// identical to the `0` setting when no ties exist.
+    pub alt_landmarks: usize,
+    /// Reuse epoch-stamped edge-legality verdicts across searches (the
+    /// adjacency cache of `info_tile::space`). Lossless; `false` re-does
+    /// the clearance/crossing geometry on every enumeration (the ablation
+    /// baseline).
+    pub legality_cache: bool,
+    /// Collect traced read cells in the generation-stamped scratch arena
+    /// instead of a per-search `BTreeSet`. Identical output either way;
+    /// `false` is the ablation baseline.
+    pub search_arena: bool,
 }
 
 impl Default for RouterConfig {
@@ -85,6 +103,9 @@ impl Default for RouterConfig {
             stage_budget: None,
             fault_plan: FaultPlan::none(),
             telemetry: false,
+            alt_landmarks: 0,
+            legality_cache: true,
+            search_arena: true,
         }
     }
 }
@@ -148,6 +169,27 @@ impl RouterConfig {
         self.telemetry = true;
         self
     }
+
+    /// Enables ALT landmark heuristics with `k` landmarks per sequential
+    /// stage (0 disables them).
+    pub fn with_alt_landmarks(mut self, k: usize) -> Self {
+        self.alt_landmarks = k;
+        self
+    }
+
+    /// Disables the edge-legality (adjacency) cache — every neighbor
+    /// enumeration re-does its clearance/crossing geometry (ablation).
+    pub fn without_legality_cache(mut self) -> Self {
+        self.legality_cache = false;
+        self
+    }
+
+    /// Collects traced read cells in a per-search `BTreeSet` instead of
+    /// the scratch arena (ablation).
+    pub fn without_search_arena(mut self) -> Self {
+        self.search_arena = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +210,12 @@ mod tests {
         assert!(!c.without_search_window().search_window);
         assert!(!c.telemetry, "telemetry is off by default");
         assert!(c.with_telemetry().telemetry);
+        assert_eq!(c.alt_landmarks, 0, "ALT landmarks are off by default");
+        assert!(c.legality_cache, "legality cache is on by default");
+        assert!(c.search_arena, "trace arena is on by default");
+        assert_eq!(c.with_alt_landmarks(8).alt_landmarks, 8);
+        assert!(!c.without_legality_cache().legality_cache);
+        assert!(!c.without_search_arena().search_arena);
     }
 
     #[test]

@@ -236,6 +236,7 @@ impl InfoRouter {
         tel.count(Counter::NodesExpanded, seq.search.nodes_expanded);
         tel.count(Counter::WindowEscalations, seq.search.window_escalations);
         tel.count(Counter::EscalationExpansions, seq.search.escalation_expansions);
+        tel.count(Counter::HeuristicTightenings, seq.search.heuristic_tightenings);
 
         // --- Verification.
         let t5 = Instant::now();

@@ -37,7 +37,7 @@ pub use items::{extract as extract_items, ItemModel, PointAnchor, SolvedPosition
 use crate::config::RouterConfig;
 use crate::resilience::{FaultSite, FlowCtx, RouterError};
 use constraints::ExprRef;
-use info_lp::Model;
+use info_lp::{Model, WarmBasis};
 use info_model::{Layout, NetId, Package};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -160,6 +160,15 @@ pub fn optimize(
     let mut extra: Vec<Separation> = Vec::new();
     let mut frozen: BTreeSet<NetId> = BTreeSet::new();
     let mut dirty: Option<BTreeSet<NetId>> = None; // None = all dirty
+    // Warm-start cache: final simplex basis per solved subset. The same
+    // subset re-solves with an identically-shaped model on every
+    // Gauss-Seidel sweep and on every crossing-repair iteration that
+    // leaves its constraint set unchanged (only `required` right-hand
+    // sides drift as neighbors move), so the previous basis usually
+    // prices out immediately. Shape changes are detected by the solver
+    // itself and fall back to a cold start, so the cache never needs
+    // invalidation for correctness.
+    let mut warm: BTreeMap<BTreeSet<NetId>, WarmBasis> = BTreeMap::new();
     let max_iters = if cfg.lp_max_iterations > 0 {
         cfg.lp_max_iterations
     } else {
@@ -205,9 +214,9 @@ pub fn optimize(
                 vec![comp.clone()]
             };
             for subset in subsets {
-                if let Err(e) =
-                    solve_subset(package, &items, &base, &extra, &subset, &mut solved, ctx)
-                {
+                if let Err(e) = solve_subset(
+                    package, &items, &base, &extra, &subset, &mut solved, &mut warm, ctx,
+                ) {
                     // Solver failure: this component keeps its pre-LP
                     // geometry; everything else continues to optimize.
                     frozen.extend(comp.iter().copied());
@@ -322,7 +331,9 @@ fn reset_to_initial(items: &ItemModel, nets: &BTreeSet<NetId>, solved: &mut item
 
 /// Builds and solves the LP restricted to `subset`, with all other nets
 /// fixed at their current solved positions; writes the solution back into
-/// `solved`. Returns the typed solver error on an LP failure.
+/// `solved`. The subset's previous final basis (if cached in `warm`) seeds
+/// the solve and the new one replaces it. Returns the typed solver error
+/// on an LP failure.
 #[allow(clippy::too_many_arguments)]
 fn solve_subset(
     package: &Package,
@@ -331,6 +342,7 @@ fn solve_subset(
     extra: &[Separation],
     subset: &BTreeSet<NetId>,
     solved: &mut items::SolvedPositions,
+    warm: &mut BTreeMap<BTreeSet<NetId>, WarmBasis>,
     ctx: &FlowCtx,
 ) -> Result<(), RouterError> {
     let (sub, pmap, smap, vmap) = items.filter_nets(subset);
@@ -374,7 +386,12 @@ fn solve_subset(
         rc.add_to(&mut model, &vars, &sub);
     }
     ctx.check(FaultSite::LpFactorize)?;
-    match model.solve() {
+    let mut basis = warm.remove(subset);
+    let outcome = model.solve_warm(&mut basis);
+    if let Some(b) = basis {
+        warm.insert(subset.clone(), b);
+    }
+    match outcome {
         Ok(sol) => {
             let sub_solved = sub.positions_from(&sol, &vars);
             for (&g, &l) in &pmap {

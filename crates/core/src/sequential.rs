@@ -38,6 +38,7 @@ pub fn space_config(package: &Package, cfg: &RouterConfig) -> SpaceConfig {
     sc.cells_x = cfg.global_cells;
     sc.cells_y = cfg.global_cells;
     sc.via_cost = cfg.via_cost_factor * package.rules().via_width as f64;
+    sc.adjacency_cache = cfg.legality_cache;
     sc
 }
 
@@ -70,6 +71,16 @@ pub fn route_sequential(
     });
 
     let mut space = RoutingSpace::build(package, layout, space_config(package, cfg));
+    if cfg.alt_landmarks > 0 {
+        // ALT tables over the stage-start graph: admissible for the whole
+        // stage because the stage only adds blockage relative to this
+        // state (rip-up never restores below it). Snapshots and restores
+        // share the tables through the `Arc`; a panic-path rebuild drops
+        // them, which only weakens the heuristic back to geometric.
+        let lm = info_tile::Landmarks::build(&space, cfg.alt_landmarks);
+        space.set_landmarks(Some(std::sync::Arc::new(lm)));
+        tel.count(Counter::LandmarkRebuilds, 1);
+    }
     let mut result = SequentialResult::default();
     let mut retry: Vec<NetId> = Vec::new();
     let threads = effective_threads(cfg);
@@ -171,6 +182,7 @@ pub fn route_sequential(
             // Snapshot around the whole eviction search: a panic anywhere
             // inside leaves mid-eviction state that must be rolled back.
             let snapshot = layout.clone();
+            let rip_t0 = std::time::Instant::now();
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 ripup_and_reroute(
                     package,
@@ -184,6 +196,10 @@ pub fn route_sequential(
                     tel,
                 )
             }));
+            // Wall clock of the whole trial — snapshot, evictions,
+            // re-routes, and restore included — so BENCH_rdl.json can
+            // attribute sequential-stage time to rip-up work.
+            tel.count(Counter::RipupWallUs, rip_t0.elapsed().as_micros() as u64);
             match attempt {
                 Ok(Ok(true)) => result.routed.push(id),
                 Ok(Ok(false)) => result.failed.push(id),
@@ -207,6 +223,13 @@ pub fn route_sequential(
             }
         }
     }
+    // Edge-legality cache effectiveness, sampled from the surviving space.
+    // Rip-up restores replace the space (and its tallies) by value, so
+    // trial-only work is not included — the numbers describe the cache the
+    // committed layout actually used.
+    let (hits, misses) = space.adjacency_cache_stats();
+    tel.count(Counter::LegalityCacheHits, hits);
+    tel.count(Counter::LegalityCacheMisses, misses);
     result.search = stats;
     result
 }
@@ -632,7 +655,11 @@ fn plan_net(
     let src = (package.pad_layer(net.a), package.pad(net.a).center);
     let dst = (package.pad_layer(net.b), package.pad(net.b).center);
     ctx.check(FaultSite::AstarExpand)?;
-    let opts = astar::SearchOptions { windowed: cfg.search_window, ..Default::default() };
+    let opts = astar::SearchOptions {
+        windowed: cfg.search_window,
+        arena: cfg.search_arena,
+        ..Default::default()
+    };
     let mut search = astar::SearchStats::default();
     let (found, trace) = astar::route_traced_fallible(space, id, src, dst, opts, &mut search);
     let mut read = BTreeSet::new();

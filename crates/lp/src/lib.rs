@@ -46,4 +46,4 @@ mod simplex;
 
 pub use error::LpError;
 pub use model::{Cmp, Model, RowId, Solution, VarId};
-pub use simplex::{CoreLp, SimplexOptions, SolveStatus};
+pub use simplex::{CoreLp, SimplexOptions, SolveStatus, WarmBasis};

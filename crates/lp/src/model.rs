@@ -2,7 +2,7 @@
 
 use crate::basis::LuBasis;
 use crate::error::LpError;
-use crate::simplex::{CoreLp, SimplexOptions, SolveStatus};
+use crate::simplex::{CoreLp, SimplexOptions, SolveStatus, WarmBasis};
 use crate::sparse::{ColMatrix, SparseVec};
 use std::ops::Index;
 
@@ -186,6 +186,24 @@ impl Model {
     /// [`LpError::Infeasible`], [`LpError::Unbounded`], or a numerical
     /// failure ([`LpError::SingularBasis`], [`LpError::IterationLimit`]).
     pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_warm(&mut None)
+    }
+
+    /// Solves the model like [`Model::solve`], additionally reading a
+    /// warm-start basis hint from `warm` and writing the final basis back
+    /// into it for the next call.
+    ///
+    /// The snapshot corresponds to the *presolved* core problem, so it
+    /// transfers between calls only when the model keeps its shape
+    /// (same variables, same fixed-variable pattern, same rows) — exactly
+    /// the repeated re-solve pattern of the layout optimizer's sweeps.
+    /// A hint that does not fit is ignored (cold start), never an error,
+    /// so callers may cache snapshots without tracking shape themselves.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::solve`].
+    pub fn solve_warm(&self, warm: &mut Option<WarmBasis>) -> Result<Solution, LpError> {
         for (j, (&l, &u)) in self.lb.iter().zip(self.ub.iter()).enumerate() {
             if l > u {
                 return Err(LpError::InvalidModel(format!("variable {j}: lb {l} > ub {u}")));
@@ -212,7 +230,12 @@ impl Model {
         if n_free == n {
             // Nothing to presolve: solve directly.
             let core = self.to_core();
-            let sol = core.solve_with(LuBasis::new(self.options.refactor_every), self.options)?;
+            let (sol, next) = core.solve_warm_with(
+                LuBasis::new(self.options.refactor_every),
+                self.options,
+                warm.as_ref(),
+            )?;
+            *warm = Some(next);
             let mut values = sol.x;
             values.truncate(n);
             return Ok(Solution {
@@ -261,7 +284,12 @@ impl Model {
             reduced.add_row(terms, row.cmp, rhs);
         }
         let core = reduced.to_core();
-        let sol = core.solve_with(LuBasis::new(self.options.refactor_every), self.options)?;
+        let (sol, next) = core.solve_warm_with(
+            LuBasis::new(self.options.refactor_every),
+            self.options,
+            warm.as_ref(),
+        )?;
+        *warm = Some(next);
         // Scatter back to the full variable space.
         let mut values = vec![0.0; n];
         for j in 0..n {
@@ -376,6 +404,47 @@ mod tests {
         assert_eq!(s[x], 1.5);
         assert_eq!(s[y], -0.5);
         assert!((s.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_warm_round_trips_through_presolve() {
+        // The lpopt sweep pattern: rebuild an identically-shaped model
+        // (with a fixed variable, so presolve runs) whose rhs drifted,
+        // reusing the snapshot from the previous solve. Results must match
+        // a cold solve exactly in objective.
+        let build = |rhs: f64| {
+            let mut m = Model::new();
+            let pin = m.add_var(1.0, 1.0, 0.0); // fixed: exercises presolve
+            let x = m.add_var(0.0, f64::INFINITY, 1.0);
+            let y = m.add_var(0.0, f64::INFINITY, 3.0);
+            m.add_row([(pin, 1.0), (x, 1.0), (y, 1.0)], Cmp::Ge, rhs);
+            m.add_row([(x, 1.0), (y, -1.0)], Cmp::Le, 2.0);
+            (m, x, y)
+        };
+        let mut warm = None;
+        let (m1, _, _) = build(6.0);
+        let cold1 = m1.solve().unwrap();
+        let warm1 = m1.solve_warm(&mut warm).unwrap();
+        assert!((cold1.objective - warm1.objective).abs() < 1e-9);
+        assert!(warm.is_some(), "snapshot must be captured");
+        // Second solve, same shape, drifted rhs: warm hint applies.
+        let (m2, x, y) = build(8.0);
+        let warm2 = m2.solve_warm(&mut warm).unwrap();
+        let cold2 = m2.solve().unwrap();
+        assert!(
+            (warm2.objective - cold2.objective).abs() < 1e-7,
+            "warm {} vs cold {}",
+            warm2.objective,
+            cold2.objective
+        );
+        assert!((warm2[x] - cold2[x]).abs() < 1e-7);
+        assert!((warm2[y] - cold2[y]).abs() < 1e-7);
+        assert!(
+            warm2.iterations <= cold2.iterations,
+            "warm start must not do more work ({} > {})",
+            warm2.iterations,
+            cold2.iterations
+        );
     }
 
     #[test]

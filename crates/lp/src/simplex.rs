@@ -65,6 +65,37 @@ pub struct CoreSolution {
     pub iterations: usize,
 }
 
+/// A reusable basis snapshot from a completed solve.
+///
+/// Produced by [`CoreLp::solve_warm_with`] and accepted back by it to
+/// warm-start a later solve of a *same-shaped* problem (equal row and
+/// column counts). Reuse is strictly an accelerator, never a correctness
+/// dependency: the solver re-validates the snapshot against the new
+/// problem — dimensions, duplicate columns, factorizability, and primal
+/// feasibility of the implied basic values — and silently falls back to
+/// the cold crash basis when any check fails. A snapshot whose final
+/// basis still contained an artificial column is recorded as unusable
+/// ([`WarmBasis::is_usable`] is `false`) and behaves like `None`.
+#[derive(Debug, Clone, Default)]
+pub struct WarmBasis {
+    /// Structural column count of the producing problem.
+    ncols: usize,
+    /// Row count of the producing problem.
+    nrows: usize,
+    /// Basic column per basis position (all `< ncols`).
+    basis: Vec<usize>,
+    /// Per structural column: was it nonbasic at its *upper* bound?
+    /// (Lower/free placement is re-derived from the new bounds.)
+    at_upper: Vec<bool>,
+}
+
+impl WarmBasis {
+    /// Whether the snapshot captured a reusable all-structural basis.
+    pub fn is_usable(&self) -> bool {
+        self.basis.len() == self.nrows && self.ncols > 0
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum VarState {
     Basic(usize),
@@ -118,13 +149,38 @@ impl CoreLp {
         engine: E,
         opts: SimplexOptions,
     ) -> Result<CoreSolution, LpError> {
+        self.solve_warm_with(engine, opts, None).map(|(sol, _)| sol)
+    }
+
+    /// Solves the program, optionally warm-starting from a [`WarmBasis`]
+    /// captured on an earlier solve, and returns the solution together
+    /// with a snapshot of the final basis for reuse.
+    ///
+    /// A warm basis that no longer fits (shape mismatch, singular after
+    /// bound/rhs drift, or primal-infeasible basic values) is discarded
+    /// and the solve proceeds from the cold crash basis, so passing a
+    /// stale snapshot is always safe.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CoreLp::solve_with`].
+    pub fn solve_warm_with<E: BasisEngine>(
+        &self,
+        engine: E,
+        opts: SimplexOptions,
+        warm: Option<&WarmBasis>,
+    ) -> Result<(CoreSolution, WarmBasis), LpError> {
         self.validate()?;
         let mut solver = Solver::new(self, engine, opts);
-        solver.crash_basis();
-        solver.refactorize_and_recompute()?;
+        let warmed = warm.is_some_and(|w| solver.try_warm_basis(w));
+        if !warmed {
+            solver.crash_basis();
+            solver.refactorize_and_recompute()?;
+        }
 
         // Phase 1: minimize the sum of artificial variables, if any carry
-        // a nonzero value.
+        // a nonzero value. (A warm basis has no artificial columns and
+        // arrives primal-feasible, so it skips straight to phase 2.)
         let needs_phase1 =
             solver.basis.iter().enumerate().any(|(p, &j)| j >= solver.n_orig && solver.xb[p] > opts.feas_tol);
         if needs_phase1 {
@@ -164,7 +220,8 @@ impl CoreLp {
         }
         x.truncate(self.ncols());
         let objective = x.iter().zip(self.obj.iter()).map(|(a, b)| a * b).sum();
-        Ok(CoreSolution { x, objective, iterations: solver.iterations })
+        let warm_out = solver.capture_warm();
+        Ok((CoreSolution { x, objective, iterations: solver.iterations }, warm_out))
     }
 
     fn validate(&self) -> Result<(), LpError> {
@@ -299,6 +356,84 @@ impl<'a, E: BasisEngine> Solver<'a, E> {
                     self.xb.push(resid.abs());
                 }
             }
+        }
+    }
+
+    /// Attempts to install a previously captured basis. Returns `false`
+    /// (leaving the solver ready for a cold [`Solver::crash_basis`]) when
+    /// the snapshot does not fit the current problem: wrong shape, a
+    /// repeated/out-of-range basic column, a singular factorization, or
+    /// basic values pushed outside their bounds by rhs/bound drift — the
+    /// primal method needs a feasible start, so those must cold-start.
+    fn try_warm_basis(&mut self, warm: &WarmBasis) -> bool {
+        if !warm.is_usable() || warm.ncols != self.n_orig || warm.nrows != self.nrows {
+            return false;
+        }
+        let n = self.n_orig;
+        self.state.clear();
+        self.xval.clear();
+        for j in 0..n {
+            let (st, v) = if warm.at_upper[j] && self.ub[j].is_finite() {
+                (VarState::AtUpper, self.ub[j])
+            } else if self.lb[j].is_finite() {
+                (VarState::AtLower, self.lb[j])
+            } else if self.ub[j].is_finite() {
+                (VarState::AtUpper, self.ub[j])
+            } else {
+                (VarState::FreeZero, 0.0)
+            };
+            self.state.push(st);
+            self.xval.push(v);
+        }
+        self.basis.clear();
+        self.basis.extend_from_slice(&warm.basis);
+        self.xb.clear();
+        self.xb.resize(self.nrows, 0.0);
+        let mut seen = vec![false; n];
+        for (p, &j) in warm.basis.iter().enumerate() {
+            if j >= n || seen[j] {
+                return self.warm_failed();
+            }
+            seen[j] = true;
+            self.state[j] = VarState::Basic(p);
+            self.xval[j] = 0.0;
+        }
+        if self.refactorize_and_recompute().is_err() {
+            return self.warm_failed();
+        }
+        let tol = self.opts.feas_tol * 10.0;
+        for (p, &j) in self.basis.iter().enumerate() {
+            if self.xb[p] < self.lb[j] - tol || self.xb[p] > self.ub[j] + tol {
+                return self.warm_failed();
+            }
+        }
+        true
+    }
+
+    /// Resets the incremental state a failed warm attempt left behind so
+    /// [`Solver::crash_basis`] starts from a clean slate.
+    fn warm_failed(&mut self) -> bool {
+        self.state.clear();
+        self.xval.clear();
+        self.basis.clear();
+        self.xb.clear();
+        false
+    }
+
+    /// Snapshots the final basis for reuse. A basis that still holds an
+    /// artificial column (degenerate at zero after phase 1) is not
+    /// representable structurally; the snapshot comes back unusable.
+    fn capture_warm(&self) -> WarmBasis {
+        if self.basis.iter().any(|&j| j >= self.n_orig) {
+            return WarmBasis::default();
+        }
+        WarmBasis {
+            ncols: self.n_orig,
+            nrows: self.nrows,
+            basis: self.basis.clone(),
+            at_upper: (0..self.n_orig)
+                .map(|j| matches!(self.state[j], VarState::AtUpper))
+                .collect(),
         }
     }
 
@@ -638,6 +773,105 @@ mod tests {
         );
         let s = solve(&p).unwrap();
         assert!((s.x[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn warm_restart_matches_cold_and_prices_out() {
+        // Re-solving the same program from its own final basis must do no
+        // simplex work (phase 2 finds no entering column) and reproduce
+        // the solution exactly.
+        let p = lp(
+            &[
+                &[1.0, 0.0, 1.0, 0.0, 0.0],
+                &[0.0, 2.0, 0.0, 1.0, 0.0],
+                &[3.0, 2.0, 0.0, 0.0, 1.0],
+            ],
+            &[4.0, 12.0, 18.0],
+            &[-3.0, -5.0, 0.0, 0.0, 0.0],
+            &[0.0; 5],
+            &[INF; 5],
+        );
+        let opts = SimplexOptions::default();
+        let (cold, basis) = p.solve_warm_with(LuBasis::new(32), opts, None).unwrap();
+        assert!(basis.is_usable());
+        let (warm, _) = p.solve_warm_with(LuBasis::new(32), opts, Some(&basis)).unwrap();
+        assert_eq!(warm.iterations, 0, "optimal basis must price out immediately");
+        for (a, b) in cold.x.iter().zip(warm.x.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!((cold.objective - warm.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_restart_after_rhs_drift() {
+        // Perturb the rhs: the old basis stays primal feasible here, and
+        // the warm solve must land on the same optimum a cold solve finds.
+        let p = lp(
+            &[&[1.0, 1.0, 1.0, 0.0], &[1.0, -1.0, 0.0, 1.0]],
+            &[10.0, 2.0],
+            &[-1.0, -2.0, 0.0, 0.0],
+            &[0.0; 4],
+            &[INF; 4],
+        );
+        let opts = SimplexOptions::default();
+        let (_, basis) = p.solve_warm_with(LuBasis::new(32), opts, None).unwrap();
+        let mut drifted = p.clone();
+        drifted.rhs = vec![11.0, 3.0];
+        let (warm, _) =
+            drifted.solve_warm_with(LuBasis::new(32), opts, Some(&basis)).unwrap();
+        let cold = drifted.solve_with(LuBasis::new(32), opts).unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-7,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn warm_restart_shape_mismatch_falls_back() {
+        // A snapshot from a different-shaped program is silently ignored.
+        let small = lp(&[&[1.0, 1.0]], &[4.0], &[1.0, 1.0], &[0.0, 0.0], &[INF, INF]);
+        let (_, basis) = small
+            .solve_warm_with(LuBasis::new(32), SimplexOptions::default(), None)
+            .unwrap();
+        let big = lp(
+            &[&[1.0, 1.0, 1.0], &[1.0, -1.0, 0.0]],
+            &[6.0, 1.0],
+            &[1.0, 1.0, 0.0],
+            &[0.0; 3],
+            &[INF; 3],
+        );
+        let (warm, _) = big
+            .solve_warm_with(LuBasis::new(32), SimplexOptions::default(), Some(&basis))
+            .unwrap();
+        let cold = big.solve_with(LuBasis::new(32), SimplexOptions::default()).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-7);
+    }
+
+    #[test]
+    fn warm_restart_infeasible_basis_falls_back() {
+        // Drift the rhs far enough that the captured basis turns primal
+        // infeasible; the solver must detect it and cold-start rather than
+        // run phase 2 from an infeasible point.
+        let p = lp(
+            &[&[1.0, 1.0, 1.0]],
+            &[1.5],
+            &[-1.0, -1.0, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[1.0, 1.0, INF],
+        );
+        let opts = SimplexOptions::default();
+        let (_, basis) = p.solve_warm_with(LuBasis::new(32), opts, None).unwrap();
+        let mut drifted = p.clone();
+        drifted.rhs = vec![-0.5]; // slack would need to go negative
+        let warm = drifted.solve_warm_with(LuBasis::new(32), opts, Some(&basis));
+        let cold = drifted.solve_with(LuBasis::new(32), opts);
+        match (warm, cold) {
+            (Ok((w, _)), Ok(c)) => assert!((w.objective - c.objective).abs() < 1e-7),
+            (Err(we), Err(ce)) => assert_eq!(we, ce),
+            (w, c) => panic!("warm/cold outcome mismatch: {w:?} vs {c:?}"),
+        }
     }
 
     #[test]

@@ -178,11 +178,23 @@ pub enum Counter {
     LpPasses,
     /// LP crossing-repair iterations across all passes.
     LpIterations,
+    /// ALT landmark table (re)builds (one per sequential stage when
+    /// landmarks are enabled).
+    LandmarkRebuilds,
+    /// Adjacency/edge-legality cache hits (epoch-stamped verdict reused).
+    LegalityCacheHits,
+    /// Adjacency/edge-legality cache misses (geometry work re-done).
+    LegalityCacheMisses,
+    /// Nodes where the ALT landmark bound beat the geometric heuristic.
+    HeuristicTightenings,
+    /// Wall-clock microseconds spent inside pass-3 rip-up-and-reroute
+    /// trials (snapshot, eviction, re-route, and restore included).
+    RipupWallUs,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 19] = [
         Counter::Searches,
         Counter::NodesExpanded,
         Counter::WindowEscalations,
@@ -197,6 +209,11 @@ impl Counter {
         Counter::ConcurrentSkipped,
         Counter::LpPasses,
         Counter::LpIterations,
+        Counter::LandmarkRebuilds,
+        Counter::LegalityCacheHits,
+        Counter::LegalityCacheMisses,
+        Counter::HeuristicTightenings,
+        Counter::RipupWallUs,
     ];
 
     /// Stable snake_case label.
@@ -216,6 +233,11 @@ impl Counter {
             Counter::ConcurrentSkipped => "concurrent_skipped",
             Counter::LpPasses => "lp_passes",
             Counter::LpIterations => "lp_iterations",
+            Counter::LandmarkRebuilds => "landmark_rebuilds",
+            Counter::LegalityCacheHits => "legality_cache_hits",
+            Counter::LegalityCacheMisses => "legality_cache_misses",
+            Counter::HeuristicTightenings => "heuristic_tightenings",
+            Counter::RipupWallUs => "ripup_wall_us",
         }
     }
 }

@@ -35,11 +35,13 @@
 //! *was* the full search and its failure is authoritative.
 
 use crate::bucket::BucketQueue;
+use crate::landmarks::Landmarks;
 use crate::space::{PlanarEdge, RoutingSpace, TileId};
 use info_geom::{x_arch_len, Point, Rect};
 use info_model::{NetId, WireLayer};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// One step of a tile path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,6 +113,9 @@ pub struct SearchStats {
     pub escalation_expansions: u64,
     /// Largest open-list population observed.
     pub heap_peak: u64,
+    /// Heuristic evaluations where the ALT landmark lower bound beat the
+    /// geometric bound (zero when landmarks are not installed).
+    pub heuristic_tightenings: u64,
 }
 
 impl SearchStats {
@@ -121,6 +126,7 @@ impl SearchStats {
         self.window_escalations += other.window_escalations;
         self.escalation_expansions += other.escalation_expansions;
         self.heap_peak = self.heap_peak.max(other.heap_peak);
+        self.heuristic_tightenings += other.heuristic_tightenings;
     }
 }
 
@@ -133,11 +139,15 @@ pub struct SearchOptions {
     pub windowed: bool,
     /// Allow layer changes through candidate via sites.
     pub allow_vias: bool,
+    /// Collect the traced read-cell set in the generation-stamped scratch
+    /// arena instead of a per-search `BTreeSet` (identical output either
+    /// way; `false` is the ablation/differential baseline).
+    pub arena: bool,
 }
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        SearchOptions { windowed: true, allow_vias: true }
+        SearchOptions { windowed: true, allow_vias: true, arena: true }
     }
 }
 
@@ -166,7 +176,7 @@ pub fn route_with(
 ) -> Option<AstarResult> {
     let mut stats = SearchStats::default();
     let opts = SearchOptions { allow_vias, ..SearchOptions::default() };
-    search(space, net, src, dst, opts, None, &mut stats).ok()
+    search(space, net, src, dst, opts, false, &mut stats).0.ok()
 }
 
 /// [`route`] that additionally reports the global cells the search read:
@@ -212,9 +222,7 @@ pub fn route_traced_fallible(
     opts: SearchOptions,
     stats: &mut SearchStats,
 ) -> (Result<AstarResult, SearchFailure>, Vec<(usize, usize)>) {
-    let mut cells = BTreeSet::new();
-    let result = search(space, net, src, dst, opts, Some(&mut cells), stats);
-    (result, cells.into_iter().collect())
+    search(space, net, src, dst, opts, true, stats)
 }
 
 /// Sentinel for "no parent" in the scratch parent array.
@@ -254,6 +262,79 @@ struct SearchScratch {
     /// Edges the windowed run pruned, kept so an escalation can re-inject
     /// them instead of restarting the search from scratch.
     pruned: Vec<PrunedEdge>,
+    /// ALT landmark tables of the current space plus the target's
+    /// stage-start node, resolved once per search (`None` = geometric
+    /// heuristic only).
+    alt: Option<(Arc<Landmarks>, u32)>,
+    /// Cumulative count of heuristic evaluations the ALT bound tightened
+    /// (searches record their delta into [`SearchStats`]).
+    tightenings: u64,
+    /// Stamped arena for the traced read-cell set (see [`TraceArena`]).
+    trace: TraceArena,
+}
+
+/// Generation-stamped read-cell collector: the allocation-free
+/// replacement for the per-search `BTreeSet` trace. `insert` is O(1)
+/// (stamp check + push), and the sorted, deduplicated output matches the
+/// tree's exactly.
+#[derive(Default)]
+struct TraceArena {
+    gen: u32,
+    stamp: Vec<u32>,
+    cells_x: usize,
+    touched: Vec<(usize, usize)>,
+}
+
+impl TraceArena {
+    /// Starts a fresh trace over a `cells_x × cells_y` cell grid.
+    fn begin(&mut self, cells_x: usize, cells_y: usize) {
+        let n = cells_x * cells_y;
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.cells_x = cells_x;
+        if self.gen == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn insert(&mut self, cell: (usize, usize)) {
+        let i = cell.1 * self.cells_x + cell.0;
+        if self.stamp[i] != self.gen {
+            self.stamp[i] = self.gen;
+            self.touched.push(cell);
+        }
+    }
+
+    /// The touched cells, sorted ascending (the arena keeps its storage).
+    fn take_sorted(&mut self) -> Vec<(usize, usize)> {
+        self.touched.sort_unstable();
+        self.touched.clone()
+    }
+}
+
+/// Where a search records the global cells it reads: the scratch arena on
+/// the hot path, a plain tree on the ablation baseline.
+enum TraceSink<'a> {
+    Tree(&'a mut BTreeSet<(usize, usize)>),
+    Arena(&'a mut TraceArena),
+}
+
+impl TraceSink<'_> {
+    #[inline]
+    fn insert(&mut self, cell: (usize, usize)) {
+        match self {
+            TraceSink::Tree(t) => {
+                t.insert(cell);
+            }
+            TraceSink::Arena(a) => a.insert(cell),
+        }
+    }
 }
 
 /// One edge the windowed run refused to relax because its target cell was
@@ -289,6 +370,9 @@ impl SearchScratch {
             nbr: Vec::new(),
             vnbr: Vec::new(),
             pruned: Vec::new(),
+            alt: None,
+            tightenings: 0,
+            trace: TraceArena::default(),
         }
     }
 
@@ -341,8 +425,10 @@ impl SearchScratch {
 
     /// The consistent heuristic, memoized per tile: straight-line
     /// X-architecture length to the target plus the via penalty of the
-    /// remaining layer hops. A cached value is valid only for the same
-    /// entry point (re-entries at a new point recompute and re-cache).
+    /// remaining layer hops, tightened by the ALT landmark lower bound
+    /// when tables are installed (the max of two consistent heuristics is
+    /// consistent). A cached value is valid only for the same entry point
+    /// (re-entries at a new point recompute and re-cache).
     #[inline]
     fn h(&mut self, tile: u32, p: Point, layer: WireLayer, dst: &(WireLayer, Point), via_cost: f64) -> f64 {
         let i = tile as usize;
@@ -350,7 +436,16 @@ impl SearchScratch {
             return self.h_val[i];
         }
         let hops = layer.index().abs_diff(dst.0.index()) as f64;
-        let v = x_arch_len(p, dst.1) + hops * via_cost;
+        let mut v = x_arch_len(p, dst.1) + hops * via_cost;
+        if let Some((lm, dst_node)) = &self.alt {
+            if let Some(node) = lm.node_at(layer.index(), p) {
+                let alt = lm.lower_bound(node, *dst_node);
+                if alt > v {
+                    v = alt;
+                    self.tightenings += 1;
+                }
+            }
+        }
         self.h_stamp[i] = self.h_gen;
         self.h_entry[i] = p;
         self.h_val[i] = v;
@@ -407,15 +502,62 @@ fn search(
     src: (WireLayer, Point),
     dst: (WireLayer, Point),
     opts: SearchOptions,
-    mut trace: Option<&mut BTreeSet<(usize, usize)>>,
+    want_trace: bool,
+    stats: &mut SearchStats,
+) -> (Result<AstarResult, SearchFailure>, Vec<(usize, usize)>) {
+    SCRATCH.with(|cell| {
+        let mut s = cell.borrow_mut();
+        let s = &mut *s;
+        s.ensure(space);
+        let tight0 = s.tightenings;
+        // The arena lives in the scratch; take it out for the duration of
+        // the search so the sink can borrow it alongside `s`.
+        let mut arena = std::mem::take(&mut s.trace);
+        let mut tree = BTreeSet::new();
+        let mut sink = if !want_trace {
+            None
+        } else if opts.arena {
+            let cfg = space.config();
+            arena.begin(cfg.cells_x, cfg.cells_y);
+            Some(TraceSink::Arena(&mut arena))
+        } else {
+            Some(TraceSink::Tree(&mut tree))
+        };
+        let result = search_inner(s, space, net, src, dst, opts, sink.as_mut(), stats);
+        stats.heuristic_tightenings += s.tightenings - tight0;
+        let cells = if !want_trace {
+            Vec::new()
+        } else if opts.arena {
+            arena.take_sorted()
+        } else {
+            tree.into_iter().collect()
+        };
+        s.trace = arena;
+        (result, cells)
+    })
+}
+
+#[allow(clippy::too_many_arguments)] // internal; the public surface is route_traced_opts
+fn search_inner(
+    s: &mut SearchScratch,
+    space: &RoutingSpace,
+    net: NetId,
+    src: (WireLayer, Point),
+    dst: (WireLayer, Point),
+    opts: SearchOptions,
+    mut trace: Option<&mut TraceSink<'_>>,
     stats: &mut SearchStats,
 ) -> Result<AstarResult, SearchFailure> {
     if !opts.allow_vias && src.0 != dst.0 {
         return Err(SearchFailure::BlockedTerminal);
     }
     if let Some(t) = trace.as_deref_mut() {
-        t.extend(space.cell_of(src.1));
-        t.extend(space.cell_of(dst.1));
+        if let Some(c) = space.cell_of(src.1) {
+            t.insert(c);
+        }
+        if let Some(c) = space.cell_of(dst.1) {
+            t.insert(c);
+        }
     }
     let (Some(src_tile), Some(dst_tile)) =
         (space.tile_at(src.0, src.1, net), space.tile_at(dst.0, dst.1, net))
@@ -425,11 +567,15 @@ fn search(
     stats.searches += 1;
     let cross_layer = src.0 != dst.0;
 
-    SCRATCH.with(|cell| {
-        let mut s = cell.borrow_mut();
-        let s = &mut *s;
-        s.ensure(space);
+    {
         s.retune_h((space.revision(), dst.0, dst.1, space.config().via_cost.to_bits()));
+        // Resolve the ALT target node once per search (`None` keeps the
+        // heuristic purely geometric). Sharing the h-cache key is sound:
+        // `set_landmarks` bumps the space revision, so cached values can
+        // never mix with/without-table heuristics.
+        s.alt = space
+            .landmarks()
+            .and_then(|lm| lm.node_at(dst.0.index(), dst.1).map(|b| (Arc::clone(lm), b)));
         s.queue.reset_peak();
         let via_cost = space.config().via_cost;
         // A cross-layer search that never enumerates a single via
@@ -550,7 +696,7 @@ fn search(
             }
             RunOutcome::Exhausted { capped: None } => Err(no_path(saw_via)),
         }
-    })
+    }
 }
 
 /// Bucket width for the open list: one via penalty (≥ one tile thickness)
@@ -585,7 +731,7 @@ fn inject_pruned(
     s: &mut SearchScratch,
     space: &RoutingSpace,
     e: &PrunedEdge,
-    trace: Option<&mut BTreeSet<(usize, usize)>>,
+    trace: Option<&mut TraceSink<'_>>,
 ) {
     let to = e.to as usize;
     if s.stamp[to] != s.gen || e.g < s.g[to] - 1e-9 {
@@ -615,7 +761,7 @@ fn run(
     allow_vias: bool,
     windowed: bool,
     mut pruned_sink: Option<(&mut f64, &mut Vec<PrunedEdge>)>,
-    mut trace: Option<&mut BTreeSet<(usize, usize)>>,
+    mut trace: Option<&mut TraceSink<'_>>,
     stats: &mut SearchStats,
     saw_via: &mut bool,
 ) -> RunOutcome {
@@ -800,6 +946,7 @@ mod tests {
             min_thickness: 4_000,
             via_width: 5_000,
             via_cost: 20_000.0,
+            adjacency_cache: true,
         }
     }
 
@@ -927,7 +1074,7 @@ mod tests {
             NetId(0),
             src,
             dst,
-            SearchOptions { windowed: true, allow_vias: true },
+            SearchOptions { windowed: true, allow_vias: true, arena: true },
             &mut ws,
         );
         let (full, _) = route_traced_opts(
@@ -935,7 +1082,7 @@ mod tests {
             NetId(0),
             src,
             dst,
-            SearchOptions { windowed: false, allow_vias: true },
+            SearchOptions { windowed: false, allow_vias: true, arena: true },
             &mut fs,
         );
         let win = win.expect("windowed route");

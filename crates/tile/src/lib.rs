@@ -16,6 +16,7 @@
 pub mod astar;
 pub mod bucket;
 pub mod cell_graph;
+pub mod landmarks;
 pub mod mcmf;
 pub mod partition;
 pub mod realize;
@@ -24,5 +25,6 @@ pub mod space;
 pub use astar::{AstarResult, PathStep, SearchOptions, SearchStats};
 pub use bucket::BucketQueue;
 pub use cell_graph::{CellGraph, MstEdge};
+pub use landmarks::Landmarks;
 pub use partition::{line_extension_partition, merge_cells};
 pub use space::{RoutingSpace, SpaceConfig, TileId, TileNode};

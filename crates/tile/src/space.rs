@@ -91,6 +91,11 @@ pub struct SpaceConfig {
     pub via_width: Coord,
     /// Extra path cost charged per via, in nm of equivalent wirelength.
     pub via_cost: f64,
+    /// Reuse epoch-stamped net-agnostic adjacency lists across neighbor
+    /// enumerations (see [`AdjCache`]). Lossless; `false` re-does the
+    /// boundary/crossing geometry on every enumeration (the ablation
+    /// baseline).
+    pub adjacency_cache: bool,
 }
 
 impl SpaceConfig {
@@ -105,6 +110,7 @@ impl SpaceConfig {
             min_thickness: r.min_spacing + r.wire_width,
             via_width: r.via_width,
             via_cost: 4.0 * r.via_width as f64,
+            adjacency_cache: true,
         }
     }
 }
@@ -136,25 +142,38 @@ struct RawEdge {
 /// Lazily built per-tile adjacency lists, the A\* hot path's amortization
 /// of the octagon-intersection work in [`RoutingSpace::planar_neighbors`].
 ///
-/// Entries are pure functions of the two cells' tiles and wires, so they
-/// stay valid until either cell rebuilds; [`RoutingSpace::rebuild_cell`]
-/// drops every entry of the rebuilt cell and its 4-adjacent ring. Tile ids
-/// are never reused by rebuilds (retired slots stay `None`), so a live
-/// entry can only describe the current tile.
+/// Entries are pure functions of the two cells' tiles and wires, so each
+/// is stamped with the **adjacency epoch** of its owning cell at build
+/// time: [`RoutingSpace::rebuild_cell`] bumps the epoch of the rebuilt
+/// cell and its 4-adjacent ring (an O(ring) stamp write instead of an
+/// O(tiles) entry sweep), and a lookup treats a mismatched stamp as a
+/// miss. Tile ids are never reused by rebuilds (retired slots stay
+/// `None`, and their entries are dropped when the cell retires them), so
+/// a live entry can only describe the current tile.
 #[derive(Debug, Default)]
 struct AdjCache {
-    map: Mutex<HashMap<u32, Arc<Vec<RawEdge>>>>,
+    state: Mutex<AdjState>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct AdjState {
+    /// Tile id → (owning cell's adjacency epoch at build, edges).
+    map: HashMap<u32, (u64, Arc<Vec<RawEdge>>)>,
+    /// Legality-cache telemetry: lookups answered from a valid entry.
+    hits: u64,
+    /// Lookups that rebuilt the entry (first touch or stale stamp).
+    misses: u64,
 }
 
 impl AdjCache {
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u32, Arc<Vec<RawEdge>>>> {
-        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> std::sync::MutexGuard<'_, AdjState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl Clone for AdjCache {
     fn clone(&self) -> Self {
-        AdjCache { map: Mutex::new(self.lock().clone()) }
+        AdjCache { state: Mutex::new(self.lock().clone()) }
     }
 }
 
@@ -173,9 +192,26 @@ pub struct RoutingSpace {
     via_sites: Vec<Vec<ViaSite>>,
     /// Lazily built planar-adjacency lists (see [`AdjCache`]).
     adjacency: AdjCache,
+    /// Per `(layer, cell)`: spatial index over the cell's tile bboxes, in
+    /// `cell_tiles` order, so adjacency builds query the handful of tiles
+    /// near a bbox instead of scanning the whole cell (dense cells hold
+    /// thousands of tiles). `Arc` so snapshots clone by reference; a
+    /// rebuild installs a fresh index rather than mutating the shared one.
+    tile_index: Vec<Arc<GridIndex<TileId>>>,
+    /// Per `(layer, cell)`: adjacency epoch, bumped when the cell or a
+    /// 4-adjacent cell rebuilds. [`AdjCache`] entries are valid only while
+    /// their stamp matches their cell's epoch.
+    adj_epoch: Vec<u64>,
+    /// Source of fresh adjacency epochs (per space; clones keep counting).
+    epoch_counter: u64,
     /// Monotone state tag: two spaces with equal revisions are identical.
     /// Search-side caches (the per-target heuristic cache) key on it.
     revision: u64,
+    /// ALT landmark tables for the current sequential stage (see
+    /// [`crate::landmarks`]); `None` keeps the heuristic purely
+    /// geometric. Snapshots and restores share the tables by `Arc` —
+    /// they stay valid for the whole stage by blockage monotonicity.
+    alt: Option<Arc<crate::landmarks::Landmarks>>,
 }
 
 /// Per-rebuild spatial indexes over the package and layout geometry, so
@@ -240,6 +276,9 @@ impl RoutingSpace {
     pub fn build(package: &Package, layout: &Layout, cfg: SpaceConfig) -> Self {
         let layers = package.wire_layer_count();
         let ncells = cfg.cells_x * cfg.cells_y;
+        // Every cell starts on one shared empty placeholder index; the
+        // first rebuild of a cell installs its own Arc.
+        let empty_index = Arc::new(GridIndex::with_grid(package.die(), 1, 1));
         let mut space = RoutingSpace {
             cfg,
             die: package.die(),
@@ -249,7 +288,11 @@ impl RoutingSpace {
             cell_wires: vec![Vec::new(); ncells * layers],
             via_sites: vec![Vec::new(); ncells],
             adjacency: AdjCache::default(),
+            tile_index: vec![empty_index; ncells * layers],
+            adj_epoch: vec![0; ncells * layers],
+            epoch_counter: 0,
             revision: REVISION.fetch_add(1, Ordering::Relaxed),
+            alt: None,
         };
         let mut scratch = GeomScratch::build(package, layout, layers);
         for cy in 0..cfg.cells_y {
@@ -281,6 +324,20 @@ impl RoutingSpace {
     /// outside the space key their validity on it.
     pub fn revision(&self) -> u64 {
         self.revision
+    }
+
+    /// Installs (or clears) the stage's ALT landmark tables. Bumps the
+    /// revision so heuristic caches keyed on it cannot mix values
+    /// computed with and without the tables.
+    pub fn set_landmarks(&mut self, lm: Option<Arc<crate::landmarks::Landmarks>>) {
+        self.alt = lm;
+        self.revision = REVISION.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The stage's ALT landmark tables, when installed.
+    #[inline]
+    pub fn landmarks(&self) -> Option<&Arc<crate::landmarks::Landmarks>> {
+        self.alt.as_ref()
     }
 
     /// The rectangle of global cell `(cx, cy)`.
@@ -433,8 +490,16 @@ impl RoutingSpace {
         for layer_idx in 0..self.layers {
             let layer = WireLayer(layer_idx as u8);
             let idx = self.cell_index(layer_idx, cx, cy);
-            // Retire old tiles.
-            for id in std::mem::take(&mut self.cell_tiles[idx]) {
+            // Retire old tiles, dropping their cached adjacency (their ids
+            // are never reused, so the entries could only leak).
+            let retired = std::mem::take(&mut self.cell_tiles[idx]);
+            if !retired.is_empty() {
+                let mut adj = self.adjacency.lock();
+                for id in &retired {
+                    adj.map.remove(&id.0);
+                }
+            }
+            for id in retired {
                 self.tiles[id.0 as usize] = None;
             }
             self.cell_wires[idx].clear();
@@ -561,34 +626,65 @@ impl RoutingSpace {
             ycuts.sort_unstable();
             ycuts.dedup();
 
+            // Duplicate diagonal lines (shared clearance-band edges of
+            // collinear wires) are dropped: clipping by the same line twice
+            // is a no-op, so the resulting pieces — and their order — are
+            // identical, at a fraction of the clip work.
+            {
+                let mut seen: Vec<XLine> = Vec::with_capacity(diag_lines.len());
+                diag_lines.retain(|l| {
+                    if seen.contains(l) {
+                        false
+                    } else {
+                        seen.push(*l);
+                        true
+                    }
+                });
+            }
+            // Blockage bboxes, computed once: an octagon can only reach a
+            // frame (or tile piece) whose bbox its own bbox touches, so the
+            // exact intersection below runs on the handful of nearby
+            // blockages instead of the cell's whole list.
+            let blk_bbox: Vec<Rect> = blockages.iter().map(|(_, oct)| oct.bbox()).collect();
+
             // Partition frames into completely free rectangles (merged to
             // fight fragmentation, per Lee et al.) and frames needing the
-            // full split/tag pipeline.
+            // full split/tag pipeline. A busy frame carries the subset of
+            // diagonal lines that actually cross it — every other line
+            // would leave its pieces untouched.
             let mut free_frames: Vec<Rect> = Vec::new();
             // Frames fully swallowed by a single blockage merge per tag.
             let mut swallowed: std::collections::HashMap<Blocker, Vec<Rect>> =
                 std::collections::HashMap::new();
-            let mut busy_frames: Vec<Rect> = Vec::new();
+            let mut busy_frames: Vec<(Rect, Vec<XLine>)> = Vec::new();
             for wx in xcuts.windows(2) {
                 for wy in ycuts.windows(2) {
                     let frame = Rect::new(Point::new(wx[0], wy[0]), Point::new(wx[1], wy[1]));
                     if frame.width() == 0 || frame.height() == 0 {
                         continue;
                     }
-                    let crossed = diag_lines.iter().any(|l| {
-                        let evals = frame.corners().map(|p| l.eval(p));
-                        evals.iter().any(|&e| e > 0) && evals.iter().any(|&e| e < 0)
-                    });
-                    if crossed {
-                        busy_frames.push(frame);
+                    let crossing: Vec<XLine> = diag_lines
+                        .iter()
+                        .filter(|l| {
+                            let evals = frame.corners().map(|p| l.eval(p));
+                            evals.iter().any(|&e| e > 0) && evals.iter().any(|&e| e < 0)
+                        })
+                        .copied()
+                        .collect();
+                    if !crossing.is_empty() {
+                        busy_frames.push((frame, crossing));
                         continue;
                     }
                     let hits: Vec<&(Blocker, Octagon)> = blockages
                         .iter()
-                        .filter(|(_, oct)| {
-                            let ix = Octagon::from_rect(frame).intersection(oct);
-                            !ix.is_empty() && ix.area() > 0
+                        .zip(&blk_bbox)
+                        .filter(|((_, oct), bb)| {
+                            frame.intersects(**bb) && {
+                                let ix = Octagon::from_rect(frame).intersection(oct);
+                                !ix.is_empty() && ix.area() > 0
+                            }
                         })
+                        .map(|(b, _)| b)
                         .collect();
                     if hits.is_empty() {
                         free_frames.push(frame);
@@ -597,7 +693,7 @@ impl RoutingSpace {
                     {
                         swallowed.entry(hits[0].0).or_default().push(frame);
                     } else {
-                        busy_frames.push(frame);
+                        busy_frames.push((frame, Vec::new()));
                     }
                 }
             }
@@ -630,10 +726,12 @@ impl RoutingSpace {
                     new_ids.push(id);
                 }
             }
-            for frame in busy_frames {
-                // --- Split the frame by diagonal wires into tiles.
+            for (frame, crossing) in busy_frames {
+                // --- Split the frame by the diagonal wires crossing it.
+                // Lines that miss the frame cannot split any piece inside
+                // it, so only the crossing subset is clipped against.
                 let mut pieces = vec![Octagon::from_rect(frame)];
-                for line in &diag_lines {
+                for line in &crossing {
                     let mut next = Vec::with_capacity(pieces.len() + 1);
                     for piece in pieces {
                         let lo = piece.clip_halfplane(*line, true);
@@ -651,8 +749,12 @@ impl RoutingSpace {
                 }
                 for shape in pieces {
                     // --- Tag blockers overlapping the tile interior.
+                    let piece_bbox = shape.bbox();
                     let mut blockers: Vec<Blocker> = Vec::new();
-                    for (tag, oct) in &blockages {
+                    for ((tag, oct), bb) in blockages.iter().zip(&blk_bbox) {
+                        if !piece_bbox.intersects(*bb) {
+                            continue;
+                        }
                         let ix = shape.intersection(oct);
                         if !ix.is_empty() && ix.area() > 0 && !blockers.contains(tag) {
                             blockers.push(*tag);
@@ -668,6 +770,18 @@ impl RoutingSpace {
                     new_ids.push(id);
                 }
             }
+            // Fresh spatial index over the new tiles, in `cell_tiles`
+            // order, so adjacency builds probe it instead of the full list.
+            let mut index = GridIndex::with_capacity_hint(cell, new_ids.len());
+            for &id in &new_ids {
+                let bbox = self.tiles[id.0 as usize]
+                    .as_ref()
+                    .expect("freshly built tile")
+                    .shape
+                    .bbox();
+                index.insert(bbox, id);
+            }
+            self.tile_index[idx] = Arc::new(index);
             self.cell_tiles[idx] = new_ids;
         }
         self.refresh_via_sites(cx, cy);
@@ -712,9 +826,12 @@ impl RoutingSpace {
         }
     }
 
-    /// Drops cached adjacency lists of every tile in cell `(cx, cy)` and
-    /// its 4-adjacent cells, on every layer. Called by cell rebuilds:
-    /// edges of ring tiles reference the tiles being replaced.
+    /// Invalidates cached adjacency lists of every tile in cell `(cx, cy)`
+    /// and its 4-adjacent cells, on every layer, by bumping the cells'
+    /// adjacency epochs — entries stamped with the old epoch fail the
+    /// validity check on their next lookup. Called by cell rebuilds: edges
+    /// of ring tiles reference the tiles being replaced, and covered
+    /// intervals reference the rebuilt cell's wires.
     fn invalidate_adjacency(&mut self, cx: usize, cy: usize) {
         let mut cells = vec![(cx, cy)];
         if cx > 0 {
@@ -729,15 +846,23 @@ impl RoutingSpace {
         if cy + 1 < self.cfg.cells_y {
             cells.push((cx, cy + 1));
         }
-        let mut map = self.adjacency.lock();
+        self.epoch_counter += 1;
+        let epoch = self.epoch_counter;
         for layer in 0..self.layers {
             for &(ox, oy) in &cells {
                 let idx = self.cell_index(layer, ox, oy);
-                for id in &self.cell_tiles[idx] {
-                    map.remove(&id.0);
-                }
+                self.adj_epoch[idx] = epoch;
             }
         }
+    }
+
+    /// Legality-cache counters: `(hits, misses)` of the adjacency cache
+    /// since this space was built (restored snapshots revert with the
+    /// snapshot's counts, so trial work discarded by a rip-up restore is
+    /// not double-reported).
+    pub fn adjacency_cache_stats(&self) -> (u64, u64) {
+        let s = self.adjacency.lock();
+        (s.hits, s.misses)
     }
 
     /// Planar neighbors of a tile passable for `net`: tiles in the same or
@@ -755,12 +880,45 @@ impl RoutingSpace {
     /// only the per-net passability filter and wire subtraction run here.
     pub fn planar_neighbors_into(&self, id: TileId, net: NetId, out: &mut Vec<PlanarEdge>) {
         out.clear();
-        let cached = self.adjacency.lock().get(&id.0).cloned();
+        if !self.cfg.adjacency_cache {
+            // Ablation baseline: rebuild the geometry every time (counted
+            // as a miss so the hit rate reads 0%).
+            self.adjacency.lock().misses += 1;
+            let raw = self.build_raw_edges(id);
+            let min_t = self.cfg.min_thickness as f64;
+            for e in &raw {
+                if !self.tile(e.to).passable_for(net) {
+                    continue;
+                }
+                if let Some(crossing) = open_from_covered(e.seg, &e.covered, net, min_t) {
+                    out.push(PlanarEdge { to: e.to, crossing });
+                }
+            }
+            return;
+        }
+        let epoch = {
+            let t = self.tile(id);
+            let (cx, cy) = t.cell;
+            self.adj_epoch[self.cell_index(t.layer.index(), cx, cy)]
+        };
+        let cached = {
+            let mut s = self.adjacency.lock();
+            let hit = match s.map.get(&id.0) {
+                Some((stamp, r)) if *stamp == epoch => Some(Arc::clone(r)),
+                _ => None,
+            };
+            if hit.is_some() {
+                s.hits += 1;
+            } else {
+                s.misses += 1;
+            }
+            hit
+        };
         let raw = match cached {
             Some(r) => r,
             None => {
                 let built = Arc::new(self.build_raw_edges(id));
-                self.adjacency.lock().insert(id.0, Arc::clone(&built));
+                self.adjacency.lock().map.insert(id.0, (epoch, Arc::clone(&built)));
                 built
             }
         };
@@ -799,17 +957,19 @@ impl RoutingSpace {
         }
         let my_bbox = t.shape.bbox();
         for &(ox, oy) in &cells {
-            for &other in self.tiles_in_cell(layer, ox, oy) {
+            // Tiles sharing a boundary must have touching bounding boxes,
+            // so the per-cell index narrows thousands of cell tiles down
+            // to the handful near this one. Query results come back in
+            // insertion (= `cell_tiles`) order — the same candidate order
+            // the full scan used, so edge order (and thus A\* tie-breaks)
+            // is unchanged.
+            let index = &self.tile_index[self.cell_index(layer.index(), ox, oy)];
+            for entry in index.query_ref(my_bbox) {
+                let (_, &other) = index.get(entry).expect("live index entry");
                 if other == id {
                     continue;
                 }
                 let o = self.tile(other);
-                // Cheap bbox rejection before the exact octagon
-                // intersection: tiles sharing a boundary must have
-                // touching bounding boxes.
-                if !my_bbox.intersects(o.shape.bbox()) {
-                    continue;
-                }
                 let shared = t.shape.intersection(&o.shape);
                 let Some(seg) = shared.as_degenerate_segment() else {
                     continue;
@@ -1013,6 +1173,7 @@ mod tests {
             min_thickness: 4_000,
             via_width: 5_000,
             via_cost: 20_000.0,
+            adjacency_cache: true,
         }
     }
 
