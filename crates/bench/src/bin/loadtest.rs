@@ -1,0 +1,146 @@
+//! Serve-path load test: `loadtest [jobs] [workers]` pushes N concurrent
+//! dense1 jobs through the [`JobServer`] worker pool and reports
+//! throughput and service-latency percentiles.
+//!
+//! Two contracts are enforced (nonzero exit on violation):
+//!
+//! - **byte identity** — every concurrent job's layout hash equals the
+//!   single-job direct `InfoRouter::route` hash;
+//! - **warm-cache reuse** — with identical jobs, the shared space cache
+//!   must see at least one hit.
+//!
+//! The summary is spliced into `BENCH_rdl.json` under a top-level
+//! `"loadtest"` key (the rest of the file is left byte-for-byte intact),
+//! so CI's artifact upload carries it alongside the Table I numbers.
+
+use info_gen::dense;
+use info_router::serve::{json, JobRequest, JobServer, ServeConfig};
+use info_router::{InfoRouter, RouterConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    let idx = (sorted.len().saturating_sub(1) * pct) / 100;
+    sorted[idx]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let pkg = Arc::new(dense(1));
+    let rcfg = RouterConfig::default();
+
+    // Single-job reference: the hash every concurrent job must reproduce,
+    // and the serial-time denominator for the speedup figure.
+    let t0 = Instant::now();
+    let direct = InfoRouter::new(rcfg).route(&pkg);
+    let serial = t0.elapsed();
+    let want = direct.layout.canonical_hash();
+    println!(
+        "direct route: dense1 ({} nets) in {:.3}s, hash {want:016x}",
+        pkg.nets().len(),
+        serial.as_secs_f64()
+    );
+
+    let scfg = ServeConfig {
+        workers,
+        queue_capacity: jobs.max(1),
+        ..ServeConfig::default()
+    };
+    let (server, results) = JobServer::start(scfg);
+    let t0 = Instant::now();
+    for i in 0..jobs {
+        server
+            .submit(JobRequest {
+                id: format!("load-{i}"),
+                package: Arc::clone(&pkg),
+                cfg: rcfg,
+                deadline: None,
+            })
+            .unwrap_or_else(|r| panic!("submit load-{i} rejected: {r:?}"));
+    }
+    let mut latencies = Vec::with_capacity(jobs);
+    let mut mismatches = 0usize;
+    for _ in 0..jobs {
+        let r = results
+            .recv_timeout(Duration::from_secs(3600))
+            .expect("job result");
+        latencies.push(r.elapsed);
+        match r.outcome {
+            Ok(out) => {
+                let got = out.layout.canonical_hash();
+                if got != want {
+                    eprintln!("{}: HASH MISMATCH {got:016x} != {want:016x}", r.id);
+                    mismatches += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("{}: job failed: {e}", r.id);
+                mismatches += 1;
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    let (hits, misses) = server.warm_cache().stats();
+    server.shutdown();
+
+    latencies.sort();
+    let p50 = percentile(&latencies, 50);
+    let p99 = percentile(&latencies, 99);
+    let throughput = jobs as f64 / wall.as_secs_f64();
+    let speedup = (serial.as_secs_f64() * jobs as f64) / wall.as_secs_f64();
+    println!(
+        "{jobs} jobs x {workers} workers: wall {:.3}s, {throughput:.2} jobs/s, \
+         p50 {:.1}ms, p99 {:.1}ms, speedup {speedup:.2}x, warm {hits} hits / {misses} misses",
+        wall.as_secs_f64(),
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+    );
+
+    if mismatches > 0 {
+        eprintln!("{mismatches} of {jobs} jobs diverged from the direct route");
+        std::process::exit(1);
+    }
+    if jobs > 1 && hits == 0 {
+        eprintln!("warm cache saw no reuse across {jobs} identical jobs");
+        std::process::exit(1);
+    }
+
+    let summary = json::Json::Obj(vec![
+        ("jobs".to_string(), json::Json::Num(jobs as f64)),
+        ("workers".to_string(), json::Json::Num(workers as f64)),
+        ("wall_s".to_string(), json::Json::Num((wall.as_secs_f64() * 1e4).round() / 1e4)),
+        ("throughput_jobs_s".to_string(), json::Json::Num((throughput * 100.0).round() / 100.0)),
+        ("p50_ms".to_string(), json::Json::Num((p50.as_secs_f64() * 1e4).round() / 10.0)),
+        ("p99_ms".to_string(), json::Json::Num((p99.as_secs_f64() * 1e4).round() / 10.0)),
+        ("serial_s".to_string(), json::Json::Num((serial.as_secs_f64() * 1e4).round() / 1e4)),
+        ("speedup".to_string(), json::Json::Num((speedup * 100.0).round() / 100.0)),
+        ("warm_hits".to_string(), json::Json::Num(hits as f64)),
+        ("warm_misses".to_string(), json::Json::Num(misses as f64)),
+        ("hash".to_string(), json::Json::Str(format!("{want:016x}"))),
+    ]);
+    match splice_loadtest("BENCH_rdl.json", &summary) {
+        Ok(()) => println!("updated BENCH_rdl.json (loadtest key)"),
+        Err(e) => eprintln!("could not update BENCH_rdl.json: {e}"),
+    }
+}
+
+/// Inserts/replaces the top-level `"loadtest"` key in `path` without
+/// reformatting anything else: the existing `"loadtest"` line (if any) is
+/// dropped and a fresh one is inserted right after the opening brace.
+fn splice_loadtest(path: &str, summary: &json::Json) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    json::parse(&text).map_err(|e| format!("existing file is not valid JSON: {e}"))?;
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    lines.retain(|l| !l.trim_start().starts_with("\"loadtest\""));
+    let open = lines
+        .iter()
+        .position(|l| l.trim() == "{")
+        .ok_or_else(|| "no top-level object".to_string())?;
+    lines.insert(open + 1, format!("  \"loadtest\": {summary},"));
+    let spliced = lines.join("\n") + "\n";
+    json::parse(&spliced).map_err(|e| format!("splice produced invalid JSON: {e}"))?;
+    std::fs::write(path, spliced).map_err(|e| format!("write: {e}"))
+}

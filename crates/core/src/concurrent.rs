@@ -139,7 +139,7 @@ pub fn route_concurrent(
         for &ci in layer_nets {
             // Cooperative budget: unrouted candidates go to the sequential
             // stage instead of being dropped.
-            if ctx.deadline_exceeded() {
+            if ctx.interrupted() {
                 result.skipped.push(ci);
                 continue;
             }

@@ -21,9 +21,12 @@ use crate::lpopt::{self, LpOptReport};
 use crate::preprocess::preprocess;
 use crate::resilience::{guard_stage, FlowCtx, FlowDiagnostics, Stage, StageOutcome};
 use crate::sequential::{route_sequential, SequentialResult};
+use crate::warm::WarmSpaceCache;
 use info_model::{drc::DrcReport, stats::LayoutStats, Layout, NetId, Package};
 use info_telemetry::{AttemptOutcome, AttemptRecord, Counter, Pass, Sink, TelemetryReport};
+use info_tile::CancelToken;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Wall-clock time spent in each stage.
@@ -51,6 +54,41 @@ impl StageTimings {
     }
 }
 
+/// How far the flow got before returning — the anytime contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Every stage ran to its natural end; the result is the router's
+    /// full answer.
+    Full,
+    /// The flow was interrupted — cancel, job deadline, or a tripped
+    /// stage budget — and returned the legal partial layout it had
+    /// committed so far. Per-net detail is in [`RouteOutcome::net_status`].
+    Degraded,
+}
+
+/// What happened to one net, for anytime reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetStatus {
+    /// Committed into the returned layout.
+    Routed,
+    /// Attempted and not routable in the budget's search effort.
+    Failed,
+    /// Never attempted (or aborted mid-search) because the flow was
+    /// interrupted — a longer budget may well route it.
+    Skipped,
+}
+
+impl NetStatus {
+    /// Stable lowercase label (serve-layer responses, reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetStatus::Routed => "routed",
+            NetStatus::Failed => "failed",
+            NetStatus::Skipped => "skipped",
+        }
+    }
+}
+
 /// Everything the router produced.
 #[derive(Debug, Clone)]
 pub struct RouteOutcome {
@@ -68,6 +106,15 @@ pub struct RouteOutcome {
     pub sequential_routed: usize,
     /// Nets that failed to route.
     pub failed: Vec<NetId>,
+    /// Full answer or deadline-truncated partial answer.
+    pub completion: Completion,
+    /// True when the flow's cancel token was cancelled (explicitly or by
+    /// a check trip), as opposed to a deadline-only truncation.
+    pub cancelled: bool,
+    /// Per-net disposition, in package net order. Only present-tense
+    /// facts: a `Skipped` net is routable work an interrupted flow never
+    /// got to.
+    pub net_status: Vec<(NetId, NetStatus)>,
     /// LP report of the intermediate pass (after concurrent routing).
     pub lp_mid: Option<LpOptReport>,
     /// LP report of the final pass.
@@ -86,12 +133,33 @@ pub struct RouteOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct InfoRouter {
     cfg: RouterConfig,
+    /// Shared warm-start cache for the sequential stage's routing space;
+    /// `None` builds cold every run. Cloning the router shares the cache.
+    warm: Option<Arc<WarmSpaceCache>>,
+    /// Externally owned cancel token the flow observes; `None` gives each
+    /// `route` call a private token nothing external can trip.
+    cancel: Option<CancelToken>,
 }
 
 impl InfoRouter {
     /// Creates a router with the given configuration.
     pub fn new(cfg: RouterConfig) -> Self {
-        InfoRouter { cfg }
+        InfoRouter { cfg, warm: None, cancel: None }
+    }
+
+    /// Shares `cache` across this router's runs (and its clones): repeat
+    /// jobs on the same circuit skip the sequential-stage space build.
+    pub fn with_warm_cache(mut self, cache: Arc<WarmSpaceCache>) -> Self {
+        self.warm = Some(cache);
+        self
+    }
+
+    /// Makes `route` observe `token`: cancelling it (or letting its job
+    /// deadline pass) interrupts the flow mid-stage and yields a
+    /// [`Completion::Degraded`] outcome with the legal partial layout.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// The configuration in effect.
@@ -109,7 +177,10 @@ impl InfoRouter {
     /// under a panic guard with rollback, and failures degrade the result
     /// (details in `diagnostics`) instead of propagating.
     pub fn route(&self, package: &Package) -> RouteOutcome {
-        let ctx = FlowCtx::new(self.cfg.fault_plan);
+        let ctx = match &self.cancel {
+            Some(token) => FlowCtx::with_token(self.cfg.fault_plan, token.clone()),
+            None => FlowCtx::new(self.cfg.fault_plan),
+        };
         let budget = self.cfg.stage_budget;
         let tel = if self.cfg.telemetry { Sink::enabled() } else { Sink::disabled() };
         let mut layout = Layout::new(package);
@@ -193,7 +264,15 @@ impl InfoRouter {
         let remaining: Vec<NetId> =
             package.nets().iter().map(|n| n.id).filter(|id| !done.contains(id)).collect();
         let (seq, outcome) = guard_stage(Stage::Sequential, &ctx, budget, || {
-            Ok(route_sequential(package, &mut layout, &remaining, &self.cfg, &ctx, &tel))
+            Ok(route_sequential(
+                package,
+                &mut layout,
+                &remaining,
+                &self.cfg,
+                &ctx,
+                self.warm.as_deref(),
+                &tel,
+            ))
         });
         diagnostics.sequential = outcome;
         let seq = seq.unwrap_or_else(|| {
@@ -250,6 +329,37 @@ impl InfoRouter {
             tel.record_span("drc_verify", drc_elapsed.as_secs_f64());
         }
         let stats = LayoutStats::from_report(package, &layout, &report);
+
+        // Anytime disposition: the run is degraded when any interrupt was
+        // observed — a live interrupt flag, a truncated stage, or nets the
+        // sequential stage recorded as skipped.
+        let truncated_stage = diagnostics
+            .stages()
+            .iter()
+            .any(|(_, o)| matches!(o, StageOutcome::TimedOut | StageOutcome::Cancelled));
+        let completion = if ctx.interrupted() || truncated_stage || !seq.skipped.is_empty() {
+            Completion::Degraded
+        } else {
+            Completion::Full
+        };
+        let routed: BTreeSet<NetId> =
+            concurrent_done.iter().chain(seq.routed.iter()).copied().collect();
+        let skipped: BTreeSet<NetId> = seq.skipped.iter().copied().collect();
+        let net_status: Vec<(NetId, NetStatus)> = package
+            .nets()
+            .iter()
+            .map(|n| {
+                let s = if routed.contains(&n.id) {
+                    NetStatus::Routed
+                } else if skipped.contains(&n.id) {
+                    NetStatus::Skipped
+                } else {
+                    NetStatus::Failed
+                };
+                (n.id, s)
+            })
+            .collect();
+
         RouteOutcome {
             layout,
             stats,
@@ -258,6 +368,9 @@ impl InfoRouter {
             concurrent_routed: concurrent_done.len(),
             sequential_routed: seq.routed.len(),
             failed: seq.failed,
+            completion,
+            cancelled: ctx.cancelled(),
+            net_status,
             lp_mid,
             lp_final,
             diagnostics,

@@ -53,15 +53,18 @@ pub mod pool;
 pub mod preprocess;
 pub mod resilience;
 pub mod sequential;
+pub mod serve;
 pub mod trial;
+pub mod warm;
 
 mod config;
 mod flow;
 
 pub use config::RouterConfig;
-pub use flow::{InfoRouter, RouteOutcome, StageTimings};
-pub use info_tile::{SearchOptions, SearchStats};
+pub use flow::{Completion, InfoRouter, NetStatus, RouteOutcome, StageTimings};
+pub use info_tile::{CancelToken, SearchOptions, SearchStats};
 pub use resilience::{
     FaultDirective, FaultKind, FaultPlan, FaultSite, FlowCtx, FlowDiagnostics, RouterError, Stage,
     StageOutcome,
 };
+pub use warm::WarmSpaceCache;

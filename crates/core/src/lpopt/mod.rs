@@ -190,7 +190,7 @@ pub fn optimize(
     for iter in 1..=max_iters {
         // Cooperative budget: stop iterating; the positions reached so far
         // are applied below only if they are crossing-free.
-        if ctx.deadline_exceeded() {
+        if ctx.interrupted() {
             break;
         }
         report.iterations = iter;
@@ -214,6 +214,13 @@ pub fn optimize(
                 vec![comp.clone()]
             };
             for subset in subsets {
+                // Per-subset interrupt check: a big component's sweep list
+                // can dwarf the outer iteration, and a cancelled job must
+                // not wait for it. Positions solved so far are still only
+                // applied below if crossing-free.
+                if ctx.interrupted() {
+                    break;
+                }
                 if let Err(e) = solve_subset(
                     package, &items, &base, &extra, &subset, &mut solved, &mut warm, ctx,
                 ) {

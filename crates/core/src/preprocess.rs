@@ -166,7 +166,7 @@ pub fn preprocess(
     for n in package.nets() {
         // Cooperative budget: stop collecting candidates when the stage
         // runs over; uncollected nets simply route sequentially.
-        if ctx.deadline_exceeded() {
+        if ctx.interrupted() {
             break;
         }
         let (Some(pa), Some(pb)) = (access_of(n.a), access_of(n.b)) else {

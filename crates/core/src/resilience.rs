@@ -21,10 +21,11 @@
 
 use info_lp::LpError;
 use info_model::NetId;
+use info_tile::CancelToken;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
 
 // ---------------------------------------------------------------------------
 // Stages
@@ -112,6 +113,20 @@ pub enum RouterError {
         /// The site that fired.
         site: FaultSite,
     },
+    /// A routing job or netlist failed validation before any routing ran
+    /// (malformed JSON, bad netlist text, out-of-range field). Always a
+    /// typed rejection — adversarial input must never panic the service.
+    BadInput {
+        /// What was wrong with the input.
+        reason: String,
+    },
+    /// The job's cancel token tripped (explicit cancel or job deadline);
+    /// whatever partial result existed at the trip is what was kept.
+    Cancelled,
+    /// The job server itself failed while handling a job (worker panic
+    /// that survived the retry, send failure). Never caused by routing —
+    /// `route()` absorbs its own failures.
+    Serve(String),
 }
 
 impl fmt::Display for RouterError {
@@ -132,6 +147,9 @@ impl fmt::Display for RouterError {
             RouterError::FaultInjected { site } => {
                 write!(f, "injected fault fired at {}", site.as_str())
             }
+            RouterError::BadInput { reason } => write!(f, "bad input: {reason}"),
+            RouterError::Cancelled => write!(f, "job cancelled"),
+            RouterError::Serve(m) => write!(f, "job server failed: {m}"),
         }
     }
 }
@@ -179,6 +197,9 @@ pub enum StageOutcome {
     /// The stage hit its cooperative deadline; partial results (if any)
     /// were kept and the flow continued.
     TimedOut,
+    /// The flow's cancel token tripped while (or before) the stage ran;
+    /// partial results were kept, and every later stage reports the same.
+    Cancelled,
 }
 
 impl StageOutcome {
@@ -275,13 +296,22 @@ pub enum FaultSite {
     AstarExpand,
     /// Inside the sequential stage, at via insertion / tile realization.
     TileViaInsert,
+    /// In the job server, while parsing a submitted job line (before any
+    /// routing work is scheduled).
+    ServeParse,
+    /// In a job-server worker, between accepting a job and committing
+    /// its result (exercises per-job `catch_unwind` isolation + retry).
+    ServeWorker,
+    /// In a job-server worker, at job start: arms a deterministic
+    /// mid-search cancel trip on the job's token instead of failing.
+    ServeCancel,
 }
 
 impl FaultSite {
     /// Number of distinct sites.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 9;
 
-    /// Every site, in flow order.
+    /// Every site, in flow order (service-layer sites last).
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
         FaultSite::PreprocessPartition,
         FaultSite::AssignPeel,
@@ -289,6 +319,9 @@ impl FaultSite {
         FaultSite::LpFactorize,
         FaultSite::AstarExpand,
         FaultSite::TileViaInsert,
+        FaultSite::ServeParse,
+        FaultSite::ServeWorker,
+        FaultSite::ServeCancel,
     ];
 
     /// Stable dotted name (`lp.factorize`, `astar.expand`, …).
@@ -300,6 +333,9 @@ impl FaultSite {
             FaultSite::LpFactorize => "lp.factorize",
             FaultSite::AstarExpand => "astar.expand",
             FaultSite::TileViaInsert => "tile.via_insert",
+            FaultSite::ServeParse => "serve.parse",
+            FaultSite::ServeWorker => "serve.worker",
+            FaultSite::ServeCancel => "serve.cancel",
         }
     }
 
@@ -316,6 +352,9 @@ impl FaultSite {
             FaultSite::LpFactorize => 3,
             FaultSite::AstarExpand => 4,
             FaultSite::TileViaInsert => 5,
+            FaultSite::ServeParse => 6,
+            FaultSite::ServeWorker => 7,
+            FaultSite::ServeCancel => 8,
         }
     }
 }
@@ -408,9 +447,10 @@ pub struct FlowCtx {
     plan: FaultPlan,
     hits: [AtomicU32; FaultSite::COUNT],
     fired: [AtomicU32; FaultSite::COUNT],
-    /// Per-stage deadline in nanoseconds after `epoch`; 0 = no deadline.
-    deadline_nanos: AtomicU64,
-    epoch: Instant,
+    /// The shared stop flag: stage deadline (re-armed per stage), job
+    /// deadline, and explicit cancel all live here, so the innermost A\*
+    /// loop observes the same state as the stage guards.
+    cancel: CancelToken,
 }
 
 impl Default for FlowCtx {
@@ -420,38 +460,50 @@ impl Default for FlowCtx {
 }
 
 impl FlowCtx {
-    /// A context with `plan` armed and no deadline set.
+    /// A context with `plan` armed, a fresh cancel token, and no deadline.
     pub fn new(plan: FaultPlan) -> Self {
-        FlowCtx {
-            plan,
-            hits: Default::default(),
-            fired: Default::default(),
-            deadline_nanos: AtomicU64::new(0),
-            epoch: Instant::now(),
-        }
+        FlowCtx::with_token(plan, CancelToken::new())
+    }
+
+    /// A context observing an externally owned [`CancelToken`] — how a
+    /// job server threads its per-job cancel/deadline into the flow.
+    pub fn with_token(plan: FaultPlan, cancel: CancelToken) -> Self {
+        FlowCtx { plan, hits: Default::default(), fired: Default::default(), cancel }
+    }
+
+    /// The cancel token this context observes (share it to cancel the
+    /// flow from another thread, or pass it into cancellable searches).
+    pub fn token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Arms the cooperative deadline for the next stage; `None` clears it.
+    /// The job-level deadline on the token (if any) is untouched.
     pub fn begin_stage(&self, budget: Option<Duration>) {
-        let nanos = match budget {
-            Some(b) => {
-                let end = self.epoch.elapsed() + b;
-                // Saturate instead of wrapping; u64 nanos covers ~584 years.
-                u64::try_from(end.as_nanos()).unwrap_or(u64::MAX).max(1)
-            }
-            None => 0,
-        };
-        self.deadline_nanos.store(nanos, Ordering::Relaxed);
+        self.cancel.arm_stage_deadline(budget);
     }
 
-    /// True once the current stage's deadline has passed.
+    /// True once the current stage's deadline — or the token's job-level
+    /// deadline — has passed.
     ///
     /// Stages call this between units of work (per net, per candidate, per
     /// LP iteration) and stop early when it trips — the cooperative half of
     /// the stage time budget.
     pub fn deadline_exceeded(&self) -> bool {
-        let d = self.deadline_nanos.load(Ordering::Relaxed);
-        d != 0 && self.epoch.elapsed().as_nanos() >= u128::from(d)
+        self.cancel.deadline_exceeded()
+    }
+
+    /// True once the flow was explicitly cancelled (or a deterministic
+    /// check trip fired).
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// True when the flow should stop for any reason — deadline (stage or
+    /// job) or cancellation. The per-unit-of-work stop check every stage
+    /// loop uses.
+    pub fn interrupted(&self) -> bool {
+        self.cancel.should_stop()
     }
 
     /// Fault-injection check for `site`.
@@ -505,9 +557,13 @@ pub fn guard_stage<T>(
 ) -> (Option<T>, StageOutcome) {
     ctx.begin_stage(budget);
     let result = catch_unwind(AssertUnwindSafe(f));
+    // Cancellation outranks a deadline: a cancelled flow often also blows
+    // its stage budget, and the caller cares that it was *asked* to stop.
+    let cancelled = ctx.cancelled();
     let timed_out = ctx.deadline_exceeded();
     ctx.begin_stage(None);
     match result {
+        Ok(Ok(v)) if cancelled => (Some(v), StageOutcome::Cancelled),
         Ok(Ok(v)) if timed_out => (Some(v), StageOutcome::TimedOut),
         Ok(Ok(v)) => (Some(v), StageOutcome::Ok),
         Ok(Err(e)) => (None, StageOutcome::Recovered(e)),

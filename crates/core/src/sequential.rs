@@ -22,6 +22,11 @@ pub struct SequentialResult {
     pub routed: Vec<NetId>,
     /// Nets that could not be routed.
     pub failed: Vec<NetId>,
+    /// Nets never attempted (or aborted mid-search) because the flow was
+    /// interrupted — cancel, check trip, or deadline. Every net here also
+    /// appears in `failed`; the distinction lets an anytime caller report
+    /// "unattempted" separately from "tried and unroutable".
+    pub skipped: Vec<NetId>,
     /// Nets that failed for internal reasons (caught panic, injected
     /// fault) rather than geometry; each such failure cost exactly that
     /// net. Every net here also appears in `failed`.
@@ -42,6 +47,29 @@ pub fn space_config(package: &Package, cfg: &RouterConfig) -> SpaceConfig {
     sc
 }
 
+/// Builds the stage-start routing space, with ALT landmark tables
+/// installed when configured.
+///
+/// ALT tables over the stage-start graph are admissible for the whole
+/// stage because the stage only adds blockage relative to this state
+/// (rip-up never restores below it). Snapshots and restores share the
+/// tables through the `Arc`; a panic-path rebuild drops them, which only
+/// weakens the heuristic back to geometric.
+pub(crate) fn build_stage_space(
+    package: &Package,
+    layout: &Layout,
+    cfg: &RouterConfig,
+    tel: &Sink,
+) -> RoutingSpace {
+    let mut space = RoutingSpace::build(package, layout, space_config(package, cfg));
+    if cfg.alt_landmarks > 0 {
+        let lm = info_tile::Landmarks::build(&space, cfg.alt_landmarks);
+        space.set_landmarks(Some(std::sync::Arc::new(lm)));
+        tel.count(Counter::LandmarkRebuilds, 1);
+    }
+    space
+}
+
 /// Routes `nets` sequentially over the tile graph, committing into
 /// `layout`. Nets are attempted shortest-first; failures get one retry
 /// pass after all other nets have been placed (the space may have gained
@@ -51,14 +79,22 @@ pub fn space_config(package: &Package, cfg: &RouterConfig) -> SpaceConfig {
 /// under its own panic guard, and an internal failure (caught panic,
 /// injected `astar.expand` / `tile.via_insert` fault) marks only that net
 /// unrouted — recorded in `recovered` — while the rest of the stage
-/// continues. A tripped stage budget leaves the remaining nets in
-/// `failed`.
+/// continues. A tripped stage budget (or an interrupt on the flow's
+/// cancel token) leaves the remaining nets in `failed` and `skipped`.
+///
+/// With `warm` set, the stage-start [`RoutingSpace`] (landmarks
+/// installed) is fetched from — or, on a miss, built once and installed
+/// into — the shared cache, so repeat jobs on the same circuit skip the
+/// build. A cached clone is bit-identical to a fresh build, so the
+/// routed layout is unaffected.
+#[allow(clippy::too_many_arguments)]
 pub fn route_sequential(
     package: &Package,
     layout: &mut Layout,
     nets: &[NetId],
     cfg: &RouterConfig,
     ctx: &FlowCtx,
+    warm: Option<&crate::warm::WarmSpaceCache>,
     tel: &Sink,
 ) -> SequentialResult {
     let mut order: Vec<NetId> = nets.to_vec();
@@ -70,17 +106,10 @@ pub fn route_sequential(
         d(x).total_cmp(&d(y)).then(x.cmp(&y))
     });
 
-    let mut space = RoutingSpace::build(package, layout, space_config(package, cfg));
-    if cfg.alt_landmarks > 0 {
-        // ALT tables over the stage-start graph: admissible for the whole
-        // stage because the stage only adds blockage relative to this
-        // state (rip-up never restores below it). Snapshots and restores
-        // share the tables through the `Arc`; a panic-path rebuild drops
-        // them, which only weakens the heuristic back to geometric.
-        let lm = info_tile::Landmarks::build(&space, cfg.alt_landmarks);
-        space.set_landmarks(Some(std::sync::Arc::new(lm)));
-        tel.count(Counter::LandmarkRebuilds, 1);
-    }
+    let mut space = match warm {
+        Some(cache) => cache.get_or_build(package, layout, cfg, tel),
+        None => build_stage_space(package, layout, cfg, tel),
+    };
     let mut result = SequentialResult::default();
     let mut retry: Vec<NetId> = Vec::new();
     let threads = effective_threads(cfg);
@@ -105,13 +134,24 @@ pub fn route_sequential(
                 &mut stats,
                 tel,
                 &mut |id, attempt| match attempt {
-                    Attempt::Deadline => result.failed.push(id),
+                    Attempt::Deadline => {
+                        result.failed.push(id);
+                        result.skipped.push(id);
+                    }
                     Attempt::Routed(draft) => {
                         tel.record(draft.to_record(id, journal_pass, Vec::new()));
                         result.routed.push(id);
                     }
                     Attempt::Failed(draft) => {
                         tel.record(draft.to_record(id, journal_pass, Vec::new()));
+                        if draft.was_cancelled() {
+                            // The search was aborted, not refuted: no
+                            // retry (the interrupt is sticky), and the
+                            // net counts as skipped for anytime status.
+                            result.failed.push(id);
+                            result.skipped.push(id);
+                            return;
+                        }
                         fail_expansions.insert(id, draft.expansions);
                         if pass == 0 {
                             retry.push(id);
@@ -128,8 +168,9 @@ pub fn route_sequential(
             continue;
         }
         for id in todo {
-            if ctx.deadline_exceeded() {
+            if ctx.interrupted() {
                 result.failed.push(id);
+                result.skipped.push(id);
                 continue;
             }
             match guarded_route_net(package, layout, &mut space, id, cfg, ctx, &mut stats, tel) {
@@ -139,6 +180,11 @@ pub fn route_sequential(
                 }
                 Ok((draft, None)) => {
                     tel.record(draft.to_record(id, journal_pass, Vec::new()));
+                    if draft.was_cancelled() {
+                        result.failed.push(id);
+                        result.skipped.push(id);
+                        continue;
+                    }
                     fail_expansions.insert(id, draft.expansions);
                     if pass == 0 {
                         retry.push(id);
@@ -175,7 +221,9 @@ pub fn route_sequential(
         };
         boxed_in.sort_by(|&x, &y| rate(y).total_cmp(&rate(x)).then(x.cmp(&y)));
         for id in boxed_in {
-            if ctx.deadline_exceeded() {
+            if ctx.interrupted() {
+                // These nets *were* attempted in passes 1–2, so they stay
+                // out of `skipped` — only the rip-up rescue is forgone.
                 result.failed.push(id);
                 continue;
             }
@@ -276,6 +324,13 @@ struct AttemptDraft {
 }
 
 impl AttemptDraft {
+    /// True when the attempt's search was aborted by the cancel token
+    /// rather than finishing (an anytime caller must not treat this net
+    /// as refuted).
+    fn was_cancelled(self) -> bool {
+        matches!(self.outcome, AttemptOutcome::Failed(FailureReason::Cancelled))
+    }
+
     fn to_record(self, id: NetId, pass: Pass, victims: Vec<u32>) -> AttemptRecord {
         AttemptRecord {
             net: id.0,
@@ -304,6 +359,7 @@ fn search_failure_reason(f: astar::SearchFailure, escalated: bool) -> FailureRea
         astar::SearchFailure::NoViaPath { cell } => {
             FailureReason::ViaCapacity { cell: (cell.0 as u32, cell.1 as u32) }
         }
+        astar::SearchFailure::Cancelled => FailureReason::Cancelled,
     }
 }
 
@@ -361,7 +417,7 @@ fn route_pass_speculative(
         let mut dirty: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut all_dirty = false;
         for (&id, plan) in batch.iter().zip(plans) {
-            if ctx.deadline_exceeded() {
+            if ctx.interrupted() {
                 emit(id, Attempt::Deadline);
                 continue;
             }
@@ -544,7 +600,7 @@ fn ripup_and_reroute(
         push_pair(by_a[0].0, by_b[0].0);
     }
     for victims in eviction_sets {
-        if ctx.deadline_exceeded() {
+        if ctx.interrupted() {
             return Ok(false);
         }
         tel.count(Counter::RipupAttempts, 1);
@@ -661,7 +717,15 @@ fn plan_net(
         ..Default::default()
     };
     let mut search = astar::SearchStats::default();
-    let (found, trace) = astar::route_traced_fallible(space, id, src, dst, opts, &mut search);
+    let (found, trace) = astar::route_traced_cancellable(
+        space,
+        id,
+        src,
+        dst,
+        opts,
+        Some(ctx.token()),
+        &mut search,
+    );
     let mut read = BTreeSet::new();
     extend_ring(&mut read, trace, space);
     let escalated = search.window_escalations > 0;
@@ -811,7 +875,7 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(8);
         let mut layout = Layout::new(&pkg);
         let nets: Vec<NetId> = pkg.nets().iter().map(|n| n.id).collect();
-        let res = route_sequential(&pkg, &mut layout, &nets, &cfg, &crate::resilience::FlowCtx::default(), &Sink::disabled());
+        let res = route_sequential(&pkg, &mut layout, &nets, &cfg, &crate::resilience::FlowCtx::default(), None, &Sink::disabled());
         assert_eq!(res.failed.len(), 0, "failed: {:?}", res.failed);
         for n in pkg.nets() {
             assert!(drc::is_connected(&pkg, &layout, n.id), "{} disconnected", n.id);
@@ -827,9 +891,9 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(8);
         let mut layout = Layout::new(&pkg);
         // Route net 0 first, then net 1 must avoid it.
-        let res0 = route_sequential(&pkg, &mut layout, &[NetId(0)], &cfg, &crate::resilience::FlowCtx::default(), &Sink::disabled());
+        let res0 = route_sequential(&pkg, &mut layout, &[NetId(0)], &cfg, &crate::resilience::FlowCtx::default(), None, &Sink::disabled());
         assert_eq!(res0.routed.len(), 1);
-        let res1 = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg, &crate::resilience::FlowCtx::default(), &Sink::disabled());
+        let res1 = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg, &crate::resilience::FlowCtx::default(), None, &Sink::disabled());
         assert_eq!(res1.routed.len(), 1);
         let report = drc::check(&pkg, &layout);
         assert!(
@@ -855,6 +919,7 @@ mod tests {
                 &nets,
                 &cfg,
                 &crate::resilience::FlowCtx::default(),
+                None,
                 &Sink::disabled(),
             );
             (layout.canonical_hash(), res.routed, res.failed)
@@ -906,7 +971,8 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(10);
         let ctx = crate::resilience::FlowCtx::default();
         let mut layout = Layout::new(&pkg);
-        let res = route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg, &ctx, &Sink::disabled());
+        let res =
+            route_sequential(&pkg, &mut layout, &[NetId(1)], &cfg, &ctx, None, &Sink::disabled());
         assert_eq!(res.routed, vec![NetId(1)], "net 1 must route: {res:?}");
 
         let mut space = RoutingSpace::build(&pkg, &layout, space_config(&pkg, &cfg));
@@ -957,7 +1023,7 @@ mod tests {
         let cfg = RouterConfig::default().with_global_cells(10);
         let mut layout = Layout::new(&pkg);
         let nets: Vec<NetId> = pkg.nets().iter().map(|n| n.id).collect();
-        let res = route_sequential(&pkg, &mut layout, &nets, &cfg, &crate::resilience::FlowCtx::default(), &Sink::disabled());
+        let res = route_sequential(&pkg, &mut layout, &nets, &cfg, &crate::resilience::FlowCtx::default(), None, &Sink::disabled());
         assert_eq!(res.failed.len(), 2, "fenced nets cannot route: {res:?}");
     }
 }

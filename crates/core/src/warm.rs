@@ -1,0 +1,210 @@
+//! Shared warm-start cache for the sequential stage's routing space.
+//!
+//! Building the stage-start [`RoutingSpace`] — partitioning, tile
+//! splitting, via-site insertion, ALT landmark tables — is pure in
+//! (package, layout, space configuration), and for repeat jobs on the
+//! same circuit the layout at the sequential stage's start is identical
+//! (the earlier stages are deterministic). A [`WarmSpaceCache`] shared
+//! across jobs therefore lets every job after the first start from a
+//! clone of the already-built space instead of rebuilding it.
+//!
+//! Correctness rests on two facts:
+//!
+//! - the key captures *every* input the build reads: a fingerprint of
+//!   the package text, the layout's canonical hash at stage start, and
+//!   each [`RouterConfig`] field that flows into [`space_config`] or the
+//!   landmark build;
+//! - `RoutingSpace: Clone` is bit-identical (snapshot/restore in the
+//!   rip-up pass already depends on this), so a warm start routes the
+//!   same layout, byte for byte, as a cold one.
+//!
+//! The cache is a small bounded LRU behind a mutex: lookups are rare
+//! (once per job) and the payoff per hit is the whole build, so
+//! contention is irrelevant.
+//!
+//! [`space_config`]: crate::sequential::space_config
+
+use crate::config::RouterConfig;
+use info_model::{write_package, Layout, Package};
+use info_telemetry::{Counter, Sink};
+use info_tile::RoutingSpace;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Everything the stage-start space build reads, collapsed to a
+/// comparable key. Two jobs with equal keys build bit-identical spaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WarmKey {
+    /// FNV-1a hash of the package's canonical text serialization — the
+    /// same bytes `parse_package` round-trips, so two packages with equal
+    /// fingerprints describe the same circuit.
+    package_fp: u64,
+    /// Layout state the space was built against (stage-start layout).
+    layout_hash: u64,
+    global_cells: usize,
+    via_cost_bits: u64,
+    legality_cache: bool,
+    alt_landmarks: usize,
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl WarmKey {
+    fn new(package: &Package, layout: &Layout, cfg: &RouterConfig) -> Self {
+        WarmKey {
+            package_fp: fnv1a(&write_package(package)),
+            layout_hash: layout.canonical_hash(),
+            global_cells: cfg.global_cells,
+            via_cost_bits: (cfg.via_cost_factor * package.rules().via_width as f64).to_bits(),
+            legality_cache: cfg.legality_cache,
+            alt_landmarks: cfg.alt_landmarks,
+        }
+    }
+}
+
+/// Bounded, thread-safe cache of stage-start routing spaces keyed by
+/// circuit + configuration (see the module docs).
+#[derive(Debug)]
+pub struct WarmSpaceCache {
+    capacity: usize,
+    /// Most-recently-used at the front.
+    entries: Mutex<VecDeque<(WarmKey, RoutingSpace)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WarmSpaceCache {
+    /// A cache holding at most `capacity` distinct (circuit, config)
+    /// spaces; the least recently used entry is evicted beyond that.
+    pub fn new(capacity: usize) -> Self {
+        WarmSpaceCache {
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the stage-start space for this (package, layout, config),
+    /// cloned from the cache when warm, or built — and installed — when
+    /// cold. Counts the outcome into `tel` either way.
+    pub fn get_or_build(
+        &self,
+        package: &Package,
+        layout: &Layout,
+        cfg: &RouterConfig,
+        tel: &Sink,
+    ) -> RoutingSpace {
+        let key = WarmKey::new(package, layout, cfg);
+        {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+                // Refresh recency before cloning out.
+                let hit = entries.remove(pos).expect("position came from iter");
+                let space = hit.1.clone();
+                entries.push_front(hit);
+                drop(entries);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                tel.count(Counter::WarmSpaceHits, 1);
+                return space;
+            }
+        }
+        // Build outside the lock: builds are the expensive path, and two
+        // racing cold jobs merely build twice (the second install wins
+        // the front slot; both spaces are identical).
+        let space = crate::sequential::build_stage_space(package, layout, cfg, tel);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if !entries.iter().any(|(k, _)| *k == key) {
+            entries.push_front((key, space.clone()));
+            entries.truncate(self.capacity);
+        }
+        drop(entries);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        tel.count(Counter::WarmSpaceMisses, 1);
+        space
+    }
+
+    /// Lifetime (hits, misses) across every job that used this cache.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Cached entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use info_geom::{Point, Rect};
+    use info_model::{DesignRules, PackageBuilder};
+
+    fn tiny_package() -> Package {
+        let mut b = PackageBuilder::new(
+            Rect::new(Point::new(0, 0), Point::new(600_000, 400_000)),
+            DesignRules::default(),
+            2,
+        );
+        let c = b.add_chip(Rect::new(Point::new(50_000, 50_000), Point::new(200_000, 350_000)));
+        let io = b.add_io_pad(c, Point::new(180_000, 200_000)).expect("io pad");
+        let g = b.add_bump_pad(Point::new(450_000, 200_000)).expect("bump pad");
+        b.add_net(io, g).expect("net");
+        b.build().expect("package")
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let pkg = tiny_package();
+        let layout = Layout::new(&pkg);
+        let cfg = RouterConfig::default().with_global_cells(6);
+        let cache = WarmSpaceCache::new(4);
+        let tel = Sink::disabled();
+        let _ = cache.get_or_build(&pkg, &layout, &cfg, &tel);
+        let _ = cache.get_or_build(&pkg, &layout, &cfg, &tel);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn config_change_misses() {
+        let pkg = tiny_package();
+        let layout = Layout::new(&pkg);
+        let cache = WarmSpaceCache::new(4);
+        let tel = Sink::disabled();
+        let _ = cache.get_or_build(&pkg, &layout, &RouterConfig::default().with_global_cells(6), &tel);
+        let _ = cache.get_or_build(&pkg, &layout, &RouterConfig::default().with_global_cells(8), &tel);
+        assert_eq!(cache.stats(), (0, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recent() {
+        let pkg = tiny_package();
+        let layout = Layout::new(&pkg);
+        let cache = WarmSpaceCache::new(1);
+        let tel = Sink::disabled();
+        let a = RouterConfig::default().with_global_cells(6);
+        let b = RouterConfig::default().with_global_cells(8);
+        let _ = cache.get_or_build(&pkg, &layout, &a, &tel);
+        let _ = cache.get_or_build(&pkg, &layout, &b, &tel);
+        // `a` was evicted by `b`, so it misses again.
+        let _ = cache.get_or_build(&pkg, &layout, &a, &tel);
+        assert_eq!(cache.stats(), (0, 3));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -135,6 +135,11 @@ fn check_site(site: FaultSite, kind: FaultKind) {
                 "{site}: per-net fault not attributed"
             );
         }
+        // Service-layer sites never fire inside `route()`; they are
+        // exercised by the serve fault suite (tests/serve_faults.rs).
+        FaultSite::ServeParse | FaultSite::ServeWorker | FaultSite::ServeCancel => {
+            unreachable!("check_site is only called with flow sites")
+        }
     }
 }
 

@@ -83,6 +83,10 @@ pub enum FailureReason {
     /// The realized geometry failed the clearance trial against the
     /// committed layout.
     ClearanceRejected,
+    /// The attempt's cancel token tripped mid-search (deadline, explicit
+    /// cancel, or deterministic check trip): says nothing about the
+    /// net's routability, only that the budget ran out on it.
+    Cancelled,
 }
 
 impl FailureReason {
@@ -96,11 +100,12 @@ impl FailureReason {
             FailureReason::RealizeRejected => "realize_rejected",
             FailureReason::CrossingRejected => "crossing_rejected",
             FailureReason::ClearanceRejected => "clearance_rejected",
+            FailureReason::Cancelled => "cancelled",
         }
     }
 
     /// Every label, in taxonomy order (for zero-filled count tables).
-    pub const LABELS: [&'static str; 7] = [
+    pub const LABELS: [&'static str; 8] = [
         "unreachable",
         "window_fenced",
         "congested",
@@ -108,6 +113,7 @@ impl FailureReason {
         "realize_rejected",
         "crossing_rejected",
         "clearance_rejected",
+        "cancelled",
     ];
 }
 
@@ -190,11 +196,17 @@ pub enum Counter {
     /// Wall-clock microseconds spent inside pass-3 rip-up-and-reroute
     /// trials (snapshot, eviction, re-route, and restore included).
     RipupWallUs,
+    /// Sequential-stage routing spaces served from the warm shared cache
+    /// (repeat jobs on the same circuit skip the build + landmark work).
+    WarmSpaceHits,
+    /// Sequential-stage routing spaces built cold (and, when a warm
+    /// cache is attached, deposited into it).
+    WarmSpaceMisses,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Searches,
         Counter::NodesExpanded,
         Counter::WindowEscalations,
@@ -214,6 +226,8 @@ impl Counter {
         Counter::LegalityCacheMisses,
         Counter::HeuristicTightenings,
         Counter::RipupWallUs,
+        Counter::WarmSpaceHits,
+        Counter::WarmSpaceMisses,
     ];
 
     /// Stable snake_case label.
@@ -238,6 +252,8 @@ impl Counter {
             Counter::LegalityCacheMisses => "legality_cache_misses",
             Counter::HeuristicTightenings => "heuristic_tightenings",
             Counter::RipupWallUs => "ripup_wall_us",
+            Counter::WarmSpaceHits => "warm_space_hits",
+            Counter::WarmSpaceMisses => "warm_space_misses",
         }
     }
 }

@@ -35,6 +35,7 @@
 //! *was* the full search and its failure is authoritative.
 
 use crate::bucket::BucketQueue;
+use crate::cancel::{CancelToken, CHECK_INTERVAL};
 use crate::landmarks::Landmarks;
 use crate::space::{PlanarEdge, RoutingSpace, TileId};
 use info_geom::{x_arch_len, Point, Rect};
@@ -93,6 +94,11 @@ pub enum SearchFailure {
         /// Global cell `(cx, cy)` of the stranded source.
         cell: (usize, usize),
     },
+    /// The search's [`CancelToken`] tripped (explicit cancel, deadline,
+    /// or deterministic check trip); the search stopped within
+    /// [`CHECK_INTERVAL`] expansions of the trip. Not a statement about
+    /// the net's routability.
+    Cancelled,
 }
 
 /// Aggregate statistics of one or more searches. Totals can vary with the
@@ -176,7 +182,7 @@ pub fn route_with(
 ) -> Option<AstarResult> {
     let mut stats = SearchStats::default();
     let opts = SearchOptions { allow_vias, ..SearchOptions::default() };
-    search(space, net, src, dst, opts, false, &mut stats).0.ok()
+    search(space, net, src, dst, opts, None, false, &mut stats).0.ok()
 }
 
 /// [`route`] that additionally reports the global cells the search read:
@@ -222,7 +228,25 @@ pub fn route_traced_fallible(
     opts: SearchOptions,
     stats: &mut SearchStats,
 ) -> (Result<AstarResult, SearchFailure>, Vec<(usize, usize)>) {
-    search(space, net, src, dst, opts, true, stats)
+    search(space, net, src, dst, opts, None, true, stats)
+}
+
+/// [`route_traced_fallible`] observing a [`CancelToken`]: the expansion
+/// loop checkpoints the token every [`CHECK_INTERVAL`] expansions and
+/// aborts with [`SearchFailure::Cancelled`] when it trips, so a deadline
+/// or an explicit cancel lands mid-search in bounded time instead of at
+/// the next per-net boundary. With `cancel = None` (or a quiet token)
+/// the search is bit-identical to the uncancellable entry points.
+pub fn route_traced_cancellable(
+    space: &RoutingSpace,
+    net: NetId,
+    src: (WireLayer, Point),
+    dst: (WireLayer, Point),
+    opts: SearchOptions,
+    cancel: Option<&CancelToken>,
+    stats: &mut SearchStats,
+) -> (Result<AstarResult, SearchFailure>, Vec<(usize, usize)>) {
+    search(space, net, src, dst, opts, cancel, true, stats)
 }
 
 /// Sentinel for "no parent" in the scratch parent array.
@@ -494,14 +518,19 @@ enum RunOutcome {
     /// On a budget cap the capping pop is pushed back onto the queue, so
     /// the surviving open list stays complete for a warm continuation.
     Exhausted { capped: Option<TileId> },
+    /// The cancel token tripped at a checkpoint; the search result is
+    /// meaningless and must not be escalated or retried.
+    Cancelled,
 }
 
+#[allow(clippy::too_many_arguments)] // internal; the public surface is route_traced_cancellable
 fn search(
     space: &RoutingSpace,
     net: NetId,
     src: (WireLayer, Point),
     dst: (WireLayer, Point),
     opts: SearchOptions,
+    cancel: Option<&CancelToken>,
     want_trace: bool,
     stats: &mut SearchStats,
 ) -> (Result<AstarResult, SearchFailure>, Vec<(usize, usize)>) {
@@ -523,7 +552,7 @@ fn search(
         } else {
             Some(TraceSink::Tree(&mut tree))
         };
-        let result = search_inner(s, space, net, src, dst, opts, sink.as_mut(), stats);
+        let result = search_inner(s, space, net, src, dst, opts, cancel, sink.as_mut(), stats);
         stats.heuristic_tightenings += s.tightenings - tight0;
         let cells = if !want_trace {
             Vec::new()
@@ -545,9 +574,15 @@ fn search_inner(
     src: (WireLayer, Point),
     dst: (WireLayer, Point),
     opts: SearchOptions,
+    cancel: Option<&CancelToken>,
     mut trace: Option<&mut TraceSink<'_>>,
     stats: &mut SearchStats,
 ) -> Result<AstarResult, SearchFailure> {
+    // A tripped token stops the search before any work; post-trip
+    // searches in the same stage expand nothing.
+    if cancel.is_some_and(CancelToken::should_stop) {
+        return Err(SearchFailure::Cancelled);
+    }
     if !opts.allow_vias && src.0 != dst.0 {
         return Err(SearchFailure::BlockedTerminal);
     }
@@ -606,11 +641,15 @@ fn search_inner(
                 opts.allow_vias,
                 true,
                 Some((&mut pruned_min_f, &mut pruned)),
+                cancel,
                 trace.as_deref_mut(),
                 stats,
                 &mut saw_via,
             );
             let verdict = match outcome {
+                // A tripped token aborts immediately — never escalate a
+                // cancelled windowed run.
+                RunOutcome::Cancelled => Some(Err(SearchFailure::Cancelled)),
                 // Fence: every pop was ≤ f_pop < every pruned key, so the
                 // full search would have popped the identical sequence.
                 RunOutcome::Found { result, f_pop } if f_pop < pruned_min_f => Some(Ok(result)),
@@ -655,6 +694,7 @@ fn search_inner(
                         opts.allow_vias,
                         false,
                         None,
+                        cancel,
                         trace.as_deref_mut(),
                         stats,
                         &mut saw_via,
@@ -666,6 +706,7 @@ fn search_inner(
                             Err(SearchFailure::BudgetCapped { last_tile: t })
                         }
                         RunOutcome::Exhausted { capped: None } => Err(no_path(saw_via)),
+                        RunOutcome::Cancelled => Err(SearchFailure::Cancelled),
                     })
                 }
             };
@@ -686,6 +727,7 @@ fn search_inner(
             opts.allow_vias,
             false,
             None,
+            cancel,
             trace,
             stats,
             &mut saw_via,
@@ -695,6 +737,7 @@ fn search_inner(
                 Err(SearchFailure::BudgetCapped { last_tile: t })
             }
             RunOutcome::Exhausted { capped: None } => Err(no_path(saw_via)),
+            RunOutcome::Cancelled => Err(SearchFailure::Cancelled),
         }
     }
 }
@@ -761,6 +804,7 @@ fn run(
     allow_vias: bool,
     windowed: bool,
     mut pruned_sink: Option<(&mut f64, &mut Vec<PrunedEdge>)>,
+    cancel: Option<&CancelToken>,
     mut trace: Option<&mut TraceSink<'_>>,
     stats: &mut SearchStats,
     saw_via: &mut bool,
@@ -823,6 +867,18 @@ fn run(
         }
         expansions += 1;
         stats.nodes_expanded += 1;
+        // Cooperative cancellation checkpoint, once per CHECK_INTERVAL
+        // expansions (the first at expansion 1, so a post-trip run stops
+        // after a single expansion). With no token — or a quiet one — the
+        // pop sequence is untouched, so results stay bit-identical.
+        if expansions as u64 % CHECK_INTERVAL == 1 {
+            if let Some(c) = cancel {
+                if c.checkpoint() {
+                    stats.heap_peak = stats.heap_peak.max(s.queue.peak() as u64);
+                    return RunOutcome::Cancelled;
+                }
+            }
+        }
         if expansions > MAX_EXPANSIONS {
             // Put the capping pop back so the surviving open list is a
             // complete frontier for a warm continuation.

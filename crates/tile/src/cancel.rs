@@ -1,0 +1,222 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A [`CancelToken`] is the one shared flag a routing job, the flow
+//! driver, and the innermost A\* expansion loop all observe. It carries
+//! three independent stop conditions:
+//!
+//! - an **explicit cancel** (`cancel()`), set by a caller — typically a
+//!   job server reacting to a client's cancel request;
+//! - a **stage deadline**, re-armed by the flow at every stage boundary
+//!   (the cooperative half of `RouterConfig::stage_budget`);
+//! - a **job deadline**, armed once for the whole route call (a
+//!   service-level wall-clock budget that survives stage re-arming).
+//!
+//! The token is `Arc`-shared and entirely atomic, so it stays coherent
+//! across `catch_unwind` guards and worker threads; cloning shares state.
+//!
+//! ## Deterministic trips
+//!
+//! Wall-clock deadlines make bounded-termination *tests* flaky, so the
+//! token also counts [`checkpoint`] calls and can be told to trip after
+//! exactly `n` of them ([`trip_after_checks`]). The A\* loop checkpoints
+//! once per `CHECK_INTERVAL` expansions (including expansion 0), giving
+//! the invariant tests pin: after the trip at check `k`, the total
+//! expansion count across every search on the token is at most
+//! `k * CHECK_INTERVAL`.
+//!
+//! [`checkpoint`]: CancelToken::checkpoint
+//! [`trip_after_checks`]: CancelToken::trip_after_checks
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many A\* expansions pass between consecutive cooperative
+/// checkpoints. Small enough that a cancel lands within a few thousand
+/// expansions (microseconds), large enough that the atomic loads never
+/// show up in a profile.
+pub const CHECK_INTERVAL: u64 = 4096;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Stage deadline in nanoseconds after `epoch`; 0 = unarmed.
+    stage_deadline_nanos: AtomicU64,
+    /// Job deadline in nanoseconds after `epoch`; 0 = unarmed.
+    job_deadline_nanos: AtomicU64,
+    /// Checkpoints observed so far.
+    checks: AtomicU64,
+    /// Trip `cancelled` when `checks` reaches this; 0 = disabled.
+    trip_at: AtomicU64,
+    epoch: Instant,
+}
+
+/// Shared cooperative cancellation flag (see the module docs).
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadlines, no check trip.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                stage_deadline_nanos: AtomicU64::new(0),
+                job_deadline_nanos: AtomicU64::new(0),
+                checks: AtomicU64::new(0),
+                trip_at: AtomicU64::new(0),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Sets the explicit cancel flag. Idempotent; never unset.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](Self::cancel) was called (or a check trip
+    /// fired).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    fn arm(&self, slot: &AtomicU64, budget: Option<Duration>) {
+        let nanos = match budget {
+            Some(b) => {
+                let end = self.inner.epoch.elapsed() + b;
+                // Saturate instead of wrapping; u64 nanos covers ~584 years.
+                u64::try_from(end.as_nanos()).unwrap_or(u64::MAX).max(1)
+            }
+            None => 0,
+        };
+        slot.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Arms (or with `None` clears) the stage deadline. The flow calls
+    /// this at every stage boundary; the job deadline is untouched.
+    pub fn arm_stage_deadline(&self, budget: Option<Duration>) {
+        self.arm(&self.inner.stage_deadline_nanos, budget);
+    }
+
+    /// Arms (or with `None` clears) the job-level deadline. Survives
+    /// stage re-arming; a job server sets it once per job.
+    pub fn arm_job_deadline(&self, budget: Option<Duration>) {
+        self.arm(&self.inner.job_deadline_nanos, budget);
+    }
+
+    fn past(&self, slot: &AtomicU64, now_nanos: u128) -> bool {
+        let d = slot.load(Ordering::Relaxed);
+        d != 0 && now_nanos >= u128::from(d)
+    }
+
+    /// True once either deadline (stage or job) has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        let now = self.inner.epoch.elapsed().as_nanos();
+        self.past(&self.inner.stage_deadline_nanos, now)
+            || self.past(&self.inner.job_deadline_nanos, now)
+    }
+
+    /// True when work should stop for any reason: explicit cancel, check
+    /// trip, or a passed deadline.
+    pub fn should_stop(&self) -> bool {
+        self.is_cancelled() || self.deadline_exceeded()
+    }
+
+    /// Arranges for the token to cancel itself at the `n`-th future
+    /// [`checkpoint`](Self::checkpoint) (1-based; `n = 1` trips at the
+    /// very next checkpoint). The deterministic stand-in for a wall-clock
+    /// deadline in bounded-termination tests and injected mid-search
+    /// cancels. `0` disables the trip.
+    pub fn trip_after_checks(&self, n: u64) {
+        let base = self.inner.checks.load(Ordering::Relaxed);
+        self.inner.trip_at.store(if n == 0 { 0 } else { base.saturating_add(n) }, Ordering::Relaxed);
+    }
+
+    /// One cooperative checkpoint: counts the call, fires a pending check
+    /// trip, and reports whether work should stop. The A\* expansion loop
+    /// calls this every [`CHECK_INTERVAL`] expansions.
+    #[inline]
+    pub fn checkpoint(&self) -> bool {
+        let n = self.inner.checks.fetch_add(1, Ordering::Relaxed) + 1;
+        let trip = self.inner.trip_at.load(Ordering::Relaxed);
+        if trip != 0 && n >= trip {
+            self.cancel();
+        }
+        self.should_stop()
+    }
+
+    /// Checkpoints observed so far (test observability).
+    pub fn checks(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_quiet() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_exceeded());
+        assert!(!t.should_stop());
+        assert!(!t.checkpoint());
+        assert_eq!(t.checks(), 1);
+    }
+
+    #[test]
+    fn cancel_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled() && t.should_stop());
+    }
+
+    #[test]
+    fn stage_and_job_deadlines_are_independent() {
+        let t = CancelToken::new();
+        t.arm_stage_deadline(Some(Duration::ZERO));
+        assert!(t.deadline_exceeded());
+        t.arm_stage_deadline(None);
+        assert!(!t.deadline_exceeded());
+        t.arm_job_deadline(Some(Duration::ZERO));
+        // Stage re-arming must not clear the job deadline.
+        t.arm_stage_deadline(Some(Duration::from_secs(3600)));
+        t.arm_stage_deadline(None);
+        assert!(t.deadline_exceeded());
+        t.arm_job_deadline(None);
+        assert!(!t.deadline_exceeded());
+    }
+
+    #[test]
+    fn check_trip_fires_at_exactly_n() {
+        let t = CancelToken::new();
+        t.trip_after_checks(3);
+        assert!(!t.checkpoint());
+        assert!(!t.checkpoint());
+        assert!(t.checkpoint(), "third checkpoint must trip");
+        assert!(t.is_cancelled());
+        assert_eq!(t.checks(), 3);
+    }
+
+    #[test]
+    fn trip_counts_from_now_not_from_zero() {
+        let t = CancelToken::new();
+        for _ in 0..5 {
+            t.checkpoint();
+        }
+        t.trip_after_checks(2);
+        assert!(!t.checkpoint());
+        assert!(t.checkpoint());
+    }
+}

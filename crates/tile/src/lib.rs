@@ -15,6 +15,7 @@
 
 pub mod astar;
 pub mod bucket;
+pub mod cancel;
 pub mod cell_graph;
 pub mod landmarks;
 pub mod mcmf;
@@ -24,6 +25,7 @@ pub mod space;
 
 pub use astar::{AstarResult, PathStep, SearchOptions, SearchStats};
 pub use bucket::BucketQueue;
+pub use cancel::CancelToken;
 pub use cell_graph::{CellGraph, MstEdge};
 pub use landmarks::Landmarks;
 pub use partition::{line_extension_partition, merge_cells};

@@ -1,0 +1,167 @@
+//! Service-layer fault injection: under any single injected fault at a
+//! `serve.*` site — error-return or panic — the pool survives, the
+//! faulted job (or line) degrades in isolation, and every *other* job
+//! still produces a layout byte-identical to the unfaulted baseline.
+
+use info_rdl::geom::{Point, Rect};
+use info_rdl::model::{DesignRules, Package, PackageBuilder};
+use info_rdl::router::serve::{json, serve_lines, JobRequest, JobServer, ServeConfig};
+use info_rdl::router::{FaultPlan, FaultSite};
+use info_rdl::{InfoRouter, RouterConfig};
+use json::Json;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Two facing chips, four straight-across nets — the fault-injection
+/// suite's standard quick-but-nontrivial circuit.
+fn two_chip_package() -> Package {
+    let mut b = PackageBuilder::new(
+        Rect::new(Point::new(0, 0), Point::new(1_400_000, 900_000)),
+        DesignRules::default(),
+        2,
+    );
+    let c1 = b.add_chip(Rect::new(Point::new(150_000, 250_000), Point::new(500_000, 650_000)));
+    let c2 = b.add_chip(Rect::new(Point::new(900_000, 250_000), Point::new(1_250_000, 650_000)));
+    for i in 0..4 {
+        let y = 300_000 + 70_000 * i as i64;
+        let a = b.add_io_pad(c1, Point::new(480_000, y)).unwrap();
+        let z = b.add_io_pad(c2, Point::new(920_000, y)).unwrap();
+        b.add_net(a, z).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn job_cfg() -> RouterConfig {
+    RouterConfig::default().with_global_cells(10)
+}
+
+fn baseline_hash(pkg: &Package) -> u64 {
+    InfoRouter::new(job_cfg()).route(pkg).layout.canonical_hash()
+}
+
+fn request(pkg: &Arc<Package>, id: &str) -> JobRequest {
+    JobRequest { id: id.to_string(), package: Arc::clone(pkg), cfg: job_cfg(), deadline: None }
+}
+
+/// Drives two jobs through a one-worker pool under `plan`; returns the
+/// results in completion order.
+fn run_two_jobs(pkg: &Arc<Package>, plan: FaultPlan) -> Vec<info_rdl::router::serve::JobResult> {
+    let cfg = ServeConfig { workers: 1, fault_plan: plan, ..ServeConfig::default() };
+    let (server, results) = JobServer::start(cfg);
+    server.submit(request(pkg, "first")).expect("submit first");
+    server.submit(request(pkg, "second")).expect("submit second");
+    let out: Vec<_> = (0..2)
+        .map(|_| results.recv_timeout(Duration::from_secs(120)).expect("job completes"))
+        .collect();
+    server.shutdown();
+    out
+}
+
+/// `serve.worker` error fault: the first attempt fails internally, the
+/// retry completes the job, and both jobs hash-match the baseline.
+#[test]
+fn worker_error_fault_is_retried_and_jobs_stay_byte_identical() {
+    let pkg = Arc::new(two_chip_package());
+    let want = baseline_hash(&pkg);
+    for plan in [FaultPlan::single(FaultSite::ServeWorker), FaultPlan::single_panic(FaultSite::ServeWorker)] {
+        let results = run_two_jobs(&pkg, plan);
+        assert!(
+            results.iter().any(|r| r.retried),
+            "exactly one attempt should have failed and retried"
+        );
+        for r in results {
+            let out = r.outcome.unwrap_or_else(|e| panic!("{}: job lost to the fault: {e}", r.id));
+            assert_eq!(
+                out.layout.canonical_hash(),
+                want,
+                "{}: fault changed the routed layout",
+                r.id
+            );
+        }
+    }
+}
+
+/// `serve.cancel` fault: the targeted job is tripped mid-search and comes
+/// back degraded; the next job is untouched and byte-identical. Uses the
+/// entangled pattern — its weaving needs real A* expansions, so the
+/// first-checkpoint trip actually has a checkpoint to land on (the
+/// straight-across circuit routes without expanding a single node).
+#[test]
+fn cancel_fault_degrades_one_job_and_spares_the_rest() {
+    let pkg = Arc::new(info_rdl::generators::patterns::entangled(3, 2));
+    let want = baseline_hash(&pkg);
+    let cfg = ServeConfig {
+        workers: 1,
+        fault_plan: FaultPlan::single(FaultSite::ServeCancel),
+        cancel_after_checks: 1,
+        ..ServeConfig::default()
+    };
+    let (server, results) = JobServer::start(cfg);
+    server.submit(request(&pkg, "doomed")).expect("submit doomed");
+    server.submit(request(&pkg, "spared")).expect("submit spared");
+    let mut cancelled_seen = false;
+    for _ in 0..2 {
+        let r = results.recv_timeout(Duration::from_secs(120)).expect("job completes");
+        match r.id.as_str() {
+            "doomed" => {
+                let out = r.outcome.expect("a cancelled job still returns its partial layout");
+                assert!(out.cancelled, "the injected trip must register as a cancellation");
+                cancelled_seen = true;
+            }
+            "spared" => {
+                let out = r.outcome.expect("the spared job completes");
+                assert!(!out.cancelled);
+                assert_eq!(out.layout.canonical_hash(), want, "spared job must be byte-identical");
+            }
+            other => panic!("unexpected job id {other}"),
+        }
+    }
+    assert!(cancelled_seen);
+    server.shutdown();
+}
+
+/// `serve.parse` faults (error and panic): the poisoned line costs one
+/// typed rejection; the next line on the same connection still routes,
+/// byte-identical to the baseline.
+#[test]
+fn parse_faults_cost_one_response_not_the_server() {
+    let pkg = two_chip_package();
+    let want = format!("{:016x}", baseline_hash(&pkg));
+    let netlist = info_rdl::model::write_package(&pkg);
+    let route_line = |id: &str| {
+        Json::Obj(vec![
+            ("op".to_string(), Json::Str("route".to_string())),
+            ("id".to_string(), Json::Str(id.to_string())),
+            ("netlist".to_string(), Json::Str(netlist.clone())),
+            (
+                "config".to_string(),
+                Json::Obj(vec![("global_cells".to_string(), Json::Num(10.0))]),
+            ),
+        ])
+        .to_string()
+    };
+    for plan in [FaultPlan::single(FaultSite::ServeParse), FaultPlan::single_panic(FaultSite::ServeParse)] {
+        let cfg = ServeConfig { workers: 1, fault_plan: plan, ..ServeConfig::default() };
+        let input =
+            format!("{}\n{}\n{{\"op\":\"shutdown\"}}\n", route_line("eaten"), route_line("ok"));
+        let mut out = Vec::new();
+        serve_lines(input.as_bytes(), &mut out, cfg).expect("server survives the fault");
+        let text = String::from_utf8(out).expect("utf8");
+        let responses: Vec<Json> =
+            text.lines().map(|l| json::parse(l).expect("valid response json")).collect();
+        assert_eq!(responses.len(), 2, "one rejection + one result: {text}");
+        // The faulted line produced a rejection (no job id reached the
+        // queue), the clean line routed to the baseline hash.
+        let rejected = responses
+            .iter()
+            .find(|r| r.get("status").and_then(Json::as_str) == Some("rejected"))
+            .expect("the poisoned line is rejected");
+        assert!(rejected.get("error").is_some());
+        let done = responses
+            .iter()
+            .find(|r| r.get("status").and_then(Json::as_str) == Some("done"))
+            .expect("the clean line completes");
+        assert_eq!(done.get("id").and_then(Json::as_str), Some("ok"));
+        assert_eq!(done.get("hash").and_then(Json::as_str), Some(want.as_str()));
+    }
+}
