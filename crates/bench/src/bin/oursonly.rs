@@ -1,10 +1,41 @@
 //! Quick development check: run only the via-based router on one circuit.
+//! `oursonly [idx] [neg]` — pass `neg` to route in negotiated-congestion
+//! mode; `RDL_THREADS=<n>` sets the sequential worker count.
 use std::time::Instant;
 fn main() {
     let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let neg = std::env::args().any(|a| a == "neg");
+    let threads: usize =
+        std::env::var("RDL_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
     let pkg = info_gen::dense(idx);
+    let mut cfg = info_router::RouterConfig::default().with_threads(threads).with_telemetry();
+    if neg {
+        cfg = cfg.with_congestion_mode();
+    }
     let t = Instant::now();
-    let out = info_router::InfoRouter::new(info_router::RouterConfig::default()).route(&pkg);
+    let out = info_router::InfoRouter::new(cfg).route(&pkg);
     println!("dense{idx} OURS: {} in {:?} (conc {} seq {} fail {:?})",
         out.stats, t.elapsed(), out.concurrent_routed, out.sequential_routed, out.failed);
+    println!("  sequential {:?}  hash {:016x}", out.timings.sequential, out.layout.canonical_hash());
+    if let Some(n) = out.negotiation {
+        println!(
+            "  negotiation: iters {} converged {} declined {} endgame {} overuse {} reroutes {} history {:?}",
+            n.iterations, n.converged, n.declined, n.endgame_iterations, n.final_overuse,
+            n.reroutes, n.history_totals
+        );
+    }
+    if let Some(rep) = &out.telemetry {
+        for span in ["negotiation_iteration", "negotiation_endgame_iteration"] {
+            let iters: Vec<String> = rep
+                .spans
+                .iter()
+                .filter(|(n, _)| *n == span)
+                .map(|(_, s)| format!("{s:.2}"))
+                .collect();
+            if !iters.is_empty() {
+                println!("  {span} spans (s): [{}]", iters.join(", "));
+            }
+        }
+        println!("  ripup_wall {:.3}s", rep.counter("ripup_wall_us") as f64 / 1e6);
+    }
 }

@@ -31,6 +31,25 @@ struct Row {
     /// Telemetry report of the routed run (counters, failure-reason
     /// counts, and the per-net journal summary).
     report: TelemetryReport,
+    /// The same circuit routed with `congestion_mode` on.
+    neg: NegRow,
+}
+
+/// One circuit's negotiated-congestion run, for the rip-up-vs-negotiated
+/// comparison rows in BENCH_rdl.json and EXPERIMENTS.md.
+struct NegRow {
+    routability_pct: f64,
+    wirelength_um: f64,
+    runtime_s: f64,
+    sequential_s: f64,
+    layout_hash: u64,
+    iterations: u32,
+    converged: bool,
+    declined: bool,
+    endgame_iterations: u32,
+    final_overuse: u32,
+    reroutes: u64,
+    ripup_wall_s: f64,
 }
 
 impl Row {
@@ -200,6 +219,11 @@ fn write_bench_json(rows: &[Row], stress: &Stress, threads: usize, overhead: Opt
              \"window_escalations\": {}, \"escalation_expansions\": {}, \"heap_peak\": {}, \
              \"heuristic_tightenings\": {}}}, \
              \"ripup_wall_s\": {:.4}, \
+             \"negotiated\": {{\"routability_pct\": {:.3}, \"wirelength_um\": {:.1}, \
+             \"runtime_s\": {:.4}, \"sequential_s\": {:.4}, \"layout_hash\": \"{:016x}\", \
+             \"iterations\": {}, \"converged\": {}, \"declined\": {}, \
+             \"endgame_iterations\": {}, \"final_overuse\": {}, \
+             \"reroutes\": {}, \"ripup_wall_s\": {:.4}}}, \
              \"failure_reasons\": {}, \
              \"counters\": {}, \
              \"journal\": {}}}{}\n",
@@ -223,6 +247,18 @@ fn write_bench_json(rows: &[Row], stress: &Stress, threads: usize, overhead: Opt
             r.search.heap_peak,
             r.search.heuristic_tightenings,
             r.report.counter("ripup_wall_us") as f64 / 1e6,
+            r.neg.routability_pct,
+            r.neg.wirelength_um,
+            r.neg.runtime_s,
+            r.neg.sequential_s,
+            r.neg.layout_hash,
+            r.neg.iterations,
+            r.neg.converged,
+            r.neg.declined,
+            r.neg.endgame_iterations,
+            r.neg.final_overuse,
+            r.neg.reroutes,
+            r.neg.ripup_wall_s,
             counts_json(&r.report.failure_counts()),
             counts_json(&r.report.counters),
             journal_json(&r.report),
@@ -352,6 +388,43 @@ fn main() {
             });
         }
 
+        // Negotiated-congestion run of the same circuit (DESIGN.md §4h):
+        // same config plus `congestion_mode`, timed and journaled
+        // separately so the JSON carries both sides of the comparison.
+        let cfg_neg =
+            RouterConfig::default().with_threads(threads).with_telemetry().with_congestion_mode();
+        let t2 = Instant::now();
+        let negotiated = InfoRouter::new(cfg_neg).route(&pkg);
+        let neg_time = t2.elapsed();
+        let negst = negotiated.negotiation.clone().unwrap_or_default();
+        let neg_report = negotiated.telemetry.unwrap_or_default();
+        let neg = NegRow {
+            routability_pct: negotiated.stats.routability_pct,
+            wirelength_um: negotiated.stats.total_wirelength_um,
+            runtime_s: neg_time.as_secs_f64(),
+            sequential_s: negotiated.timings.sequential.as_secs_f64(),
+            layout_hash: negotiated.layout.canonical_hash(),
+            iterations: negst.iterations,
+            converged: negst.converged,
+            declined: negst.declined,
+            endgame_iterations: negst.endgame_iterations,
+            final_overuse: negst.final_overuse,
+            reroutes: negst.reroutes,
+            ripup_wall_s: neg_report.counter("ripup_wall_us") as f64 / 1e6,
+        };
+        println!(
+            "  negotiated: rt {:.1}%  seq {:.2}s (total {:.2}s)  iters {}  converged {}  \
+             declined {}  endgame {}  reroutes {}  ripup {:.2}s",
+            neg.routability_pct,
+            neg.sequential_s,
+            neg.runtime_s,
+            neg.iterations,
+            neg.converged,
+            neg.declined,
+            neg.endgame_iterations,
+            neg.reroutes,
+            neg.ripup_wall_s,
+        );
         println!(
             "{:<8} {:>6} {:>5} {:>5} {:>5} {:>4} {:>4} | {:>9.1} {:>9.1} | {:>12.0} {:>12.0} | {:>8} {:>8}",
             format!("dense{idx}"),
@@ -391,6 +464,7 @@ fn main() {
             ],
             search: ours.timings.search,
             report: ours.telemetry.unwrap_or_default(),
+            neg,
         });
     }
     println!(

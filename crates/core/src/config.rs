@@ -82,6 +82,21 @@ pub struct RouterConfig {
     /// instead of a per-search `BTreeSet`. Identical output either way;
     /// `false` is the ablation baseline.
     pub search_arena: bool,
+    /// Negotiated-congestion sequential routing (DESIGN.md §4h): replace
+    /// the two fixed shortest-first passes with a feature-ordered
+    /// convergence loop — every net routes under history + present
+    /// congestion costs, contested corridors escalate between
+    /// iterations, and nets blocking a failed net are evicted and
+    /// re-queued until the layout converges (or the iteration cap hands
+    /// the stragglers to the terminal-aware rip-up fallback). Off by
+    /// default; layouts in this mode are deterministic at every thread
+    /// count but differ from the rip-up path's.
+    pub congestion_mode: bool,
+    /// Per-search A\* expansion-budget override for the sequential stage
+    /// (`None` keeps the tile layer's default cap). A testing/ablation
+    /// knob: shrinking it makes searches fail cheaply on demand, at the
+    /// price of losing nets whose paths legitimately need the expansions.
+    pub retry_expansion_budget: Option<usize>,
 }
 
 impl Default for RouterConfig {
@@ -106,6 +121,8 @@ impl Default for RouterConfig {
             alt_landmarks: 0,
             legality_cache: true,
             search_arena: true,
+            congestion_mode: false,
+            retry_expansion_budget: None,
         }
     }
 }
@@ -190,6 +207,13 @@ impl RouterConfig {
         self.search_arena = false;
         self
     }
+
+    /// Enables negotiated-congestion sequential routing (see
+    /// [`RouterConfig::congestion_mode`]).
+    pub fn with_congestion_mode(mut self) -> Self {
+        self.congestion_mode = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +240,8 @@ mod tests {
         assert_eq!(c.with_alt_landmarks(8).alt_landmarks, 8);
         assert!(!c.without_legality_cache().legality_cache);
         assert!(!c.without_search_arena().search_arena);
+        assert!(!c.congestion_mode, "negotiated congestion is off by default");
+        assert!(c.with_congestion_mode().congestion_mode);
     }
 
     #[test]

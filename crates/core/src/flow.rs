@@ -127,6 +127,10 @@ pub struct RouteOutcome {
     /// [`RouterConfig::telemetry`] is set; the layout is byte-identical
     /// either way.
     pub telemetry: Option<TelemetryReport>,
+    /// Convergence statistics of the negotiated-congestion front
+    /// (`Some` exactly when [`RouterConfig::congestion_mode`] is set and
+    /// the sequential stage ran).
+    pub negotiation: Option<crate::sequential::NegotiationStats>,
 }
 
 /// The via-based multi-chip multi-layer InFO RDL router.
@@ -375,6 +379,7 @@ impl InfoRouter {
             lp_final,
             diagnostics,
             telemetry: tel.report(),
+            negotiation: seq.negotiation,
         }
     }
 

@@ -49,6 +49,7 @@ pub mod assign;
 pub mod concurrent;
 pub mod free_assign;
 pub mod lpopt;
+pub mod ordering;
 pub mod pool;
 pub mod preprocess;
 pub mod resilience;
@@ -62,6 +63,7 @@ mod flow;
 
 pub use config::RouterConfig;
 pub use flow::{Completion, InfoRouter, NetStatus, RouteOutcome, StageTimings};
+pub use sequential::NegotiationStats;
 pub use info_tile::{CancelToken, SearchOptions, SearchStats};
 pub use resilience::{
     FaultDirective, FaultKind, FaultPlan, FaultSite, FlowCtx, FlowDiagnostics, RouterError, Stage,

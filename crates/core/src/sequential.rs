@@ -35,7 +35,99 @@ pub struct SequentialResult {
     /// including discarded speculative plans — so the totals can vary
     /// with `threads` even though the routed layout never does.
     pub search: astar::SearchStats,
+    /// Convergence statistics of the negotiated-congestion front
+    /// (`Some` exactly when [`RouterConfig::congestion_mode`] is set).
+    pub negotiation: Option<NegotiationStats>,
 }
+
+/// Convergence statistics of the negotiated-congestion front (DESIGN.md
+/// §4h). All fields are deterministic at every thread count: iteration
+/// outcomes derive from the committed layout, never from speculative
+/// scheduling.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NegotiationStats {
+    /// Iterations the convergence loop ran (at least 1, at most
+    /// [`NEGOTIATION_MAX_ITERS`]).
+    pub iterations: u32,
+    /// True when the final iteration routed every queued net (no failures
+    /// and no interrupt); false when the iteration cap or an interrupt
+    /// handed the stragglers to the rip-up fallback. A declined run never
+    /// claims convergence, even when the endgame later empties the failed
+    /// set — the flag describes the negotiated *front*.
+    pub converged: bool,
+    /// True when the first iterations hit the mass-failure bail
+    /// ([`NEGOTIATION_MASS_FAILURE`]): the front discarded its work and
+    /// the stage re-ran the legacy two-pass + rip-up path, followed by
+    /// the best-layout endgame loop on whatever rip-up left failed.
+    pub declined: bool,
+    /// Iterations of the post-rip-up endgame loop (declined runs only;
+    /// 0 otherwise). Bounded by [`NEGOTIATION_MAX_ITERS`] and its own
+    /// stagnation patience, and monotone in routability by construction:
+    /// the endgame restores the best layout it ever saw.
+    pub endgame_iterations: u32,
+    /// Contested corridor cells observed in the *last* iteration (0 on
+    /// convergence).
+    pub final_overuse: u32,
+    /// Total nets re-queued across all iterations (evicted victims plus
+    /// retried failures).
+    pub reroutes: u64,
+    /// Total accumulated history cost after each iteration — monotone
+    /// non-decreasing by construction (`tests/congestion_props.rs` pins
+    /// this).
+    pub history_totals: Vec<f64>,
+}
+
+/// Iteration cap of the negotiated-congestion loop: a layout that has not
+/// converged by then goes to the terminal-aware rip-up fallback with
+/// whatever history the loop accumulated.
+pub const NEGOTIATION_MAX_ITERS: u32 = 16;
+/// Victims evicted per failed net per iteration, ranked
+/// nearest-to-terminal first like the rip-up candidate ordering.
+const NEGOTIATION_VICTIMS_PER_FAILED: usize = 2;
+/// Present-congestion weight as a multiple of the mean global-cell pitch.
+/// Deliberately mild: geometric legality already encodes hard occupancy,
+/// so present cost only breaks ties away from busy cells — a heavy
+/// weight detours the whole layout and loosens the (geometric) heuristic
+/// enough to blow up every search.
+const NEGOTIATION_PRESENT_WEIGHT: f64 = 0.05;
+/// History weight as a multiple of the mean global-cell pitch.
+const NEGOTIATION_HISTORY_WEIGHT: f64 = 0.5;
+/// History added to every contested corridor cell per failed iteration.
+/// Uniform on purpose: both a global 2× step and a per-net
+/// consecutive-failure scaling were tried, and each prices evicted
+/// victims out of *their* re-routes — the cascade stops resolving and
+/// the loop runs to the cap. Escalation must stay gentle enough that a
+/// freed corridor is still affordable one iteration later.
+const NEGOTIATION_HISTORY_STEP: f64 = 1.0;
+/// Stagnation patience: iterations allowed without a new minimum of the
+/// failed-net count before the loop stops negotiating and hands the
+/// stragglers to the rip-up fallback. A converging run keeps setting
+/// minimums (dense2's failure trajectory makes a new one every ≤ 3
+/// iterations on the way to 0); a run that plateaus for this long is
+/// churning victims, and every further iteration entrenches history the
+/// fallback then has to route around.
+const NEGOTIATION_PATIENCE: u32 = 4;
+/// Failed-net count (floor of a 10%-of-batch scale) above which the loop
+/// *declines*: it discards its commits, restores the stage-entry layout,
+/// and the stage re-runs the legacy two-pass + rip-up front instead.
+/// Negotiation is an endgame mechanism — terminal-ring escalation and
+/// two-victim eviction resolve the last few walled nets. When failure is
+/// *mass* (dense3's front leaves ~15 of 80, dense5's ~40 of 208),
+/// per-failure eviction churns a large fraction of the committed layout,
+/// the loop burns minutes re-proving walls, and the rip-up fallback then
+/// starts from wreckage measurably worse than the plain layout it would
+/// otherwise get — keeping the feature-ordered, congestion-priced first
+/// iteration cost dense3 2.6 routability points versus legacy. Declining
+/// makes mass-failure circuits route ≥ the legacy path by construction;
+/// the endgame loop then negotiates on top of the legacy result.
+const NEGOTIATION_MASS_FAILURE: usize = 8;
+/// Stagnation patience of the post-rip-up endgame loop, in iterations
+/// without a new routed-count maximum. Stricter than the front's
+/// [`NEGOTIATION_PATIENCE`]: the endgame starts where rip-up already did
+/// its best, every iteration re-routes the whole failed set plus evicted
+/// victims (expensive on mass-failure circuits), and the best-layout
+/// restore means a stalled loop is pure cost.
+const NEGOTIATION_ENDGAME_PATIENCE: u32 = 2;
 
 /// Derives the tile-space configuration from the router configuration.
 pub fn space_config(package: &Package, cfg: &RouterConfig) -> SpaceConfig {
@@ -97,15 +189,6 @@ pub fn route_sequential(
     warm: Option<&crate::warm::WarmSpaceCache>,
     tel: &Sink,
 ) -> SequentialResult {
-    let mut order: Vec<NetId> = nets.to_vec();
-    order.sort_by(|&x, &y| {
-        let d = |id: NetId| {
-            let n = package.net(id);
-            x_arch_len(package.pad(n.a).center, package.pad(n.b).center)
-        };
-        d(x).total_cmp(&d(y)).then(x.cmp(&y))
-    });
-
     let mut space = match warm {
         Some(cache) => cache.get_or_build(package, layout, cfg, tel),
         None => build_stage_space(package, layout, cfg, tel),
@@ -118,6 +201,34 @@ pub fn route_sequential(
     // committed sequential search, never a discarded speculative one), so
     // the rip-up ordering below is identical at every `threads` setting.
     let mut fail_expansions: BTreeMap<NetId, u64> = BTreeMap::new();
+
+    let negotiated = cfg.congestion_mode
+        && route_negotiated_front(
+            package,
+            layout,
+            nets,
+            cfg,
+            ctx,
+            threads,
+            &mut space,
+            &mut stats,
+            tel,
+            &mut result,
+            &mut fail_expansions,
+        );
+
+    // Legacy two-pass front; when the negotiated loop above handled the
+    // batch both passes run over empty lists. A *declined* negotiated
+    // front (mass-failure bail) restored the stage-entry layout, so the
+    // legacy front runs in full, exactly as if congestion mode were off.
+    let mut order: Vec<NetId> = if negotiated { Vec::new() } else { nets.to_vec() };
+    order.sort_by(|&x, &y| {
+        let d = |id: NetId| {
+            let n = package.net(id);
+            x_arch_len(package.pad(n.a).center, package.pad(n.b).center)
+        };
+        d(x).total_cmp(&d(y)).then(x.cmp(&y))
+    });
 
     for pass in 0..2 {
         let todo = if pass == 0 { std::mem::take(&mut order) } else { std::mem::take(&mut retry) };
@@ -270,6 +381,30 @@ pub fn route_sequential(
                 }
             }
         }
+    }
+    // Declined negotiated runs get one more shot: the endgame loop
+    // negotiates on top of the legacy + rip-up result with best-layout
+    // restore, so it can only improve routability (DESIGN.md §4h). Runs
+    // only on the declined path — a handled front already negotiated
+    // these failures to stagnation, and re-entering would churn the same
+    // walls under even higher history.
+    if cfg.congestion_mode
+        && result.negotiation.as_ref().is_some_and(|n| n.declined)
+        && !result.failed.is_empty()
+        && !ctx.interrupted()
+    {
+        negotiate_endgame(
+            package,
+            layout,
+            cfg,
+            ctx,
+            threads,
+            &mut space,
+            &mut stats,
+            tel,
+            &mut result,
+            &mut fail_expansions,
+        );
     }
     // Edge-legality cache effectiveness, sampled from the surviving space.
     // Rip-up restores replace the space (and its tallies) by value, so
@@ -511,6 +646,544 @@ fn guarded_route_net(
     }
 }
 
+/// Per-segment rects of a net's geometry, not its bounding hull: a long
+/// route's hull can cover most of the die while the geometry only
+/// touches a thin corridor of cells, and rebuild cost is per cell.
+fn net_geometry_rects(layout: &Layout, n: NetId, out: &mut Vec<Rect>) {
+    for r in layout.routes_of(n) {
+        for s in r.path.segments() {
+            out.push(Rect::new(s.a, s.b));
+        }
+    }
+    for v in layout.vias_of(n) {
+        out.push(Rect::new(v.center, v.center));
+    }
+}
+
+/// What one negotiated iteration produced. `failed` carries the
+/// authoritative expansion counts (the same numbers the legacy front
+/// feeds the rip-up ordering).
+struct PassTally {
+    routed: Vec<NetId>,
+    failed: BTreeMap<NetId, u64>,
+    skipped: Vec<NetId>,
+    internal: Vec<(NetId, RouterError)>,
+}
+
+/// Runs one negotiated iteration over `todo` — the same per-net machinery
+/// as the legacy passes (speculative planning above one thread, the
+/// guarded loop otherwise), journaled as [`Pass::Negotiated`].
+#[allow(clippy::too_many_arguments)]
+fn run_negotiated_pass(
+    package: &Package,
+    layout: &mut Layout,
+    space: &mut RoutingSpace,
+    todo: &[NetId],
+    cfg: &RouterConfig,
+    ctx: &FlowCtx,
+    threads: usize,
+    stats: &mut astar::SearchStats,
+    tel: &Sink,
+) -> PassTally {
+    let mut t = PassTally {
+        routed: Vec::new(),
+        failed: BTreeMap::new(),
+        skipped: Vec::new(),
+        internal: Vec::new(),
+    };
+    let mut emit = |id: NetId, attempt: Attempt| match attempt {
+        Attempt::Deadline => t.skipped.push(id),
+        Attempt::Routed(draft) => {
+            tel.record(draft.to_record(id, Pass::Negotiated, Vec::new()));
+            t.routed.push(id);
+        }
+        Attempt::Failed(draft) => {
+            tel.record(draft.to_record(id, Pass::Negotiated, Vec::new()));
+            if draft.was_cancelled() {
+                t.skipped.push(id);
+            } else {
+                t.failed.insert(id, draft.expansions);
+            }
+        }
+        Attempt::Internal(e) => t.internal.push((id, e)),
+    };
+    if threads > 1 {
+        route_pass_speculative(
+            package, layout, space, todo, cfg, ctx, threads, stats, tel, &mut emit,
+        );
+    } else {
+        for &id in todo {
+            if ctx.interrupted() {
+                emit(id, Attempt::Deadline);
+                continue;
+            }
+            let attempt =
+                match guarded_route_net(package, layout, space, id, cfg, ctx, stats, tel) {
+                    Ok((draft, Some(_))) => Attempt::Routed(draft),
+                    Ok((draft, None)) => Attempt::Failed(draft),
+                    Err(e) => Attempt::Internal(e),
+                };
+            emit(id, attempt);
+        }
+    }
+    t
+}
+
+/// Rebuilds the present-congestion counts from the committed stage nets:
+/// one unit per distinct `(layer, cell)` a net's wires touch and one via
+/// unit per distinct cell holding its vias. Runs only at iteration
+/// boundaries, so every search within an iteration sees one frozen cost
+/// field — which is also why update order cannot matter
+/// (`tests/congestion_props.rs`).
+fn refresh_present(layout: &Layout, space: &mut RoutingSpace, routed: &BTreeSet<NetId>) {
+    let mut wire_cells: Vec<(usize, usize, usize)> = Vec::new();
+    let mut via_cells: Vec<(usize, usize)> = Vec::new();
+    for &id in routed {
+        let mut seen: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+        for r in layout.routes_of(id) {
+            let l = r.layer.index();
+            for s in r.path.segments() {
+                for (cx, cy) in space.cells_touching(Rect::new(s.a, s.b)) {
+                    seen.insert((l, cx, cy));
+                }
+            }
+        }
+        wire_cells.extend(seen);
+        let mut vseen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for v in layout.vias_of(id) {
+            if let Some(c) = space.cell_of(v.center) {
+                vseen.insert(c);
+            }
+        }
+        via_cells.extend(vseen);
+    }
+    if let Some(m) = space.congestion_mut() {
+        m.clear_present();
+        for (l, cx, cy) in wire_cells {
+            m.note_present(l, cx, cy, 1);
+        }
+        for (cx, cy) in via_cells {
+            m.note_via_present(cx, cy, 1);
+        }
+    }
+}
+
+/// Contested cells: the 3×3 cell ring around each failed net's
+/// terminals, on that terminal's layer. The route journal shows failed
+/// nets dying walled in right at a pad, so this is where competitors
+/// must be priced out; corridor-wide escalation (the obvious PathFinder
+/// transliteration) inflates costs over so much area that every search
+/// slows down and the whole layout detours.
+fn contested_cells(
+    package: &Package,
+    space: &RoutingSpace,
+    failed: impl Iterator<Item = NetId>,
+) -> BTreeSet<(usize, usize, usize)> {
+    let (cells_x, cells_y) = (space.config().cells_x, space.config().cells_y);
+    let mut contested: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+    for id in failed {
+        let n = package.net(id);
+        for pad in [n.a, n.b] {
+            let l = package.pad_layer(pad).index();
+            if let Some((cx, cy)) = space.cell_of(package.pad(pad).center) {
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let (x, y) = (cx as i64 + dx, cy as i64 + dy);
+                        if x >= 0 && y >= 0 && (x as usize) < cells_x && (y as usize) < cells_y {
+                            contested.insert((l, x as usize, y as usize));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    contested
+}
+
+/// Victims of one escalation round: for each failed net, the
+/// [`NEGOTIATION_VICTIMS_PER_FAILED`] routed nets with geometry inside
+/// its pad-pair corridor, nearest-to-terminal first (the rip-up
+/// ranking).
+fn select_victims(
+    package: &Package,
+    layout: &Layout,
+    routed: &BTreeSet<NetId>,
+    failed: impl Iterator<Item = NetId>,
+    corridor_margin: i64,
+) -> BTreeSet<NetId> {
+    let mut victims: BTreeSet<NetId> = BTreeSet::new();
+    for id in failed {
+        let n = package.net(id);
+        let (pa, pb) = (package.pad(n.a).center, package.pad(n.b).center);
+        let corridor = Rect::new(pa, pb).inflate(corridor_margin);
+        let mut keyed: Vec<(i128, NetId)> = routed
+            .iter()
+            .copied()
+            .filter_map(|c| {
+                let mut d = i128::MAX;
+                let mut inside = false;
+                for r in layout.routes_of(c) {
+                    for p in r.path.points() {
+                        inside |= corridor.contains(*p);
+                        d = d.min(info_geom::euclid_sq(*p, pa).min(info_geom::euclid_sq(*p, pb)));
+                    }
+                }
+                if inside { Some((d, c)) } else { None }
+            })
+            .collect();
+        keyed.sort();
+        victims.extend(keyed.iter().take(NEGOTIATION_VICTIMS_PER_FAILED).map(|&(_, c)| c));
+    }
+    victims
+}
+
+/// The negotiated-congestion front (DESIGN.md §4h): replaces the legacy
+/// two-pass front when [`RouterConfig::congestion_mode`] is set.
+///
+/// Every commit stays geometrically legal (this router never routes
+/// through occupied tiles), so classic PathFinder overuse cannot occur
+/// *inside* an iteration. The negotiated signal is instead the set of
+/// failed nets: each failure marks its pad-pair corridor's cells as
+/// contested, history escalates there between iterations, the routed
+/// nets nearest the failed terminals are evicted, and everything
+/// re-queues in feature order until an iteration ends with no failures.
+/// Iteration boundaries also rebuild the present-congestion counts from
+/// the committed layout, so history is the only state that persists —
+/// monotone by construction.
+///
+/// Determinism: iteration decisions (failure set, contested cells,
+/// victims, re-queue order) read only the committed layout and the
+/// authoritative failure records — state `route_pass_speculative` already
+/// keeps identical at every thread count — so the negotiated layout and
+/// the iteration count are thread-invariant too.
+///
+/// Returns `false` when the front *declined* (mass-failure bail): the
+/// layout is restored to its stage-entry state, the result lists are
+/// cleared, and the caller must run the legacy front instead.
+#[allow(clippy::too_many_arguments)]
+fn route_negotiated_front(
+    package: &Package,
+    layout: &mut Layout,
+    nets: &[NetId],
+    cfg: &RouterConfig,
+    ctx: &FlowCtx,
+    threads: usize,
+    space: &mut RoutingSpace,
+    stats: &mut astar::SearchStats,
+    tel: &Sink,
+    result: &mut SequentialResult,
+    fail_expansions: &mut BTreeMap<NetId, u64>,
+) -> bool {
+    let t0 = std::time::Instant::now();
+    // Declining must restore the exact stage-entry state; one clone up
+    // front is far cheaper than the first iteration it may discard.
+    let entry = layout.clone();
+    let die = package.die();
+    let cells = cfg.global_cells.max(1);
+    let cell_step = ((die.width() + die.height()) / 2) as f64 / cells as f64;
+    let (cells_x, cells_y) = (space.config().cells_x, space.config().cells_y);
+    let layers = space.layer_count();
+    let present_w = NEGOTIATION_PRESENT_WEIGHT * cell_step;
+    let history_w = NEGOTIATION_HISTORY_WEIGHT * cell_step;
+    space.set_congestion(Some(info_tile::CongestionMap::new(
+        cells_x, cells_y, layers, present_w, history_w,
+    )));
+    let corridor_margin = 8 * (package.rules().min_spacing + package.rules().wire_width);
+
+    let mut neg = NegotiationStats::default();
+    let mut routed: BTreeSet<NetId> = BTreeSet::new();
+    let mut queue: Vec<NetId> = crate::ordering::feature_order(package, space, nets, fail_expansions);
+    let mut last_failed: BTreeMap<NetId, u64>;
+    let mut aborted = false;
+    let mut best_failed = usize::MAX;
+    let mut stagnant = 0u32;
+
+    loop {
+        neg.iterations += 1;
+        tel.count(Counter::NegotiationIterations, 1);
+        let iter_t0 = std::time::Instant::now();
+        let tally =
+            run_negotiated_pass(package, layout, space, &queue, cfg, ctx, threads, stats, tel);
+        for (id, e) in tally.internal {
+            result.recovered.push((id, e));
+            result.failed.push(id);
+        }
+        aborted |= !tally.skipped.is_empty();
+        for id in tally.skipped {
+            result.failed.push(id);
+            result.skipped.push(id);
+        }
+        routed.extend(tally.routed.iter().copied());
+        for (&id, &exp) in &tally.failed {
+            fail_expansions.insert(id, exp);
+        }
+        last_failed = tally.failed;
+
+        let contested = contested_cells(package, space, last_failed.keys().copied());
+        neg.final_overuse = contested.len() as u32;
+        tel.count(Counter::NegotiationOveruse, contested.len() as u64);
+        neg.history_totals
+            .push(space.congestion().map_or(0.0, |m| m.total_history()));
+        tel.record_span("negotiation_iteration", iter_t0.elapsed().as_secs_f64());
+        if last_failed.is_empty() {
+            neg.converged = !aborted;
+            break;
+        }
+        if last_failed.len() < best_failed {
+            best_failed = last_failed.len();
+            stagnant = 0;
+        } else {
+            stagnant += 1;
+        }
+        if ctx.interrupted() {
+            break;
+        }
+        // Mass failure means this circuit is not negotiation's regime:
+        // decline (restore the entry state, let the legacy front run)
+        // rather than churning victims or handing rip-up the wreckage.
+        // Checked after the interrupt — a cancelled run keeps its legal
+        // partial layout instead of redoing work it has no budget for.
+        if last_failed.len() > NEGOTIATION_MASS_FAILURE.max(nets.len() / 10) {
+            neg.declined = true;
+            break;
+        }
+        if neg.iterations >= NEGOTIATION_MAX_ITERS || stagnant >= NEGOTIATION_PATIENCE {
+            break;
+        }
+
+        // Iteration boundary: escalate history on the contested cells (a
+        // panic-path space rebuild drops the map; reinstall fresh rather
+        // than silently degrading to plain shortest-path).
+        if space.congestion().is_none() {
+            space.set_congestion(Some(info_tile::CongestionMap::new(
+                cells_x, cells_y, layers, present_w, history_w,
+            )));
+        }
+        {
+            let m = space.congestion_mut().expect("installed above");
+            let mut via_cells: BTreeSet<(usize, usize)> = BTreeSet::new();
+            for &(l, cx, cy) in &contested {
+                m.add_history(l, cx, cy, NEGOTIATION_HISTORY_STEP);
+                via_cells.insert((cx, cy));
+            }
+            for (cx, cy) in via_cells {
+                m.add_via_history(cx, cy, NEGOTIATION_HISTORY_STEP);
+            }
+        }
+
+        // Victims: routed nets with geometry inside a failed net's
+        // corridor, nearest-to-terminal first — the rip-up ranking, but
+        // negotiated evictions re-route under escalated history instead
+        // of trial-and-restore.
+        let victims =
+            select_victims(package, layout, &routed, last_failed.keys().copied(), corridor_margin);
+        let mut touched: Vec<Rect> = Vec::new();
+        for &v in &victims {
+            net_geometry_rects(layout, v, &mut touched);
+            layout.remove_net(v);
+            routed.remove(&v);
+        }
+        if !touched.is_empty() {
+            let rebuilt = space.rebuild_dirty_multi(package, layout, &touched);
+            tel.count(Counter::CellsRebuilt, rebuilt.len() as u64);
+        }
+        refresh_present(layout, space, &routed);
+
+        let requeue: Vec<NetId> =
+            victims.iter().chain(last_failed.keys()).copied().collect();
+        tel.count(Counter::NegotiationReroutes, requeue.len() as u64);
+        neg.reroutes += requeue.len() as u64;
+        queue = crate::ordering::feature_order(package, space, &requeue, fail_expansions);
+    }
+
+    if neg.declined {
+        // Mass-failure bail: discard every commit this front made and
+        // hand the stage back exactly its entry state — the legacy front
+        // then runs as if congestion mode were off, so a declined run
+        // can never route fewer nets than the legacy path. The caught
+        // internal errors stay in `recovered` (they happened), but their
+        // nets get their normal legacy attempts.
+        *layout = entry;
+        *space = build_stage_space(package, layout, cfg, tel);
+        result.routed.clear();
+        result.failed.clear();
+        result.skipped.clear();
+        fail_expansions.clear();
+        tel.record_span("negotiation", t0.elapsed().as_secs_f64());
+        result.negotiation = Some(neg);
+        return false;
+    }
+    // Unconverged stragglers go to the shared rip-up fallback.
+    result.failed.extend(last_failed.keys().copied());
+    result.routed.extend(routed.iter().copied());
+    // Strip the cost layers so the fallback (and any later consumer of
+    // this space) searches exactly like the legacy path.
+    space.set_congestion(None);
+    tel.record_span("negotiation", t0.elapsed().as_secs_f64());
+    result.negotiation = Some(neg);
+    true
+}
+
+/// The post-rip-up endgame loop of a *declined* negotiated run: the
+/// legacy front and rip-up have done their best, and whatever is still
+/// failed gets negotiated on top of that result. Structure per
+/// iteration: escalate history around the (already proven) failures,
+/// evict their corridor victims, re-route the batch under the inflated
+/// costs — escalate-*first*, unlike the front, because rip-up just
+/// demonstrated these nets fail at baseline costs.
+///
+/// Routability is monotone by construction: the loop snapshots every new
+/// routed-count maximum and restores the best layout at exit, so a
+/// declined negotiated run routes ≥ the legacy path — strictly more
+/// whenever any iteration recovers a net rip-up could not. Bounded by
+/// [`NEGOTIATION_MAX_ITERS`] and [`NEGOTIATION_ENDGAME_PATIENCE`]; a
+/// cancel token stops it between commits and the best layout still wins.
+#[allow(clippy::too_many_arguments)]
+fn negotiate_endgame(
+    package: &Package,
+    layout: &mut Layout,
+    cfg: &RouterConfig,
+    ctx: &FlowCtx,
+    threads: usize,
+    space: &mut RoutingSpace,
+    stats: &mut astar::SearchStats,
+    tel: &Sink,
+    result: &mut SequentialResult,
+    fail_expansions: &mut BTreeMap<NetId, u64>,
+) {
+    let t0 = std::time::Instant::now();
+    let die = package.die();
+    let cells = cfg.global_cells.max(1);
+    let cell_step = ((die.width() + die.height()) / 2) as f64 / cells as f64;
+    let (cells_x, cells_y) = (space.config().cells_x, space.config().cells_y);
+    let layers = space.layer_count();
+    let present_w = NEGOTIATION_PRESENT_WEIGHT * cell_step;
+    let history_w = NEGOTIATION_HISTORY_WEIGHT * cell_step;
+    let corridor_margin = 8 * (package.rules().min_spacing + package.rules().wire_width);
+
+    let mut routed: BTreeSet<NetId> = std::mem::take(&mut result.routed).into_iter().collect();
+    let mut failed: BTreeMap<NetId, u64> = std::mem::take(&mut result.failed)
+        .into_iter()
+        .map(|id| (id, fail_expansions.get(&id).copied().unwrap_or(0)))
+        .collect();
+    let mut skipped: BTreeSet<NetId> = BTreeSet::new();
+
+    // Best-seen state, seeded with the rip-up result the loop starts
+    // from. Restored at exit whenever the final iteration left fewer
+    // nets routed — eviction is speculative here, so a regression is
+    // possible mid-loop but can never escape the stage.
+    let mut best_layout = layout.clone();
+    let mut best_routed = routed.clone();
+    let mut best_failed = failed.clone();
+
+    space.set_congestion(Some(info_tile::CongestionMap::new(
+        cells_x, cells_y, layers, present_w, history_w,
+    )));
+    refresh_present(layout, space, &routed);
+
+    let mut iters = 0u32;
+    let mut stagnant = 0u32;
+    let mut aborted = false;
+    let mut reroutes = 0u64;
+    let mut history_totals: Vec<f64> = Vec::new();
+    while iters < NEGOTIATION_MAX_ITERS && !failed.is_empty() && !ctx.interrupted() && !aborted {
+        iters += 1;
+        tel.count(Counter::NegotiationIterations, 1);
+        let iter_t0 = std::time::Instant::now();
+
+        let contested = contested_cells(package, space, failed.keys().copied());
+        tel.count(Counter::NegotiationOveruse, contested.len() as u64);
+        if space.congestion().is_none() {
+            space.set_congestion(Some(info_tile::CongestionMap::new(
+                cells_x, cells_y, layers, present_w, history_w,
+            )));
+        }
+        {
+            let m = space.congestion_mut().expect("installed above");
+            let mut via_cells: BTreeSet<(usize, usize)> = BTreeSet::new();
+            for &(l, cx, cy) in &contested {
+                m.add_history(l, cx, cy, NEGOTIATION_HISTORY_STEP);
+                via_cells.insert((cx, cy));
+            }
+            for (cx, cy) in via_cells {
+                m.add_via_history(cx, cy, NEGOTIATION_HISTORY_STEP);
+            }
+        }
+
+        let victims =
+            select_victims(package, layout, &routed, failed.keys().copied(), corridor_margin);
+        let mut touched: Vec<Rect> = Vec::new();
+        for &v in &victims {
+            net_geometry_rects(layout, v, &mut touched);
+            layout.remove_net(v);
+            routed.remove(&v);
+        }
+        if !touched.is_empty() {
+            let rebuilt = space.rebuild_dirty_multi(package, layout, &touched);
+            tel.count(Counter::CellsRebuilt, rebuilt.len() as u64);
+        }
+        refresh_present(layout, space, &routed);
+
+        let requeue: Vec<NetId> = victims.iter().chain(failed.keys()).copied().collect();
+        tel.count(Counter::NegotiationReroutes, requeue.len() as u64);
+        reroutes += requeue.len() as u64;
+        let queue = crate::ordering::feature_order(package, space, &requeue, fail_expansions);
+        let tally =
+            run_negotiated_pass(package, layout, space, &queue, cfg, ctx, threads, stats, tel);
+        for (id, e) in tally.internal {
+            result.recovered.push((id, e));
+            failed.insert(id, 0);
+        }
+        aborted |= !tally.skipped.is_empty();
+        skipped.extend(tally.skipped.iter().copied());
+        routed.extend(tally.routed.iter().copied());
+        for (&id, &exp) in &tally.failed {
+            fail_expansions.insert(id, exp);
+        }
+        failed = tally.failed;
+        history_totals.push(space.congestion().map_or(0.0, |m| m.total_history()));
+        tel.record_span("negotiation_endgame_iteration", iter_t0.elapsed().as_secs_f64());
+
+        if routed.len() > best_routed.len() {
+            best_layout = layout.clone();
+            best_routed = routed.clone();
+            best_failed = failed.clone();
+            stagnant = 0;
+        } else {
+            stagnant += 1;
+            if stagnant >= NEGOTIATION_ENDGAME_PATIENCE {
+                break;
+            }
+        }
+    }
+
+    if routed.len() < best_routed.len() {
+        *layout = best_layout;
+        routed = best_routed;
+        failed = best_failed;
+        *space = build_stage_space(package, layout, cfg, tel);
+    } else {
+        space.set_congestion(None);
+    }
+
+    let final_overuse = contested_cells(package, space, failed.keys().copied()).len() as u32;
+    result.routed.extend(routed.iter().copied());
+    result.failed.extend(failed.keys().copied());
+    for &id in &skipped {
+        if !routed.contains(&id) && !failed.contains_key(&id) {
+            result.failed.push(id);
+            result.skipped.push(id);
+        }
+    }
+    if let Some(neg) = result.negotiation.as_mut() {
+        neg.endgame_iterations = iters;
+        neg.reroutes += reroutes;
+        neg.final_overuse = final_overuse;
+        neg.history_totals.extend(history_totals);
+    }
+    tel.record_span("negotiation_endgame", t0.elapsed().as_secs_f64());
+}
+
 /// Tries to free a path for `id` by evicting nearby routed nets: up to
 /// six single victims, then the nearest pair. The failed net and every
 /// evicted net must all re-route for an eviction to stick; otherwise the
@@ -562,19 +1235,6 @@ fn ripup_and_reroute(
         .collect();
     keyed.sort_by_key(|&(n, da, db)| (da.min(db), n));
     let candidates: Vec<NetId> = keyed.iter().map(|&(n, ..)| n).collect();
-    // Per-segment rects of a net's geometry, not its bounding hull: a
-    // long route's hull can cover most of the die while the geometry only
-    // touches a thin corridor of cells, and rebuild cost is per cell.
-    let net_rects = |layout: &Layout, n: NetId, out: &mut Vec<Rect>| {
-        for r in layout.routes_of(n) {
-            for s in r.path.segments() {
-                out.push(Rect::new(s.a, s.b));
-            }
-        }
-        for v in layout.vias_of(n) {
-            out.push(Rect::new(v.center, v.center));
-        }
-    };
     // Eviction sets: up to six single victims, then terminal-aware pairs.
     // A wall around a pad can be two routes deep (the journal shows
     // single evictions enlarging the starved component without freeing
@@ -612,7 +1272,7 @@ fn ripup_and_reroute(
         // whose cells the removals leave untouched — needs no rebuild.
         let mut touched: Vec<Rect> = Vec::new();
         for &v in &victims {
-            net_rects(layout, v, &mut touched);
+            net_geometry_rects(layout, v, &mut touched);
             layout.remove_net(v);
         }
         let rebuilt = space.rebuild_dirty_multi(package, layout, &touched);
@@ -714,6 +1374,7 @@ fn plan_net(
     let opts = astar::SearchOptions {
         windowed: cfg.search_window,
         arena: cfg.search_arena,
+        expansion_budget: cfg.retry_expansion_budget,
         ..Default::default()
     };
     let mut search = astar::SearchStats::default();

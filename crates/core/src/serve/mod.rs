@@ -443,6 +443,9 @@ pub fn parse_request(line: &str) -> Result<Request, RouterError> {
                 if let Some(b) = bool_field(c, "window")? {
                     cfg.search_window = b;
                 }
+                if let Some(b) = bool_field(c, "congestion")? {
+                    cfg.congestion_mode = b;
+                }
                 if let Some(ms) = int_field(c, "stage_budget_ms", 0, 86_400_000)? {
                     cfg.stage_budget = Some(Duration::from_millis(ms));
                 }
@@ -493,6 +496,17 @@ pub fn response_json(r: &JobResult, include_net_status: bool) -> Json {
             members.push(("failed".to_string(), Json::Num(count(crate::flow::NetStatus::Failed))));
             members
                 .push(("skipped".to_string(), Json::Num(count(crate::flow::NetStatus::Skipped))));
+            if let Some(neg) = &out.negotiation {
+                members.push((
+                    "negotiation".to_string(),
+                    Json::Obj(vec![
+                        ("iterations".to_string(), Json::Num(neg.iterations as f64)),
+                        ("converged".to_string(), Json::Bool(neg.converged)),
+                        ("declined".to_string(), Json::Bool(neg.declined)),
+                        ("final_overuse".to_string(), Json::Num(neg.final_overuse as f64)),
+                    ]),
+                ));
+            }
             if include_net_status {
                 let nets = out
                     .net_status

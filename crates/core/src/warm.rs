@@ -18,9 +18,15 @@
 //!   rip-up pass already depends on this), so a warm start routes the
 //!   same layout, byte for byte, as a cold one.
 //!
-//! The cache is a small bounded LRU behind a mutex: lookups are rare
-//! (once per job) and the payoff per hit is the whole build, so
-//! contention is irrelevant.
+//! The cache is a small bounded LRU behind a mutex, but the expensive
+//! work never happens under it: entries are held by `Arc`, so a hit
+//! takes the lock only long enough to clone the pointer and refresh
+//! recency — the deep copy the job routes on is made after the lock is
+//! released. Cold lookups are single-flight: the first job for a key
+//! marks it as building and constructs the space outside the lock while
+//! racing jobs wait on a condvar and then take the installed entry as a
+//! hit, instead of every cold job redoing the whole build (the stampede
+//! the serve load test used to pay on its first wave of identical jobs).
 //!
 //! [`space_config`]: crate::sequential::space_config
 
@@ -30,7 +36,7 @@ use info_telemetry::{Counter, Sink};
 use info_tile::RoutingSpace;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Everything the stage-start space build reads, collapsed to a
 /// comparable key. Two jobs with equal keys build bit-identical spaces.
@@ -70,15 +76,44 @@ impl WarmKey {
     }
 }
 
+/// Lock-guarded cache state: the LRU itself plus the keys currently
+/// being built (single-flight markers).
+#[derive(Debug, Default)]
+struct CacheState {
+    /// Most-recently-used at the front.
+    entries: VecDeque<(WarmKey, Arc<RoutingSpace>)>,
+    /// Keys some thread is building right now; racing lookups wait on
+    /// the condvar instead of redoing the build.
+    building: Vec<WarmKey>,
+}
+
 /// Bounded, thread-safe cache of stage-start routing spaces keyed by
 /// circuit + configuration (see the module docs).
 #[derive(Debug)]
 pub struct WarmSpaceCache {
     capacity: usize,
-    /// Most-recently-used at the front.
-    entries: Mutex<VecDeque<(WarmKey, RoutingSpace)>>,
+    state: Mutex<CacheState>,
+    /// Signalled whenever a build finishes (successfully or not).
+    ready: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Clears a single-flight marker when the build ends — by any path,
+/// including a panic unwinding through `build_stage_space` (waiters must
+/// wake and build for themselves rather than hang).
+struct BuildingGuard<'a> {
+    cache: &'a WarmSpaceCache,
+    key: &'a WarmKey,
+}
+
+impl Drop for BuildingGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.cache.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.building.retain(|k| k != self.key);
+        drop(st);
+        self.cache.ready.notify_all();
+    }
 }
 
 impl WarmSpaceCache {
@@ -87,7 +122,8 @@ impl WarmSpaceCache {
     pub fn new(capacity: usize) -> Self {
         WarmSpaceCache {
             capacity: capacity.max(1),
-            entries: Mutex::new(VecDeque::new()),
+            state: Mutex::new(CacheState::default()),
+            ready: Condvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -96,6 +132,11 @@ impl WarmSpaceCache {
     /// Returns the stage-start space for this (package, layout, config),
     /// cloned from the cache when warm, or built — and installed — when
     /// cold. Counts the outcome into `tel` either way.
+    ///
+    /// The deep copy a hit returns is made *after* the lock is released
+    /// (only the `Arc` is cloned under it), and concurrent cold lookups
+    /// for one key run exactly one build: the rest wait and count as
+    /// hits on the installed entry.
     pub fn get_or_build(
         &self,
         package: &Package,
@@ -104,29 +145,34 @@ impl WarmSpaceCache {
         tel: &Sink,
     ) -> RoutingSpace {
         let key = WarmKey::new(package, layout, cfg);
-        {
-            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
-                // Refresh recency before cloning out.
-                let hit = entries.remove(pos).expect("position came from iter");
-                let space = hit.1.clone();
-                entries.push_front(hit);
-                drop(entries);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(pos) = st.entries.iter().position(|(k, _)| *k == key) {
+                // Refresh recency; the expensive deep clone happens
+                // outside the lock, off the shared Arc.
+                let hit = st.entries.remove(pos).expect("position came from iter");
+                let shared = Arc::clone(&hit.1);
+                st.entries.push_front(hit);
+                drop(st);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 tel.count(Counter::WarmSpaceHits, 1);
-                return space;
+                return (*shared).clone();
             }
+            if !st.building.contains(&key) {
+                break;
+            }
+            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        // Build outside the lock: builds are the expensive path, and two
-        // racing cold jobs merely build twice (the second install wins
-        // the front slot; both spaces are identical).
+        st.building.push(key.clone());
+        drop(st);
+        let _guard = BuildingGuard { cache: self, key: &key };
         let space = crate::sequential::build_stage_space(package, layout, cfg, tel);
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if !entries.iter().any(|(k, _)| *k == key) {
-            entries.push_front((key, space.clone()));
-            entries.truncate(self.capacity);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !st.entries.iter().any(|(k, _)| *k == key) {
+            st.entries.push_front((key.clone(), Arc::new(space.clone())));
+            st.entries.truncate(self.capacity);
         }
-        drop(entries);
+        drop(st);
         self.misses.fetch_add(1, Ordering::Relaxed);
         tel.count(Counter::WarmSpaceMisses, 1);
         space
@@ -139,7 +185,7 @@ impl WarmSpaceCache {
 
     /// Cached entries currently held.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).entries.len()
     }
 
     /// True when nothing is cached yet.
@@ -205,6 +251,26 @@ mod tests {
         // `a` was evicted by `b`, so it misses again.
         let _ = cache.get_or_build(&pkg, &layout, &a, &tel);
         assert_eq!(cache.stats(), (0, 3));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_cold_lookups_build_once() {
+        let pkg = tiny_package();
+        let layout = Layout::new(&pkg);
+        let cfg = RouterConfig::default().with_global_cells(6);
+        let cache = WarmSpaceCache::new(4);
+        let tel = Sink::disabled();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let _ = cache.get_or_build(&pkg, &layout, &cfg, &tel);
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1, "single-flight: one cold build for one key");
+        assert_eq!(hits, 7, "every waiter takes the installed entry");
         assert_eq!(cache.len(), 1);
     }
 }

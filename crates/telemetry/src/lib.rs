@@ -36,6 +36,9 @@ pub enum Pass {
     /// Sequential pass 3 (rip-up-and-reroute; one record per eviction-set
     /// trial).
     RipUp,
+    /// Negotiated-congestion iteration (one record per authoritative
+    /// attempt in any iteration of the convergence loop).
+    Negotiated,
 }
 
 impl Pass {
@@ -46,6 +49,7 @@ impl Pass {
             Pass::First => "first",
             Pass::Retry => "retry",
             Pass::RipUp => "ripup",
+            Pass::Negotiated => "negotiated",
         }
     }
 }
@@ -202,11 +206,19 @@ pub enum Counter {
     /// Sequential-stage routing spaces built cold (and, when a warm
     /// cache is attached, deposited into it).
     WarmSpaceMisses,
+    /// Negotiated-congestion iterations run (first pass included).
+    NegotiationIterations,
+    /// Contested global cells whose history was escalated, summed over
+    /// every iteration (the per-iteration overuse signal).
+    NegotiationOveruse,
+    /// Nets re-queued by the negotiation driver — evicted victims plus
+    /// still-failed nets — summed over every iteration after the first.
+    NegotiationReroutes,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 24] = [
         Counter::Searches,
         Counter::NodesExpanded,
         Counter::WindowEscalations,
@@ -228,6 +240,9 @@ impl Counter {
         Counter::RipupWallUs,
         Counter::WarmSpaceHits,
         Counter::WarmSpaceMisses,
+        Counter::NegotiationIterations,
+        Counter::NegotiationOveruse,
+        Counter::NegotiationReroutes,
     ];
 
     /// Stable snake_case label.
@@ -254,6 +269,9 @@ impl Counter {
             Counter::RipupWallUs => "ripup_wall_us",
             Counter::WarmSpaceHits => "warm_space_hits",
             Counter::WarmSpaceMisses => "warm_space_misses",
+            Counter::NegotiationIterations => "negotiation_iterations",
+            Counter::NegotiationOveruse => "negotiation_overuse",
+            Counter::NegotiationReroutes => "negotiation_reroutes",
         }
     }
 }

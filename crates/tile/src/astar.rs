@@ -149,11 +149,18 @@ pub struct SearchOptions {
     /// arena instead of a per-search `BTreeSet` (identical output either
     /// way; `false` is the ablation/differential baseline).
     pub arena: bool,
+    /// Per-run expansion budget override; `None` uses [`MAX_EXPANSIONS`].
+    /// A windowed search and its escalation each get one budget, so a
+    /// doomed search costs at most twice this. Tests shrink it to make
+    /// searches fail cheaply on demand; shrinking it in production trades
+    /// completeness for time (nets whose paths need more expansions
+    /// report `BudgetCapped` instead of routing).
+    pub expansion_budget: Option<usize>,
 }
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        SearchOptions { windowed: true, allow_vias: true, arena: true }
+        SearchOptions { windowed: true, allow_vias: true, arena: true, expansion_budget: None }
     }
 }
 
@@ -256,7 +263,7 @@ const NO_PARENT: u32 = u32::MAX;
 /// paths expand a few thousand tiles; a flat cap keeps *failing* searches
 /// (which otherwise sweep the whole reachable space) cheap on large
 /// circuits.
-const MAX_EXPANSIONS: usize = 60_000;
+pub const MAX_EXPANSIONS: usize = 60_000;
 
 /// Per-thread reusable search state. All node arrays are indexed by tile
 /// id and validated by generation stamps, so consecutive searches share
@@ -623,6 +630,7 @@ fn search_inner(
                 SearchFailure::Exhausted
             }
         };
+        let budget = opts.expansion_budget.unwrap_or(MAX_EXPANSIONS);
 
         if opts.windowed {
             s.set_window(space, src.1, dst.1);
@@ -640,6 +648,7 @@ fn search_inner(
                 dst_tile,
                 opts.allow_vias,
                 true,
+                budget,
                 Some((&mut pruned_min_f, &mut pruned)),
                 cancel,
                 trace.as_deref_mut(),
@@ -693,6 +702,7 @@ fn search_inner(
                         dst_tile,
                         opts.allow_vias,
                         false,
+                        budget,
                         None,
                         cancel,
                         trace.as_deref_mut(),
@@ -726,6 +736,7 @@ fn search_inner(
             dst_tile,
             opts.allow_vias,
             false,
+            budget,
             None,
             cancel,
             trace,
@@ -803,6 +814,7 @@ fn run(
     dst_tile: TileId,
     allow_vias: bool,
     windowed: bool,
+    budget: usize,
     mut pruned_sink: Option<(&mut f64, &mut Vec<PrunedEdge>)>,
     cancel: Option<&CancelToken>,
     mut trace: Option<&mut TraceSink<'_>>,
@@ -811,6 +823,12 @@ fn run(
 ) -> RunOutcome {
     let via_cost = space.config().via_cost;
     let cells_x = space.config().cells_x;
+    // Negotiated-congestion cost layers, when installed: a non-negative
+    // penalty added to g whenever a move enters a new (layer, cell)
+    // resource. Penalties only increase edge costs, so the geometric
+    // heuristic stays an admissible, consistent lower bound and every
+    // fence comparison below sees consistently inflated f values.
+    let cong = space.congestion();
 
     let mut expansions = 0usize;
 
@@ -824,6 +842,7 @@ fn run(
             t.insert(space.tile(tid).cell);
         }
         let layer = space.tile(tid).layer;
+        let node_cell = space.tile(tid).cell;
         // Stale heap entry?
         if f_popped > node_g + s.h(tid_raw, node_entry, layer, &dst, via_cost) + 1e-6 {
             continue;
@@ -879,7 +898,7 @@ fn run(
                 }
             }
         }
-        if expansions > MAX_EXPANSIONS {
+        if expansions > budget {
             // Put the capping pop back so the surviving open list is a
             // complete frontier for a warm continuation.
             s.queue.push(fbits, tid_raw);
@@ -892,9 +911,14 @@ fn run(
         space.planar_neighbors_into(tid, net, &mut nbr);
         for e in &nbr {
             let cross = e.crossing.midpoint();
-            let g2 = node_g + x_arch_len(node_entry, cross);
             let to = e.to.0 as usize;
             let to_layer = space.tile(e.to).layer;
+            let to_cell = space.tile(e.to).cell;
+            let pen = match cong {
+                Some(m) if to_cell != node_cell => m.cell_penalty(to_layer.index(), to_cell),
+                _ => 0.0,
+            };
+            let g2 = node_g + x_arch_len(node_entry, cross) + pen;
             if windowed && !s.in_window(cells_x, space.tile(e.to).cell) {
                 if let Some((min_f, edges)) = pruned_sink.as_mut() {
                     let f2 = g2 + s.h(e.to.0, cross, to_layer, &dst, via_cost);
@@ -935,9 +959,15 @@ fn run(
             *saw_via = true;
         }
         for &(to_tile, site) in &vnbr {
-            let g2 = node_g + x_arch_len(node_entry, site) + via_cost;
             let to = to_tile.0 as usize;
             let to_layer = space.tile(to_tile).layer;
+            // A via always enters a new (layer, cell) resource: charge
+            // the landing layer's cell plus the cell's via layer.
+            let pen = cong.map_or(0.0, |m| {
+                let tc = space.tile(to_tile).cell;
+                m.via_penalty(tc) + m.cell_penalty(to_layer.index(), tc)
+            });
+            let g2 = node_g + x_arch_len(node_entry, site) + via_cost + pen;
             let (upper, lower) =
                 if to_layer > layer { (layer, to_layer) } else { (to_layer, layer) };
             if windowed && !s.in_window(cells_x, space.tile(to_tile).cell) {
@@ -1130,7 +1160,7 @@ mod tests {
             NetId(0),
             src,
             dst,
-            SearchOptions { windowed: true, allow_vias: true, arena: true },
+            SearchOptions { windowed: true, allow_vias: true, arena: true, expansion_budget: None },
             &mut ws,
         );
         let (full, _) = route_traced_opts(
@@ -1138,7 +1168,7 @@ mod tests {
             NetId(0),
             src,
             dst,
-            SearchOptions { windowed: false, allow_vias: true, arena: true },
+            SearchOptions { windowed: false, allow_vias: true, arena: true, expansion_budget: None },
             &mut fs,
         );
         let win = win.expect("windowed route");

@@ -1,0 +1,215 @@
+//! Negotiated-congestion cost layers (PathFinder-style, DESIGN.md §4h).
+//!
+//! A [`CongestionMap`] holds two non-negative cost fields over the global
+//! cells of a [`RoutingSpace`](crate::space::RoutingSpace):
+//!
+//! - **present congestion** — integer occupancy counts of the current
+//!   iteration's committed geometry, per `(layer, cell)` for wires and
+//!   per cell for vias. Integer adds/removes commute, so present updates
+//!   are order-invariant within an iteration by construction.
+//! - **history cost** — a monotonically non-decreasing `f64` field that
+//!   the negotiation driver escalates on contested cells between
+//!   iterations. History never decays and is only ever written in
+//!   iteration-boundary batches, which keeps the whole cost state
+//!   independent of net commit order and thread count.
+//!
+//! The A\* expansion loop folds these into the edge cost **g** as a
+//! non-negative penalty charged when a move enters a new `(layer, cell)`
+//! resource (every via move changes layer, so every via move is charged).
+//! Because the penalty only ever *adds* to edge costs, the geometric
+//! heuristic stays an admissible and consistent lower bound, and the
+//! windowed-search fence argument is unchanged — both sides of every
+//! fence comparison carry the same penalties.
+//!
+//! Weights are in nanometres: `penalty = history_weight * history +
+//! present_weight * present`. The negotiation driver picks weights
+//! relative to the global cell pitch so one unit of history is worth a
+//! deliberate detour of a fraction of a cell.
+
+/// Per-cell present-congestion and history cost fields (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionMap {
+    cells_x: usize,
+    cells_y: usize,
+    layers: usize,
+    present_weight: f64,
+    history_weight: f64,
+    /// Per `(layer, cell)`, indexed `(layer * cells_y + cy) * cells_x + cx`.
+    hist: Vec<f64>,
+    present: Vec<u32>,
+    /// Per cell, indexed `cy * cells_x + cx`.
+    via_hist: Vec<f64>,
+    via_present: Vec<u32>,
+}
+
+impl CongestionMap {
+    /// A zeroed map over `layers` wire layers of a `cells_x` × `cells_y`
+    /// global grid. `present_weight` and `history_weight` are the
+    /// nanometre cost of one unit of present occupancy / history.
+    pub fn new(
+        cells_x: usize,
+        cells_y: usize,
+        layers: usize,
+        present_weight: f64,
+        history_weight: f64,
+    ) -> Self {
+        let ncells = cells_x * cells_y;
+        CongestionMap {
+            cells_x,
+            cells_y,
+            layers,
+            present_weight: present_weight.max(0.0),
+            history_weight: history_weight.max(0.0),
+            hist: vec![0.0; ncells * layers],
+            present: vec![0; ncells * layers],
+            via_hist: vec![0.0; ncells],
+            via_present: vec![0; ncells],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, layer: usize, cx: usize, cy: usize) -> usize {
+        (layer * self.cells_y + cy) * self.cells_x + cx
+    }
+
+    #[inline]
+    fn via_idx(&self, cx: usize, cy: usize) -> usize {
+        cy * self.cells_x + cx
+    }
+
+    /// Penalty (nm) for entering `(layer, cell)`. Always ≥ 0.
+    #[inline]
+    pub fn cell_penalty(&self, layer: usize, (cx, cy): (usize, usize)) -> f64 {
+        let i = self.idx(layer, cx, cy);
+        self.history_weight * self.hist[i] + self.present_weight * f64::from(self.present[i])
+    }
+
+    /// Penalty (nm) for using a via in `cell`, on top of the entered
+    /// layer's [`cell_penalty`](Self::cell_penalty). Always ≥ 0.
+    #[inline]
+    pub fn via_penalty(&self, (cx, cy): (usize, usize)) -> f64 {
+        let i = self.via_idx(cx, cy);
+        self.history_weight * self.via_hist[i]
+            + self.present_weight * f64::from(self.via_present[i])
+    }
+
+    /// Escalates the history of one `(layer, cell)`. `amount` must be
+    /// ≥ 0 — history is monotone by contract; negative amounts are
+    /// clamped to zero.
+    pub fn add_history(&mut self, layer: usize, cx: usize, cy: usize, amount: f64) {
+        let i = self.idx(layer, cx, cy);
+        self.hist[i] += amount.max(0.0);
+    }
+
+    /// Escalates the via history of one cell (clamped to ≥ 0 like
+    /// [`add_history`](Self::add_history)).
+    pub fn add_via_history(&mut self, cx: usize, cy: usize, amount: f64) {
+        let i = self.via_idx(cx, cy);
+        self.via_hist[i] += amount.max(0.0);
+    }
+
+    /// Adjusts the present occupancy of one `(layer, cell)` by `delta`
+    /// nets (saturating at zero).
+    pub fn note_present(&mut self, layer: usize, cx: usize, cy: usize, delta: i64) {
+        let i = self.idx(layer, cx, cy);
+        self.present[i] = apply_delta(self.present[i], delta);
+    }
+
+    /// Adjusts the present via occupancy of one cell by `delta` nets
+    /// (saturating at zero).
+    pub fn note_via_present(&mut self, cx: usize, cy: usize, delta: i64) {
+        let i = self.via_idx(cx, cy);
+        self.via_present[i] = apply_delta(self.via_present[i], delta);
+    }
+
+    /// Zeroes every present count (history is untouched — it never
+    /// decreases). The negotiation driver calls this before re-deriving
+    /// occupancy from the committed layout at an iteration boundary.
+    pub fn clear_present(&mut self) {
+        self.present.fill(0);
+        self.via_present.fill(0);
+    }
+
+    /// Total history mass (wire + via) — the monotone convergence gauge
+    /// the negotiation driver snapshots per iteration into
+    /// `NegotiationStats::history_totals`.
+    pub fn total_history(&self) -> f64 {
+        self.hist.iter().sum::<f64>() + self.via_hist.iter().sum::<f64>()
+    }
+
+    /// History of one `(layer, cell)` (test observability).
+    pub fn history_at(&self, layer: usize, cx: usize, cy: usize) -> f64 {
+        self.hist[self.idx(layer, cx, cy)]
+    }
+
+    /// Present occupancy of one `(layer, cell)` (test observability).
+    pub fn present_at(&self, layer: usize, cx: usize, cy: usize) -> u32 {
+        self.present[self.idx(layer, cx, cy)]
+    }
+
+    /// Grid dimensions `(cells_x, cells_y, layers)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.cells_x, self.cells_y, self.layers)
+    }
+}
+
+fn apply_delta(current: u32, delta: i64) -> u32 {
+    let next = i64::from(current) + delta;
+    u32::try_from(next.max(0)).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalties_reflect_weights() {
+        let mut m = CongestionMap::new(4, 4, 2, 10.0, 100.0);
+        assert_eq!(m.cell_penalty(0, (1, 1)), 0.0);
+        m.note_present(0, 1, 1, 2);
+        m.add_history(0, 1, 1, 1.5);
+        assert!((m.cell_penalty(0, (1, 1)) - (100.0 * 1.5 + 10.0 * 2.0)).abs() < 1e-9);
+        // The other layer's cell is an independent resource.
+        assert_eq!(m.cell_penalty(1, (1, 1)), 0.0);
+        m.note_via_present(2, 3, 1);
+        m.add_via_history(2, 3, 0.5);
+        assert!((m.via_penalty((2, 3)) - (100.0 * 0.5 + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn present_saturates_at_zero() {
+        let mut m = CongestionMap::new(2, 2, 1, 1.0, 1.0);
+        m.note_present(0, 0, 0, -3);
+        assert_eq!(m.present_at(0, 0, 0), 0);
+        m.note_present(0, 0, 0, 2);
+        m.note_present(0, 0, 0, -1);
+        assert_eq!(m.present_at(0, 0, 0), 1);
+    }
+
+    #[test]
+    fn history_is_monotone_and_clamped() {
+        let mut m = CongestionMap::new(2, 2, 1, 1.0, 1.0);
+        m.add_history(0, 0, 0, 1.0);
+        m.add_history(0, 0, 0, -5.0); // clamped: no decrease
+        assert_eq!(m.history_at(0, 0, 0), 1.0);
+        m.clear_present();
+        assert_eq!(m.history_at(0, 0, 0), 1.0, "clear_present must not touch history");
+    }
+
+    #[test]
+    fn updates_commute_within_an_iteration() {
+        // The order-invariance contract: any permutation of the same
+        // multiset of updates produces an identical map.
+        let updates: Vec<(usize, usize, usize, i64)> =
+            vec![(0, 1, 0, 1), (1, 0, 1, 2), (0, 1, 0, 1), (1, 1, 1, 1), (0, 0, 0, -1)];
+        let mut fwd = CongestionMap::new(2, 2, 2, 3.0, 7.0);
+        let mut rev = fwd.clone();
+        for &(l, x, y, d) in &updates {
+            fwd.note_present(l, x, y, d);
+        }
+        for &(l, x, y, d) in updates.iter().rev() {
+            rev.note_present(l, x, y, d);
+        }
+        assert_eq!(fwd, rev);
+    }
+}

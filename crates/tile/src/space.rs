@@ -212,6 +212,12 @@ pub struct RoutingSpace {
     /// geometric. Snapshots and restores share the tables by `Arc` —
     /// they stay valid for the whole stage by blockage monotonicity.
     alt: Option<Arc<crate::landmarks::Landmarks>>,
+    /// Negotiated-congestion cost layers (see [`crate::congestion`]);
+    /// `None` keeps edge costs purely geometric. Boxed and owned by
+    /// value — unlike the landmarks, these fields are *mutable* stage
+    /// state, and the rip-up pass's snapshot/restore-by-value must
+    /// capture them (an `Arc` would alias mutations across snapshots).
+    congestion: Option<Box<crate::congestion::CongestionMap>>,
 }
 
 /// Per-rebuild spatial indexes over the package and layout geometry, so
@@ -293,6 +299,7 @@ impl RoutingSpace {
             epoch_counter: 0,
             revision: REVISION.fetch_add(1, Ordering::Relaxed),
             alt: None,
+            congestion: None,
         };
         let mut scratch = GeomScratch::build(package, layout, layers);
         for cy in 0..cfg.cells_y {
@@ -338,6 +345,38 @@ impl RoutingSpace {
     #[inline]
     pub fn landmarks(&self) -> Option<&Arc<crate::landmarks::Landmarks>> {
         self.alt.as_ref()
+    }
+
+    /// Installs (or clears) the negotiated-congestion cost layers. Bumps
+    /// the revision: congestion only shifts edge costs `g` (never the
+    /// geometric heuristic), but a fresh tag keeps every revision-keyed
+    /// cache conservatively scoped to one cost regime.
+    pub fn set_congestion(&mut self, map: Option<crate::congestion::CongestionMap>) {
+        self.congestion = map.map(Box::new);
+        self.revision = REVISION.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The congestion cost layers, when installed.
+    #[inline]
+    pub fn congestion(&self) -> Option<&crate::congestion::CongestionMap> {
+        self.congestion.as_deref()
+    }
+
+    /// Mutable access to the congestion cost layers (the negotiation
+    /// driver escalates history and refreshes present counts between
+    /// iterations; no search runs concurrently with these updates).
+    pub fn congestion_mut(&mut self) -> Option<&mut crate::congestion::CongestionMap> {
+        self.congestion.as_deref_mut()
+    }
+
+    /// Occupancy of one `(layer, cell)`: `(blocked, total)` live tiles,
+    /// where a blocked tile carries at least one blocker. The ordering
+    /// features of the negotiation driver read this as a cheap local
+    /// congestion estimate.
+    pub fn cell_occupancy(&self, layer: WireLayer, cx: usize, cy: usize) -> (usize, usize) {
+        let ids = self.tiles_in_cell(layer, cx, cy);
+        let blocked = ids.iter().filter(|&&id| !self.tile(id).is_free()).count();
+        (blocked, ids.len())
     }
 
     /// The rectangle of global cell `(cx, cy)`.

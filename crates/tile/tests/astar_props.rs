@@ -172,11 +172,11 @@ proptest! {
         let mut fs = astar::SearchStats::default();
         let (win, _) = astar::route_traced_opts(
             &space, NetId(0), src, dst,
-            SearchOptions { windowed: true, allow_vias: true, arena: true }, &mut ws,
+            SearchOptions { windowed: true, allow_vias: true, arena: true, expansion_budget: None }, &mut ws,
         );
         let (full, _) = astar::route_traced_opts(
             &space, NetId(0), src, dst,
-            SearchOptions { windowed: false, allow_vias: true, arena: true }, &mut fs,
+            SearchOptions { windowed: false, allow_vias: true, arena: true, expansion_budget: None }, &mut fs,
         );
         match (win, full) {
             (None, None) => {}
@@ -263,7 +263,7 @@ proptest! {
             let mut stats = astar::SearchStats::default();
             let (got, _) = astar::route_traced_opts(
                 &space, NetId(0), src, dst,
-                SearchOptions { windowed, allow_vias: true, arena: true }, &mut stats,
+                SearchOptions { windowed, allow_vias: true, arena: true, expansion_budget: None }, &mut stats,
             );
             prop_assert!(got.is_none(), "fenced net must be unroutable (seed {})", seed);
         }
@@ -317,7 +317,7 @@ fn forced_escalation_is_cost_identical_and_cheaper() {
         NetId(0),
         src,
         dst,
-        SearchOptions { windowed: true, allow_vias: true, arena: true },
+        SearchOptions { windowed: true, allow_vias: true, arena: true, expansion_budget: None },
         &mut ws,
     );
     let (full, _) = astar::route_traced_opts(
@@ -325,7 +325,7 @@ fn forced_escalation_is_cost_identical_and_cheaper() {
         NetId(0),
         src,
         dst,
-        SearchOptions { windowed: false, allow_vias: true, arena: true },
+        SearchOptions { windowed: false, allow_vias: true, arena: true, expansion_budget: None },
         &mut fs,
     );
     let win = win.expect("detour route exists around the wall ends");
@@ -364,7 +364,7 @@ fn forced_escalation_is_deterministic() {
             NetId(0),
             src,
             dst,
-            SearchOptions { windowed: true, allow_vias: true, arena: true },
+            SearchOptions { windowed: true, allow_vias: true, arena: true, expansion_budget: None },
             &mut st,
         );
         (r.expect("route").steps, st, cells)
