@@ -1,0 +1,207 @@
+//! ECO sweep: `eco_sweep [max_dense] [--gate PCT]` measures every
+//! single-net-deletion ECO on dense1..=max_dense (default 3).
+//!
+//! For each circuit the base design is routed once through the full
+//! five-stage flow, then each net is deleted in turn and re-routed as a
+//! delta via [`InfoRouter::reroute_delta`] against a shared
+//! [`WarmSpaceCache`] keyed on the prior layout — the deployment shape
+//! the serve `"eco"` job kind uses. Reported per circuit: mean/max ECO
+//! wall time, the mean as a percentage of the full-route time, and the
+//! warm-cache hit counts that prove the "one build, N-1 warm patches"
+//! contract.
+//!
+//! Two contracts are enforced (nonzero exit on violation):
+//!
+//! - **legality** — every ECO outcome is geometrically clean (violations
+//!   only `Disconnected` on nets the outcome itself declares unrouted);
+//! - **incrementality** — with `--gate PCT`, the mean single-net ECO
+//!   time on every measured circuit must stay under PCT% of that
+//!   circuit's full-route time (CI runs `eco_sweep 1 --gate 5`).
+//!
+//! The summary is spliced into `BENCH_rdl.json` under a top-level
+//! `"eco"` key, leaving the rest of the file byte-for-byte intact.
+
+use info_gen::dense;
+use info_router::serve::json;
+use info_router::{
+    EcoChangeSet, InfoRouter, NetStatus, RouteOutcome, RouterConfig, WarmSpaceCache,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn geom_clean(out: &RouteOutcome) -> bool {
+    use info_model::drc::Violation;
+    let unrouted: std::collections::BTreeSet<usize> = out
+        .net_status
+        .iter()
+        .filter(|(_, st)| *st != NetStatus::Routed)
+        .map(|(id, _)| id.index())
+        .collect();
+    out.drc
+        .violations()
+        .iter()
+        .all(|v| matches!(v, Violation::Disconnected { net } if unrouted.contains(&net.index())))
+}
+
+fn main() {
+    let mut max_dense = 3usize;
+    let mut gate_pct: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--gate" => {
+                gate_pct = args.next().and_then(|v| v.parse().ok());
+                if gate_pct.is_none() {
+                    eprintln!("error: --gate requires a percentage");
+                    std::process::exit(2);
+                }
+            }
+            _ => match a.parse::<usize>() {
+                Ok(n) if (1..=5).contains(&n) => max_dense = n,
+                _ => {
+                    eprintln!("usage: eco_sweep [max_dense 1-5] [--gate PCT]");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    let mut sections = Vec::new();
+    let mut gate_failed = false;
+    for d in 1..=max_dense {
+        let pkg = dense(d);
+        let nets = pkg.nets().len();
+        let rcfg = RouterConfig::default();
+
+        let t0 = Instant::now();
+        let prior = InfoRouter::new(rcfg).route(&pkg);
+        let full = t0.elapsed();
+        println!(
+            "dense{d}: full route {} nets in {:.3}s, hash {:016x}",
+            nets,
+            full.as_secs_f64(),
+            prior.layout.canonical_hash()
+        );
+
+        let cache = Arc::new(WarmSpaceCache::new(2));
+        let router = InfoRouter::new(rcfg).with_warm_cache(Arc::clone(&cache));
+        let mut times: Vec<Duration> = Vec::with_capacity(nets);
+        let mut rerouted_total = 0usize;
+        let mut illegal = 0usize;
+        for net in pkg.nets() {
+            let changes = EcoChangeSet::new().remove_net(net.id);
+            let t0 = Instant::now();
+            let out = router
+                .reroute_delta(&pkg, &prior, &changes)
+                .unwrap_or_else(|e| panic!("dense{d}: delete net {}: {e:?}", net.id.index()));
+            times.push(t0.elapsed());
+            if !geom_clean(&out) {
+                eprintln!(
+                    "dense{d}: deleting net {} left DRC violations: {:?}",
+                    net.id.index(),
+                    out.drc.violations()
+                );
+                illegal += 1;
+            }
+            rerouted_total += out.eco.as_ref().map_or(0, |s| s.nets_rerouted);
+        }
+        let (hits, misses) = cache.stats();
+        let mean = times.iter().sum::<Duration>() / times.len().max(1) as u32;
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mean_pct = 100.0 * mean.as_secs_f64() / full.as_secs_f64();
+        println!(
+            "dense{d}: {nets} single-net ECOs: mean {:.1}ms ({mean_pct:.2}% of full), \
+             max {:.1}ms, {rerouted_total} nets re-routed total, warm {hits} hits / {misses} misses",
+            mean.as_secs_f64() * 1e3,
+            max.as_secs_f64() * 1e3,
+        );
+
+        if illegal > 0 {
+            eprintln!("dense{d}: {illegal} of {nets} ECOs were geometrically illegal");
+            std::process::exit(1);
+        }
+        if let Some(gate) = gate_pct {
+            if mean_pct > gate {
+                eprintln!(
+                    "dense{d}: GATE FAILED: mean single-net ECO is {mean_pct:.2}% of the \
+                     full-route time (budget {gate}%)"
+                );
+                gate_failed = true;
+            }
+        }
+
+        sections.push((
+            format!("dense{d}"),
+            json::Json::Obj(vec![
+                ("nets".to_string(), json::Json::Num(nets as f64)),
+                (
+                    "full_s".to_string(),
+                    json::Json::Num((full.as_secs_f64() * 1e4).round() / 1e4),
+                ),
+                (
+                    "eco_mean_ms".to_string(),
+                    json::Json::Num((mean.as_secs_f64() * 1e5).round() / 100.0),
+                ),
+                (
+                    "eco_max_ms".to_string(),
+                    json::Json::Num((max.as_secs_f64() * 1e5).round() / 100.0),
+                ),
+                (
+                    "eco_mean_pct".to_string(),
+                    json::Json::Num((mean_pct * 100.0).round() / 100.0),
+                ),
+                (
+                    "nets_rerouted_total".to_string(),
+                    json::Json::Num(rerouted_total as f64),
+                ),
+                ("warm_hits".to_string(), json::Json::Num(hits as f64)),
+                ("warm_misses".to_string(), json::Json::Num(misses as f64)),
+            ]),
+        ));
+    }
+
+    if gate_failed {
+        std::process::exit(1);
+    }
+
+    // Merge with any committed circuits this run did not cover, so a
+    // dense1-only smoke (the CI gate) never drops the dense2/3 results.
+    let mut merged = sections;
+    if let Ok(text) = std::fs::read_to_string("BENCH_rdl.json") {
+        if let Ok(json::Json::Obj(top)) = json::parse(&text) {
+            if let Some((_, json::Json::Obj(prev))) = top.into_iter().find(|(k, _)| k == "eco") {
+                for (name, stats) in prev {
+                    if !merged.iter().any(|(n, _)| *n == name) {
+                        merged.push((name, stats));
+                    }
+                }
+            }
+        }
+    }
+    merged.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+    let summary = json::Json::Obj(merged);
+    match splice_key("BENCH_rdl.json", "eco", &summary) {
+        Ok(()) => println!("updated BENCH_rdl.json (eco key)"),
+        Err(e) => eprintln!("could not update BENCH_rdl.json: {e}"),
+    }
+}
+
+/// Inserts/replaces a top-level `"<key>"` entry in `path` without
+/// reformatting anything else (same discipline as loadtest's splice):
+/// the existing line (if any) is dropped and a fresh single-line entry
+/// is inserted right after the opening brace.
+fn splice_key(path: &str, key: &str, summary: &json::Json) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    json::parse(&text).map_err(|e| format!("existing file is not valid JSON: {e}"))?;
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    lines.retain(|l| !l.trim_start().starts_with(&format!("\"{key}\"")));
+    let open = lines
+        .iter()
+        .position(|l| l.trim() == "{")
+        .ok_or_else(|| "no top-level object".to_string())?;
+    lines.insert(open + 1, format!("  \"{key}\": {summary},"));
+    let spliced = lines.join("\n") + "\n";
+    json::parse(&spliced).map_err(|e| format!("splice produced invalid JSON: {e}"))?;
+    std::fs::write(path, spliced).map_err(|e| format!("write: {e}"))
+}

@@ -2,12 +2,14 @@
 //! dense1 jobs through the [`JobServer`] worker pool and reports
 //! throughput and service-latency percentiles.
 //!
-//! Two contracts are enforced (nonzero exit on violation):
+//! Three contracts are enforced (nonzero exit on violation):
 //!
 //! - **byte identity** — every concurrent job's layout hash equals the
 //!   single-job direct `InfoRouter::route` hash;
 //! - **warm-cache reuse** — with identical jobs, the shared space cache
-//!   must see at least one hit.
+//!   must see at least one hit;
+//! - **scaling** — with 4+ workers on a 4+ core machine, throughput must
+//!   be at least 2x the serial rate (gate skipped on smaller machines).
 //!
 //! The summary is spliced into `BENCH_rdl.json` under a top-level
 //! `"loadtest"` key (the rest of the file is left byte-for-byte intact),
@@ -58,6 +60,7 @@ fn main() {
                 package: Arc::clone(&pkg),
                 cfg: rcfg,
                 deadline: None,
+                changes: None,
             })
             .unwrap_or_else(|r| panic!("submit load-{i} rejected: {r:?}"));
     }
@@ -105,6 +108,18 @@ fn main() {
     }
     if jobs > 1 && hits == 0 {
         eprintln!("warm cache saw no reuse across {jobs} identical jobs");
+        std::process::exit(1);
+    }
+    // Scaling regression gate: with 4+ workers on a machine that can
+    // actually run them (4+ cores), anything under 2x over serial means
+    // the worker pool is serializing somewhere (lock held across a
+    // route, queue starvation). Skipped on smaller machines, where
+    // sub-serial throughput is the hardware's fault, not the pool's.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if workers >= 4 && cores >= 4 && speedup < 2.0 {
+        eprintln!(
+            "speedup {speedup:.2}x with {workers} workers on {cores} cores is below the 2.0x floor"
+        );
         std::process::exit(1);
     }
 

@@ -131,18 +131,27 @@ pub struct RouteOutcome {
     /// (`Some` exactly when [`RouterConfig::congestion_mode`] is set and
     /// the sequential stage ran).
     pub negotiation: Option<crate::sequential::NegotiationStats>,
+    /// ECO telemetry (`Some` exactly when this outcome came from
+    /// [`InfoRouter::reroute_delta`]): nets re-routed vs reused, cells
+    /// invalidated, warm-space and warm-basis reuse.
+    pub eco: Option<crate::eco::EcoStats>,
+    /// Geometry of nets an ECO deleted, kept so a later
+    /// [`InfoRouter::reroute_delta`] restoring the identical pad pair can
+    /// re-attach the route verbatim instead of searching (empty on full
+    /// routes; see [`crate::eco::EcoStash`]).
+    pub eco_stash: Vec<crate::eco::EcoStash>,
 }
 
 /// The via-based multi-chip multi-layer InFO RDL router.
 #[derive(Debug, Clone, Default)]
 pub struct InfoRouter {
-    cfg: RouterConfig,
+    pub(crate) cfg: RouterConfig,
     /// Shared warm-start cache for the sequential stage's routing space;
     /// `None` builds cold every run. Cloning the router shares the cache.
-    warm: Option<Arc<WarmSpaceCache>>,
+    pub(crate) warm: Option<Arc<WarmSpaceCache>>,
     /// Externally owned cancel token the flow observes; `None` gives each
     /// `route` call a private token nothing external can trip.
-    cancel: Option<CancelToken>,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl InfoRouter {
@@ -380,7 +389,38 @@ impl InfoRouter {
             diagnostics,
             telemetry: tel.report(),
             negotiation: seq.negotiation,
+            eco: None,
+            eco_stash: Vec::new(),
         }
+    }
+
+    /// Re-routes the *delta* of an edited design instead of the whole
+    /// die (DESIGN.md §4i).
+    ///
+    /// `changes` — net removals, additions, and re-pairings — is applied
+    /// against `package` (the design `prior` was routed on). Untouched
+    /// nets keep their prior geometry byte for byte; only the dirty-rect
+    /// cells of the routing space are invalidated (epoch-stamped
+    /// [`rebuild_dirty_multi`]); only impacted nets (fresh nets, prior
+    /// failures, and nets whose segments intersect the dirty rects) go
+    /// back through the sequential machinery; and the LP re-runs only on
+    /// components touched by the edit. The returned outcome is expressed
+    /// over the *edited* package ([`EcoChangeSet::plan`] exposes it and
+    /// the net-id mapping), with [`RouteOutcome::eco`] carrying the
+    /// delta telemetry.
+    ///
+    /// An invalid change set (unknown ids, overlapping edits, a pad used
+    /// twice) is a typed [`RouterError::BadInput`]; nothing is routed.
+    ///
+    /// [`rebuild_dirty_multi`]: info_tile::RoutingSpace::rebuild_dirty_multi
+    /// [`EcoChangeSet::plan`]: crate::eco::EcoChangeSet::plan
+    pub fn reroute_delta(
+        &self,
+        package: &Package,
+        prior: &RouteOutcome,
+        changes: &crate::eco::EcoChangeSet,
+    ) -> Result<RouteOutcome, crate::resilience::RouterError> {
+        crate::eco::reroute_delta(self, package, prior, changes)
     }
 
     /// One guarded LP pass. Component-level solver failures are absorbed

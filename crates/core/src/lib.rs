@@ -47,6 +47,7 @@
 
 pub mod assign;
 pub mod concurrent;
+pub mod eco;
 pub mod free_assign;
 pub mod lpopt;
 pub mod ordering;
@@ -62,11 +63,12 @@ mod config;
 mod flow;
 
 pub use config::RouterConfig;
+pub use eco::{EcoChangeSet, EcoPlan, EcoStash, EcoStats};
 pub use flow::{Completion, InfoRouter, NetStatus, RouteOutcome, StageTimings};
-pub use sequential::NegotiationStats;
 pub use info_tile::{CancelToken, SearchOptions, SearchStats};
 pub use resilience::{
     FaultDirective, FaultKind, FaultPlan, FaultSite, FlowCtx, FlowDiagnostics, RouterError, Stage,
     StageOutcome,
 };
+pub use sequential::NegotiationStats;
 pub use warm::WarmSpaceCache;

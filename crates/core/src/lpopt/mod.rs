@@ -55,6 +55,14 @@ pub struct LpOptReport {
     /// Solver failures encountered; each froze exactly one component at
     /// its pre-LP geometry while the rest kept optimizing.
     pub failures: Vec<RouterError>,
+    /// Component visits that actually solved (over all iterations).
+    pub components_solved: usize,
+    /// Component visits skipped because the component was disjoint from
+    /// the dirty set — untouched geometry an ECO pass never re-solves.
+    pub components_skipped: usize,
+    /// Sub-LP solves seeded by a cached final basis from a previous
+    /// solve of the same subset ([`Model::solve_warm`] reuse).
+    pub warm_basis_reuses: usize,
 }
 
 fn net_of(items: &ItemModel, e: ExprRef) -> Option<NetId> {
@@ -116,6 +124,21 @@ pub fn optimize(
     cfg: &RouterConfig,
     ctx: &FlowCtx,
 ) -> LpOptReport {
+    optimize_seeded(package, layout, cfg, ctx, None)
+}
+
+/// [`optimize`] with an initial dirty set: components disjoint from
+/// `seed` keep their current geometry without a solve. `None` treats
+/// every component as dirty (the full-route behavior). The ECO path
+/// seeds this with the nets whose geometry the delta re-route actually
+/// changed, so the LP re-runs only on touched components.
+pub fn optimize_seeded(
+    package: &Package,
+    layout: &mut Layout,
+    cfg: &RouterConfig,
+    ctx: &FlowCtx,
+    seed: Option<&BTreeSet<NetId>>,
+) -> LpOptReport {
     let before: f64 = layout.routes().map(|r| r.length()).sum();
     let mut report = LpOptReport {
         wirelength_before: before,
@@ -123,6 +146,9 @@ pub fn optimize(
         iterations: 0,
         applied: false,
         failures: Vec::new(),
+        components_solved: 0,
+        components_skipped: 0,
+        warm_basis_reuses: 0,
     };
     let Some(items) = items::extract(package, layout) else {
         return report;
@@ -145,8 +171,16 @@ pub fn optimize(
 
     // Global solved positions, initialized to the current layout.
     let mut solved = items::SolvedPositions {
-        points: items.points.iter().map(|p| (p.initial.x as f64, p.initial.y as f64)).collect(),
-        vias: items.vias.iter().map(|v| (v.initial.x as f64, v.initial.y as f64)).collect(),
+        points: items
+            .points
+            .iter()
+            .map(|p| (p.initial.x as f64, p.initial.y as f64))
+            .collect(),
+        vias: items
+            .vias
+            .iter()
+            .map(|v| (v.initial.x as f64, v.initial.y as f64))
+            .collect(),
         segs: items
             .segs
             .iter()
@@ -159,15 +193,15 @@ pub fn optimize(
 
     let mut extra: Vec<Separation> = Vec::new();
     let mut frozen: BTreeSet<NetId> = BTreeSet::new();
-    let mut dirty: Option<BTreeSet<NetId>> = None; // None = all dirty
-    // Warm-start cache: final simplex basis per solved subset. The same
-    // subset re-solves with an identically-shaped model on every
-    // Gauss-Seidel sweep and on every crossing-repair iteration that
-    // leaves its constraint set unchanged (only `required` right-hand
-    // sides drift as neighbors move), so the previous basis usually
-    // prices out immediately. Shape changes are detected by the solver
-    // itself and fall back to a cold start, so the cache never needs
-    // invalidation for correctness.
+    let mut dirty: Option<BTreeSet<NetId>> = seed.cloned(); // None = all dirty
+                                                            // Warm-start cache: final simplex basis per solved subset. The same
+                                                            // subset re-solves with an identically-shaped model on every
+                                                            // Gauss-Seidel sweep and on every crossing-repair iteration that
+                                                            // leaves its constraint set unchanged (only `required` right-hand
+                                                            // sides drift as neighbors move), so the previous basis usually
+                                                            // prices out immediately. Shape changes are detected by the solver
+                                                            // itself and fall back to a cold start, so the cache never needs
+                                                            // invalidation for correctness.
     let mut warm: BTreeMap<BTreeSet<NetId>, WarmBasis> = BTreeMap::new();
     let max_iters = if cfg.lp_max_iterations > 0 {
         cfg.lp_max_iterations
@@ -184,7 +218,11 @@ pub fn optimize(
     const SWEEP_POINT_THRESHOLD: usize = 220;
 
     let comp_points = |comp: &BTreeSet<NetId>| -> usize {
-        items.points.iter().filter(|p| comp.contains(&p.net)).count()
+        items
+            .points
+            .iter()
+            .filter(|p| comp.contains(&p.net))
+            .count()
     };
 
     for iter in 1..=max_iters {
@@ -200,13 +238,14 @@ pub fn optimize(
             }
             if let Some(d) = &dirty {
                 if comp.is_disjoint(d) {
+                    report.components_skipped += 1;
                     continue;
                 }
             }
+            report.components_solved += 1;
             let subsets: Vec<BTreeSet<NetId>> = if comp_points(&comp) > SWEEP_POINT_THRESHOLD {
                 // Two Gauss-Seidel sweeps over the nets of the component.
-                let one: Vec<BTreeSet<NetId>> =
-                    comp.iter().map(|&n| BTreeSet::from([n])).collect();
+                let one: Vec<BTreeSet<NetId>> = comp.iter().map(|&n| BTreeSet::from([n])).collect();
                 let mut twice = one.clone();
                 twice.extend(one);
                 twice
@@ -221,8 +260,18 @@ pub fn optimize(
                 if ctx.interrupted() {
                     break;
                 }
+                if warm.contains_key(&subset) {
+                    report.warm_basis_reuses += 1;
+                }
                 if let Err(e) = solve_subset(
-                    package, &items, &base, &extra, &subset, &mut solved, &mut warm, ctx,
+                    package,
+                    &items,
+                    &base,
+                    &extra,
+                    &subset,
+                    &mut solved,
+                    &mut warm,
+                    ctx,
                 ) {
                     // Solver failure: this component keeps its pre-LP
                     // geometry; everything else continues to optimize.
@@ -304,9 +353,13 @@ pub fn optimize(
     report
 }
 
-
 /// Evaluates an expression at the current solved positions.
-fn eval_expr(_items: &ItemModel, solved: &items::SolvedPositions, e: ExprRef, orient: info_geom::Orient4) -> f64 {
+fn eval_expr(
+    _items: &ItemModel,
+    solved: &items::SolvedPositions,
+    e: ExprRef,
+    orient: info_geom::Orient4,
+) -> f64 {
     let (a, b) = orient.coeffs();
     match e {
         ExprRef::Point(i) => a as f64 * solved.points[i].0 + b as f64 * solved.points[i].1,
@@ -317,7 +370,11 @@ fn eval_expr(_items: &ItemModel, solved: &items::SolvedPositions, e: ExprRef, or
 }
 
 /// Resets the solved positions of a set of nets to the initial layout.
-fn reset_to_initial(items: &ItemModel, nets: &BTreeSet<NetId>, solved: &mut items::SolvedPositions) {
+fn reset_to_initial(
+    items: &ItemModel,
+    nets: &BTreeSet<NetId>,
+    solved: &mut items::SolvedPositions,
+) {
     for (pi, p) in items.points.iter().enumerate() {
         if nets.contains(&p.net) {
             solved.points[pi] = (p.initial.x as f64, p.initial.y as f64);
@@ -436,8 +493,14 @@ mod tests {
             DesignRules::default(),
             1,
         );
-        let c1 = b.add_chip(Rect::new(Point::new(50_000, 100_000), Point::new(300_000, 400_000)));
-        let c2 = b.add_chip(Rect::new(Point::new(700_000, 100_000), Point::new(950_000, 400_000)));
+        let c1 = b.add_chip(Rect::new(
+            Point::new(50_000, 100_000),
+            Point::new(300_000, 400_000),
+        ));
+        let c2 = b.add_chip(Rect::new(
+            Point::new(700_000, 100_000),
+            Point::new(950_000, 400_000),
+        ));
         let p1 = b.add_io_pad(c1, Point::new(250_000, 250_000)).unwrap();
         let p2 = b.add_io_pad(c2, Point::new(750_000, 250_000)).unwrap();
         b.add_net(p1, p2).unwrap();
@@ -455,7 +518,12 @@ mod tests {
             ]),
         );
         let before: f64 = layout.routes().map(|r| r.length()).sum();
-        let rep = optimize(&pkg, &mut layout, &RouterConfig::default(), &crate::resilience::FlowCtx::default());
+        let rep = optimize(
+            &pkg,
+            &mut layout,
+            &RouterConfig::default(),
+            &crate::resilience::FlowCtx::default(),
+        );
         assert!(rep.applied, "{rep:?}");
         let after: f64 = layout.routes().map(|r| r.length()).sum();
         assert!(
@@ -476,8 +544,14 @@ mod tests {
             DesignRules::default(),
             1,
         );
-        let c1 = b.add_chip(Rect::new(Point::new(50_000, 100_000), Point::new(300_000, 400_000)));
-        let c2 = b.add_chip(Rect::new(Point::new(700_000, 100_000), Point::new(950_000, 400_000)));
+        let c1 = b.add_chip(Rect::new(
+            Point::new(50_000, 100_000),
+            Point::new(300_000, 400_000),
+        ));
+        let c2 = b.add_chip(Rect::new(
+            Point::new(700_000, 100_000),
+            Point::new(950_000, 400_000),
+        ));
         let a1 = b.add_io_pad(c1, Point::new(250_000, 240_000)).unwrap();
         let a2 = b.add_io_pad(c2, Point::new(750_000, 240_000)).unwrap();
         let b1 = b.add_io_pad(c1, Point::new(250_000, 270_000)).unwrap();
@@ -490,7 +564,10 @@ mod tests {
         layout.add_route(
             NetId(0),
             WireLayer(0),
-            Polyline::new(vec![Point::new(250_000, 240_000), Point::new(750_000, 240_000)]),
+            Polyline::new(vec![
+                Point::new(250_000, 240_000),
+                Point::new(750_000, 240_000),
+            ]),
         );
         layout.add_route(
             NetId(1),
@@ -504,13 +581,21 @@ mod tests {
                 Point::new(750_000, 270_000),
             ]),
         );
-        let rep = optimize(&pkg, &mut layout, &RouterConfig::default(), &crate::resilience::FlowCtx::default());
+        let rep = optimize(
+            &pkg,
+            &mut layout,
+            &RouterConfig::default(),
+            &crate::resilience::FlowCtx::default(),
+        );
         assert!(rep.applied);
         let report = drc::check(&pkg, &layout);
         assert!(report.is_clean(), "{:#?}", report.violations());
         // The bulge should flatten toward 270k but stay ≥ 4 µm from net 0.
         let net1_len: f64 = layout.routes_of(NetId(1)).map(|r| r.length()).sum();
-        assert!(net1_len < 530_000.0, "bulge should shrink, len = {net1_len}");
+        assert!(
+            net1_len < 530_000.0,
+            "bulge should shrink, len = {net1_len}"
+        );
     }
 
     /// A route pinned between two fixed obstacles cannot move; optimization
@@ -522,23 +607,43 @@ mod tests {
             DesignRules::default(),
             1,
         );
-        let c1 = b.add_chip(Rect::new(Point::new(50_000, 100_000), Point::new(300_000, 400_000)));
-        let c2 = b.add_chip(Rect::new(Point::new(700_000, 100_000), Point::new(950_000, 400_000)));
+        let c1 = b.add_chip(Rect::new(
+            Point::new(50_000, 100_000),
+            Point::new(300_000, 400_000),
+        ));
+        let c2 = b.add_chip(Rect::new(
+            Point::new(700_000, 100_000),
+            Point::new(950_000, 400_000),
+        ));
         let p1 = b.add_io_pad(c1, Point::new(250_000, 250_000)).unwrap();
         let p2 = b.add_io_pad(c2, Point::new(750_000, 250_000)).unwrap();
         b.add_net(p1, p2).unwrap();
-        b.add_obstacle(WireLayer(0), Rect::new(Point::new(450_000, 220_000), Point::new(550_000, 246_000)))
-            .unwrap();
-        b.add_obstacle(WireLayer(0), Rect::new(Point::new(450_000, 254_000), Point::new(550_000, 280_000)))
-            .unwrap();
+        b.add_obstacle(
+            WireLayer(0),
+            Rect::new(Point::new(450_000, 220_000), Point::new(550_000, 246_000)),
+        )
+        .unwrap();
+        b.add_obstacle(
+            WireLayer(0),
+            Rect::new(Point::new(450_000, 254_000), Point::new(550_000, 280_000)),
+        )
+        .unwrap();
         let pkg = b.build().unwrap();
         let mut layout = Layout::new(&pkg);
         layout.add_route(
             NetId(0),
             WireLayer(0),
-            Polyline::new(vec![Point::new(250_000, 250_000), Point::new(750_000, 250_000)]),
+            Polyline::new(vec![
+                Point::new(250_000, 250_000),
+                Point::new(750_000, 250_000),
+            ]),
         );
-        let rep = optimize(&pkg, &mut layout, &RouterConfig::default(), &crate::resilience::FlowCtx::default());
+        let rep = optimize(
+            &pkg,
+            &mut layout,
+            &RouterConfig::default(),
+            &crate::resilience::FlowCtx::default(),
+        );
         // Straight line through the corridor: nothing to improve, nothing
         // to break.
         let after: f64 = layout.routes().map(|r| r.length()).sum();
@@ -555,8 +660,14 @@ mod tests {
             DesignRules::default(),
             1,
         );
-        let c1 = b.add_chip(Rect::new(Point::new(50_000, 50_000), Point::new(400_000, 1_950_000)));
-        let c2 = b.add_chip(Rect::new(Point::new(1_600_000, 50_000), Point::new(1_950_000, 1_950_000)));
+        let c1 = b.add_chip(Rect::new(
+            Point::new(50_000, 50_000),
+            Point::new(400_000, 1_950_000),
+        ));
+        let c2 = b.add_chip(Rect::new(
+            Point::new(1_600_000, 50_000),
+            Point::new(1_950_000, 1_950_000),
+        ));
         let mut nets = Vec::new();
         for i in 0..3i64 {
             let y = 300_000 + 600_000 * i; // far apart: separate components
@@ -580,10 +691,18 @@ mod tests {
             );
         }
         let before: f64 = layout.routes().map(|r| r.length()).sum();
-        let rep = optimize(&pkg, &mut layout, &RouterConfig::default(), &crate::resilience::FlowCtx::default());
+        let rep = optimize(
+            &pkg,
+            &mut layout,
+            &RouterConfig::default(),
+            &crate::resilience::FlowCtx::default(),
+        );
         assert!(rep.applied);
         let after: f64 = layout.routes().map(|r| r.length()).sum();
-        assert!(after < before - 30_000.0, "all three detours flatten: {before} -> {after}");
+        assert!(
+            after < before - 30_000.0,
+            "all three detours flatten: {before} -> {after}"
+        );
         assert!(drc::check(&pkg, &layout).is_clean());
     }
 }

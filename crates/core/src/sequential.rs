@@ -193,6 +193,23 @@ pub fn route_sequential(
         Some(cache) => cache.get_or_build(package, layout, cfg, tel),
         None => build_stage_space(package, layout, cfg, tel),
     };
+    route_sequential_in_space(package, layout, nets, cfg, ctx, &mut space, tel)
+}
+
+/// The body of [`route_sequential`], over an already-built routing
+/// `space`. The ECO path ([`crate::eco`]) calls this directly with a
+/// space it dirty-rebuilt from a cached base-layout build, so a delta
+/// re-route pays per-cell invalidation instead of a full construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_sequential_in_space(
+    package: &Package,
+    layout: &mut Layout,
+    nets: &[NetId],
+    cfg: &RouterConfig,
+    ctx: &FlowCtx,
+    space: &mut RoutingSpace,
+    tel: &Sink,
+) -> SequentialResult {
     let mut result = SequentialResult::default();
     let mut retry: Vec<NetId> = Vec::new();
     let threads = effective_threads(cfg);
@@ -210,7 +227,7 @@ pub fn route_sequential(
             cfg,
             ctx,
             threads,
-            &mut space,
+            &mut *space,
             &mut stats,
             tel,
             &mut result,
@@ -237,7 +254,7 @@ pub fn route_sequential(
             route_pass_speculative(
                 package,
                 layout,
-                &mut space,
+                &mut *space,
                 &todo,
                 cfg,
                 ctx,
@@ -284,7 +301,7 @@ pub fn route_sequential(
                 result.skipped.push(id);
                 continue;
             }
-            match guarded_route_net(package, layout, &mut space, id, cfg, ctx, &mut stats, tel) {
+            match guarded_route_net(package, layout, &mut *space, id, cfg, ctx, &mut stats, tel) {
                 Ok((draft, Some(_))) => {
                     tel.record(draft.to_record(id, journal_pass, Vec::new()));
                     result.routed.push(id);
@@ -346,7 +363,7 @@ pub fn route_sequential(
                 ripup_and_reroute(
                     package,
                     layout,
-                    &mut space,
+                    &mut *space,
                     id,
                     cfg,
                     &result.routed,
@@ -369,7 +386,7 @@ pub fn route_sequential(
                 }
                 Err(payload) => {
                     *layout = snapshot;
-                    space = RoutingSpace::build(package, layout, space_config(package, cfg));
+                    *space = RoutingSpace::build(package, layout, space_config(package, cfg));
                     result.recovered.push((
                         id,
                         RouterError::Panic {
@@ -399,7 +416,7 @@ pub fn route_sequential(
             cfg,
             ctx,
             threads,
-            &mut space,
+            &mut *space,
             &mut stats,
             tel,
             &mut result,
@@ -649,7 +666,7 @@ fn guarded_route_net(
 /// Per-segment rects of a net's geometry, not its bounding hull: a long
 /// route's hull can cover most of the die while the geometry only
 /// touches a thin corridor of cells, and rebuild cost is per cell.
-fn net_geometry_rects(layout: &Layout, n: NetId, out: &mut Vec<Rect>) {
+pub(crate) fn net_geometry_rects(layout: &Layout, n: NetId, out: &mut Vec<Rect>) {
     for r in layout.routes_of(n) {
         for s in r.path.segments() {
             out.push(Rect::new(s.a, s.b));

@@ -33,10 +33,11 @@
 pub mod json;
 
 use crate::config::RouterConfig;
+use crate::eco::EcoChangeSet;
 use crate::flow::{Completion, InfoRouter, RouteOutcome};
 use crate::resilience::{panic_message, FaultPlan, FaultSite, FlowCtx, RouterError};
-use crate::warm::WarmSpaceCache;
-use info_model::{parse_package, Package};
+use crate::warm::{fnv1a, WarmSpaceCache};
+use info_model::{parse_package, write_package, NetId, Package, PadId};
 use info_tile::CancelToken;
 use json::Json;
 use std::collections::{BTreeMap, VecDeque};
@@ -59,6 +60,10 @@ pub struct JobRequest {
     /// Job-level wall-clock budget; an over-budget job returns its legal
     /// partial layout as a degraded answer.
     pub deadline: Option<Duration>,
+    /// `Some` makes this an ECO job: the change set is applied as a delta
+    /// re-route against the server's cached prior for (circuit, config) —
+    /// full-routed on the spot when no prior is cached yet.
+    pub changes: Option<EcoChangeSet>,
 }
 
 /// Why a submission was turned away at the door (backpressure — the job
@@ -141,15 +146,49 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Identifies a prior outcome an ECO job can build on: fingerprints of
+/// the circuit text and the router configuration (everything that shapes
+/// the base route).
+type PriorKey = (u64, u64);
+
+/// Prior outcomes the server remembers for ECO jobs (bounded LRU).
+const PRIOR_CAPACITY: usize = 8;
+
 #[derive(Debug)]
 struct Inner {
     cfg: ServeConfig,
     state: Mutex<QueueState>,
     work: Condvar,
     warm: Arc<WarmSpaceCache>,
+    /// Base outcomes ECO jobs re-route against, most recent first. Route
+    /// jobs and ECO results both publish here; the warm-space cache keyed
+    /// on the prior layout hash then makes repeat edits start warm.
+    priors: Mutex<VecDeque<(PriorKey, Arc<RouteOutcome>)>>,
     /// Serve-layer fault checks; one context for the server's lifetime so
     /// directive trigger counts span jobs.
     fctx: FlowCtx,
+}
+
+impl Inner {
+    fn prior_key(package: &Package, cfg: &RouterConfig) -> PriorKey {
+        (fnv1a(&write_package(package)), fnv1a(&format!("{cfg:?}")))
+    }
+
+    fn prior_lookup(&self, key: PriorKey) -> Option<Arc<RouteOutcome>> {
+        let mut ps = lock(&self.priors);
+        let pos = ps.iter().position(|(k, _)| *k == key)?;
+        let hit = ps.remove(pos)?;
+        let out = Arc::clone(&hit.1);
+        ps.push_front(hit);
+        Some(out)
+    }
+
+    fn prior_publish(&self, key: PriorKey, out: Arc<RouteOutcome>) {
+        let mut ps = lock(&self.priors);
+        ps.retain(|(k, _)| *k != key);
+        ps.push_front((key, out));
+        ps.truncate(PRIOR_CAPACITY);
+    }
 }
 
 /// A running worker pool (see the module docs).
@@ -166,6 +205,7 @@ impl JobServer {
         let (tx, rx) = mpsc::channel();
         let inner = Arc::new(Inner {
             warm: Arc::new(WarmSpaceCache::new(cfg.warm_capacity)),
+            priors: Mutex::new(VecDeque::new()),
             fctx: FlowCtx::new(cfg.fault_plan),
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -200,7 +240,9 @@ impl JobServer {
             return Err(Reject::ShuttingDown);
         }
         if st.queue.len() >= self.inner.cfg.queue_capacity {
-            return Err(Reject::QueueFull { capacity: self.inner.cfg.queue_capacity });
+            return Err(Reject::QueueFull {
+                capacity: self.inner.cfg.queue_capacity,
+            });
         }
         if st.tokens.contains_key(&req.id) {
             return Err(Reject::DuplicateId);
@@ -318,8 +360,7 @@ fn run_job(inner: &Inner, job: &JobRequest, token: &CancelToken) -> JobResult {
         };
         // Cancel and bad input are answers, not failures — no retry. An
         // internal failure gets exactly one more attempt after a pause.
-        let retryable =
-            !matches!(err, RouterError::Cancelled | RouterError::BadInput { .. });
+        let retryable = !matches!(err, RouterError::Cancelled | RouterError::BadInput { .. });
         if retryable && attempt_no == 1 {
             retried = true;
             thread::sleep(inner.cfg.retry_backoff);
@@ -327,7 +368,12 @@ fn run_job(inner: &Inner, job: &JobRequest, token: &CancelToken) -> JobResult {
         }
         break Err(err);
     };
-    JobResult { id: job.id.clone(), retried, elapsed: t0.elapsed(), outcome }
+    JobResult {
+        id: job.id.clone(),
+        retried,
+        elapsed: t0.elapsed(),
+        outcome,
+    }
 }
 
 fn attempt_job(
@@ -344,7 +390,30 @@ fn attempt_job(
     let router = InfoRouter::new(job.cfg)
         .with_warm_cache(Arc::clone(&inner.warm))
         .with_cancel_token(token.clone());
-    Ok(Box::new(router.route(&job.package)))
+    let key = Inner::prior_key(&job.package, &job.cfg);
+    let Some(changes) = &job.changes else {
+        // Plain route: publish the outcome so later ECO jobs on this
+        // (circuit, config) re-route the delta instead of the die.
+        let out = Arc::new(router.route(&job.package));
+        inner.prior_publish(key, Arc::clone(&out));
+        return Ok(Box::new((*out).clone()));
+    };
+    // ECO: take the cached prior, or full-route the base on the spot (the
+    // cold first edit pays one full route; everything after is a delta).
+    let prior = match inner.prior_lookup(key) {
+        Some(p) => p,
+        None => {
+            let out = Arc::new(router.route(&job.package));
+            inner.prior_publish(key, Arc::clone(&out));
+            out
+        }
+    };
+    let plan = changes.plan(&job.package)?;
+    let out = Arc::new(router.reroute_delta(&job.package, &prior, changes)?);
+    // Publish the edited design's outcome too: a follow-up ECO that sends
+    // the edited netlist as its base starts from this delta's result.
+    inner.prior_publish(Inner::prior_key(&plan.package, &job.cfg), Arc::clone(&out));
+    Ok(Box::new((*out).clone()))
 }
 
 // ---------------------------------------------------------------------------
@@ -361,7 +430,9 @@ fn int_field(v: &Json, key: &str, lo: u64, hi: u64) -> Result<Option<u64>, Route
         .as_f64()
         .ok_or_else(|| bad(format!("field '{key}' must be a number")))?;
     if n.fract() != 0.0 || n < lo as f64 || n > hi as f64 {
-        return Err(bad(format!("field '{key}' must be an integer in [{lo}, {hi}]")));
+        return Err(bad(format!(
+            "field '{key}' must be an integer in [{lo}, {hi}]"
+        )));
     }
     Ok(Some(n as u64))
 }
@@ -378,12 +449,127 @@ fn bool_field(v: &Json, key: &str) -> Result<Option<bool>, RouterError> {
 /// One parsed request line.
 #[derive(Debug)]
 pub enum Request {
-    /// Route a circuit.
-    Route(Box<JobRequest>, /* include per-net status in the response */ bool),
+    /// Route a circuit (or, when the job carries a change set, apply it
+    /// as an ECO delta against the cached prior).
+    Route(
+        Box<JobRequest>,
+        /* include per-net status in the response */ bool,
+    ),
     /// Cancel a live job by id.
     Cancel(String),
     /// Drain and stop the server.
     Shutdown,
+}
+
+/// Parses the shared `config` object of `route`/`eco` requests.
+fn parse_config(v: &Json) -> Result<(RouterConfig, Option<Duration>, bool), RouterError> {
+    let bad = |reason: String| RouterError::BadInput { reason };
+    let mut cfg = RouterConfig::default();
+    let mut deadline = None;
+    let mut net_status = false;
+    if let Some(c) = v.get("config") {
+        if c.as_obj().is_none() {
+            return Err(bad("field 'config' must be an object".into()));
+        }
+        if let Some(n) = int_field(c, "global_cells", 1, 512)? {
+            cfg.global_cells = n as usize;
+        }
+        if let Some(n) = int_field(c, "threads", 1, 64)? {
+            cfg.threads = n as usize;
+        }
+        if let Some(n) = int_field(c, "alt_landmarks", 0, 64)? {
+            cfg.alt_landmarks = n as usize;
+        }
+        if let Some(b) = bool_field(c, "lp")? {
+            cfg.lp_enabled = b;
+        }
+        if let Some(b) = bool_field(c, "concurrent")? {
+            cfg.concurrent_enabled = b;
+        }
+        if let Some(b) = bool_field(c, "window")? {
+            cfg.search_window = b;
+        }
+        if let Some(b) = bool_field(c, "congestion")? {
+            cfg.congestion_mode = b;
+        }
+        if let Some(ms) = int_field(c, "stage_budget_ms", 0, 86_400_000)? {
+            cfg.stage_budget = Some(Duration::from_millis(ms));
+        }
+        if let Some(ms) = int_field(c, "deadline_ms", 0, 86_400_000)? {
+            deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(b) = bool_field(c, "net_status")? {
+            net_status = b;
+        }
+    }
+    Ok((cfg, deadline, net_status))
+}
+
+/// Parses the `changes` object of an `eco` request:
+/// `{"remove": [net, ...], "add": [[padA, padB], ...],
+///   "re_pair": [[net, padA, padB], ...]}` — indices into the base
+/// netlist's net/pad tables. Semantic validation (unknown ids, pad
+/// conflicts) happens when the change set is planned against the
+/// package, so malformed edits come back as typed rejections.
+fn parse_changes(v: &Json) -> Result<EcoChangeSet, RouterError> {
+    let bad = |reason: String| RouterError::BadInput { reason };
+    let c = v
+        .get("changes")
+        .ok_or_else(|| bad("eco requires object field 'changes'".into()))?;
+    if c.as_obj().is_none() {
+        return Err(bad("field 'changes' must be an object".into()));
+    }
+    let index = |item: &Json, what: &str| -> Result<usize, RouterError> {
+        let n = item
+            .as_f64()
+            .ok_or_else(|| bad(format!("'changes.{what}' entries must be numbers")))?;
+        if n.fract() != 0.0 || !(0.0..=1e9).contains(&n) {
+            return Err(bad(format!(
+                "'changes.{what}' entries must be non-negative integers"
+            )));
+        }
+        Ok(n as usize)
+    };
+    let tuple = |item: &Json, what: &str, arity: usize| -> Result<Vec<usize>, RouterError> {
+        let arr = item.as_arr().filter(|a| a.len() == arity).ok_or_else(|| {
+            bad(format!(
+                "'changes.{what}' entries must be {arity}-element arrays"
+            ))
+        })?;
+        arr.iter().map(|x| index(x, what)).collect()
+    };
+    let mut changes = EcoChangeSet::new();
+    if let Some(items) = c.get("remove") {
+        let arr = items
+            .as_arr()
+            .ok_or_else(|| bad("'changes.remove' must be an array".into()))?;
+        for item in arr {
+            changes = changes.remove_net(NetId::from_index(index(item, "remove")?));
+        }
+    }
+    if let Some(items) = c.get("add") {
+        let arr = items
+            .as_arr()
+            .ok_or_else(|| bad("'changes.add' must be an array".into()))?;
+        for item in arr {
+            let t = tuple(item, "add", 2)?;
+            changes = changes.add_net(PadId::from_index(t[0]), PadId::from_index(t[1]));
+        }
+    }
+    if let Some(items) = c.get("re_pair") {
+        let arr = items
+            .as_arr()
+            .ok_or_else(|| bad("'changes.re_pair' must be an array".into()))?;
+        for item in arr {
+            let t = tuple(item, "re_pair", 3)?;
+            changes = changes.re_pair(
+                NetId::from_index(t[0]),
+                PadId::from_index(t[1]),
+                PadId::from_index(t[2]),
+            );
+        }
+    }
+    Ok(changes)
 }
 
 /// Parses one JSON-lines request. Every malformed input — bad JSON, bad
@@ -404,64 +590,32 @@ pub fn parse_request(line: &str) -> Result<Request, RouterError> {
                 .ok_or_else(|| bad("cancel requires string field 'id'".into()))?;
             Ok(Request::Cancel(id.to_string()))
         }
-        "route" => {
+        "route" | "eco" => {
             let id = v
                 .get("id")
                 .and_then(Json::as_str)
-                .ok_or_else(|| bad("route requires string field 'id'".into()))?;
+                .ok_or_else(|| bad(format!("{op} requires string field 'id'")))?;
             if id.is_empty() || id.len() > 256 {
                 return Err(bad("field 'id' must be 1..=256 characters".into()));
             }
             let text = v
                 .get("netlist")
                 .and_then(Json::as_str)
-                .ok_or_else(|| bad("route requires string field 'netlist'".into()))?;
-            let package =
-                parse_package(text).map_err(|e| bad(format!("netlist: {e}")))?;
-            let mut cfg = RouterConfig::default();
-            let mut deadline = None;
-            let mut net_status = false;
-            if let Some(c) = v.get("config") {
-                if c.as_obj().is_none() {
-                    return Err(bad("field 'config' must be an object".into()));
-                }
-                if let Some(n) = int_field(c, "global_cells", 1, 512)? {
-                    cfg.global_cells = n as usize;
-                }
-                if let Some(n) = int_field(c, "threads", 1, 64)? {
-                    cfg.threads = n as usize;
-                }
-                if let Some(n) = int_field(c, "alt_landmarks", 0, 64)? {
-                    cfg.alt_landmarks = n as usize;
-                }
-                if let Some(b) = bool_field(c, "lp")? {
-                    cfg.lp_enabled = b;
-                }
-                if let Some(b) = bool_field(c, "concurrent")? {
-                    cfg.concurrent_enabled = b;
-                }
-                if let Some(b) = bool_field(c, "window")? {
-                    cfg.search_window = b;
-                }
-                if let Some(b) = bool_field(c, "congestion")? {
-                    cfg.congestion_mode = b;
-                }
-                if let Some(ms) = int_field(c, "stage_budget_ms", 0, 86_400_000)? {
-                    cfg.stage_budget = Some(Duration::from_millis(ms));
-                }
-                if let Some(ms) = int_field(c, "deadline_ms", 0, 86_400_000)? {
-                    deadline = Some(Duration::from_millis(ms));
-                }
-                if let Some(b) = bool_field(c, "net_status")? {
-                    net_status = b;
-                }
-            }
+                .ok_or_else(|| bad(format!("{op} requires string field 'netlist'")))?;
+            let package = parse_package(text).map_err(|e| bad(format!("netlist: {e}")))?;
+            let (cfg, deadline, net_status) = parse_config(&v)?;
+            let changes = if op == "eco" {
+                Some(parse_changes(&v)?)
+            } else {
+                None
+            };
             Ok(Request::Route(
                 Box::new(JobRequest {
                     id: id.to_string(),
                     package: Arc::new(package),
                     cfg,
                     deadline,
+                    changes,
                 }),
                 net_status,
             ))
@@ -492,10 +646,44 @@ pub fn response_json(r: &JobResult, include_net_status: bool) -> Json {
             let count = |s: crate::flow::NetStatus| {
                 out.net_status.iter().filter(|(_, st)| *st == s).count() as f64
             };
-            members.push(("routed".to_string(), Json::Num(count(crate::flow::NetStatus::Routed))));
-            members.push(("failed".to_string(), Json::Num(count(crate::flow::NetStatus::Failed))));
-            members
-                .push(("skipped".to_string(), Json::Num(count(crate::flow::NetStatus::Skipped))));
+            members.push((
+                "routed".to_string(),
+                Json::Num(count(crate::flow::NetStatus::Routed)),
+            ));
+            members.push((
+                "failed".to_string(),
+                Json::Num(count(crate::flow::NetStatus::Failed)),
+            ));
+            members.push((
+                "skipped".to_string(),
+                Json::Num(count(crate::flow::NetStatus::Skipped)),
+            ));
+            if let Some(eco) = &out.eco {
+                members.push((
+                    "eco".to_string(),
+                    Json::Obj(vec![
+                        (
+                            "nets_rerouted".to_string(),
+                            Json::Num(eco.nets_rerouted as f64),
+                        ),
+                        ("nets_reused".to_string(), Json::Num(eco.nets_reused as f64)),
+                        ("dirty_rects".to_string(), Json::Num(eco.dirty_rects as f64)),
+                        (
+                            "cells_invalidated".to_string(),
+                            Json::Num(eco.cells_invalidated as f64),
+                        ),
+                        ("space_warm_hit".to_string(), Json::Bool(eco.space_warm_hit)),
+                        (
+                            "lp_dirty_nets".to_string(),
+                            Json::Num(eco.lp_dirty_nets as f64),
+                        ),
+                        (
+                            "lp_warm_basis_reuses".to_string(),
+                            Json::Num(eco.lp_warm_basis_reuses as f64),
+                        ),
+                    ]),
+                ));
+            }
             if let Some(neg) = &out.negotiation {
                 members.push((
                     "negotiation".to_string(),
@@ -503,7 +691,10 @@ pub fn response_json(r: &JobResult, include_net_status: bool) -> Json {
                         ("iterations".to_string(), Json::Num(neg.iterations as f64)),
                         ("converged".to_string(), Json::Bool(neg.converged)),
                         ("declined".to_string(), Json::Bool(neg.declined)),
-                        ("final_overuse".to_string(), Json::Num(neg.final_overuse as f64)),
+                        (
+                            "final_overuse".to_string(),
+                            Json::Num(neg.final_overuse as f64),
+                        ),
                     ]),
                 ));
             }
@@ -663,7 +854,10 @@ pub fn serve_unix(path: &std::path::Path, cfg: ServeConfig) -> std::io::Result<(
         // JobServer to outlive serve_lines; keep the per-connection pool
         // simple and let the OS-level client reuse one connection for
         // warm behavior. A shutdown op ends the whole listener.
-        let mut saw_shutdown = ShutdownSniffer { inner: reader, saw: false };
+        let mut saw_shutdown = ShutdownSniffer {
+            inner: reader,
+            saw: false,
+        };
         serve_lines(&mut saw_shutdown, stream, cfg.clone())?;
         if saw_shutdown.saw {
             let _ = std::fs::remove_file(path);
@@ -713,9 +907,16 @@ mod tests {
             DesignRules::default(),
             2,
         );
-        let c = b.add_chip(Rect::new(Point::new(50_000, 50_000), Point::new(200_000, 350_000)));
-        let io = b.add_io_pad(c, Point::new(180_000, 200_000)).expect("io pad");
-        let g = b.add_bump_pad(Point::new(450_000, 200_000)).expect("bump pad");
+        let c = b.add_chip(Rect::new(
+            Point::new(50_000, 50_000),
+            Point::new(200_000, 350_000),
+        ));
+        let io = b
+            .add_io_pad(c, Point::new(180_000, 200_000))
+            .expect("io pad");
+        let g = b
+            .add_bump_pad(Point::new(450_000, 200_000))
+            .expect("bump pad");
         b.add_net(io, g).expect("net");
         info_model::write_package(&b.build().expect("package"))
     }
@@ -765,13 +966,18 @@ mod tests {
     fn queue_backpressure_rejects_with_reason() {
         let netlist = tiny_netlist();
         let pkg = Arc::new(parse_package(&netlist).expect("netlist"));
-        let cfg = ServeConfig { workers: 1, queue_capacity: 1, ..ServeConfig::default() };
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        };
         let (server, rx) = JobServer::start(cfg);
         let req = |id: &str| JobRequest {
             id: id.to_string(),
             package: Arc::clone(&pkg),
             cfg: RouterConfig::default().with_global_cells(8),
             deadline: None,
+            changes: None,
         };
         // Two submissions race one worker; a third must overflow either
         // the queue (capacity 1) or the duplicate-id check.
@@ -798,13 +1004,18 @@ mod tests {
     fn duplicate_live_id_is_rejected() {
         let netlist = tiny_netlist();
         let pkg = Arc::new(parse_package(&netlist).expect("netlist"));
-        let cfg = ServeConfig { workers: 1, queue_capacity: 8, ..ServeConfig::default() };
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        };
         let (server, rx) = JobServer::start(cfg);
         let req = |id: &str| JobRequest {
             id: id.to_string(),
             package: Arc::clone(&pkg),
             cfg: RouterConfig::default().with_global_cells(8),
             deadline: None,
+            changes: None,
         };
         server.submit(req("same")).expect("first");
         // Immediately resubmitting the same id must hit either the

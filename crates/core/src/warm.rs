@@ -54,7 +54,7 @@ struct WarmKey {
     alt_landmarks: usize,
 }
 
-fn fnv1a(text: &str) -> u64 {
+pub(crate) fn fnv1a(text: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in text.as_bytes() {
         h ^= u64::from(*b);
@@ -167,9 +167,15 @@ impl WarmSpaceCache {
         drop(st);
         let _guard = BuildingGuard { cache: self, key: &key };
         let space = crate::sequential::build_stage_space(package, layout, cfg, tel);
+        // The deep clone that becomes the cached entry is made *before*
+        // the lock: cloning a dense space takes real time, and holding
+        // the cache mutex across it would stall every concurrent lookup
+        // for every key (the serialization point the serve load test
+        // used to pay on its cold wave).
+        let entry = Arc::new(space.clone());
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if !st.entries.iter().any(|(k, _)| *k == key) {
-            st.entries.push_front((key.clone(), Arc::new(space.clone())));
+            st.entries.push_front((key.clone(), entry));
             st.entries.truncate(self.capacity);
         }
         drop(st);

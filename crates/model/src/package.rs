@@ -178,6 +178,77 @@ pub struct Package {
 }
 
 impl Package {
+    /// Derives a package sharing this one's validated floorplan — die,
+    /// rules, chips, pads, obstacles — with a replacement net list and
+    /// pre-assigned via set. Net edits never move pads, so the
+    /// quadratic pad-spacing sweep of [`PackageBuilder::build`] is not
+    /// repeated; only the net-level constraints are re-checked (known
+    /// pads, no self-loops, no bump-to-bump pairs, disjoint terminals,
+    /// valid via spans). This is what makes netlist ECOs cheap on
+    /// large pad fields.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnknownPad`] or [`BuildError::BadNet`], exactly as
+    /// [`PackageBuilder::add_net`] / [`PackageBuilder::add_fixed_via`]
+    /// would report them.
+    pub fn with_nets(
+        &self,
+        pairs: &[(PadId, PadId)],
+        pre_vias: &[(NetId, Point, WireLayer, WireLayer)],
+    ) -> Result<Package, BuildError> {
+        let mut nets = Vec::with_capacity(pairs.len());
+        let mut used = vec![false; self.pads.len()];
+        for &(a, b) in pairs {
+            for p in [a, b] {
+                if p.index() >= self.pads.len() {
+                    return Err(BuildError::UnknownPad(p));
+                }
+            }
+            if a == b {
+                return Err(BuildError::BadNet(format!("self-loop on {a}")));
+            }
+            let (pa, pb) = (&self.pads[a.index()], &self.pads[b.index()]);
+            if !pa.is_io() && !pb.is_io() {
+                return Err(BuildError::BadNet(format!("{a}-{b} connects two bump pads")));
+            }
+            // Normalize: terminal `a` is always an I/O pad (as add_net does).
+            let (a, b) = if pa.is_io() { (a, b) } else { (b, a) };
+            for t in [a, b] {
+                if used[t.index()] {
+                    return Err(BuildError::BadNet(format!("{t} terminates two nets")));
+                }
+                used[t.index()] = true;
+            }
+            nets.push(Net { id: NetId::from_index(nets.len()), a, b });
+        }
+        let mut vias = Vec::with_capacity(pre_vias.len());
+        for &(net, center, top, bottom) in pre_vias {
+            if net.index() >= nets.len() {
+                return Err(BuildError::BadNet(format!("fixed via references unknown {net}")));
+            }
+            if top >= bottom || bottom.index() >= self.wire_layer_count {
+                return Err(BuildError::BadNet(format!(
+                    "fixed via for {net} has a bad span {top}..{bottom}"
+                )));
+            }
+            if !self.die.contains(center) {
+                return Err(BuildError::BadNet(format!("fixed via for {net} escapes the die")));
+            }
+            vias.push(PreVia { net, center, top, bottom });
+        }
+        Ok(Package {
+            die: self.die,
+            rules: self.rules,
+            wire_layer_count: self.wire_layer_count,
+            chips: self.chips.clone(),
+            pads: self.pads.clone(),
+            nets,
+            obstacles: self.obstacles.clone(),
+            pre_vias: vias,
+        })
+    }
+
     /// The pre-assigned (fixed) vias `V_p`.
     pub fn pre_vias(&self) -> &[PreVia] {
         &self.pre_vias

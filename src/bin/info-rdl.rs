@@ -1,17 +1,21 @@
 //! `info-rdl` — command-line front end for the router.
 //!
-//! Two subcommands:
+//! Three subcommands:
 //!
 //! - `info-rdl route <netlist> [options]` — route one circuit and print a
 //!   one-line JSON summary (layout hash, routability, per-net counts).
 //!   The single-job reference path the serve smoke test compares against.
+//! - `info-rdl eco <netlist> [edits] [options]` — full-route the base
+//!   circuit, apply the requested net edits as an incremental delta
+//!   re-route (`InfoRouter::reroute_delta`), and print both summaries
+//!   plus the ECO telemetry.
 //! - `info-rdl serve [options]` — run the JSON-lines job server on
 //!   stdin/stdout, or on a unix socket with `--socket PATH`.
 //!
 //! The JSON job schema is documented in `README.md`.
 
 use info_router::serve::{self, json::Json, ServeConfig};
-use info_router::{CancelToken, Completion, InfoRouter, RouterConfig};
+use info_router::{CancelToken, Completion, EcoChangeSet, InfoRouter, RouteOutcome, RouterConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -20,6 +24,8 @@ fn usage() -> ExitCode {
         "usage:\n  \
          info-rdl route <netlist-file> [--global-cells N] [--threads N] [--alt-landmarks N]\n                 \
          [--no-lp] [--no-concurrent] [--deadline-ms N] [--net-status]\n  \
+         info-rdl eco <netlist-file> [--remove NET]... [--add PADA:PADB]...\n                 \
+         [--re-pair NET:PADA:PADB]... [route options]\n  \
          info-rdl serve [--socket PATH] [--workers N] [--queue N] [--warm N]"
     );
     ExitCode::from(2)
@@ -29,6 +35,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("route") => cmd_route(&args[1..]),
+        Some("eco") => cmd_eco(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
@@ -137,6 +144,143 @@ fn cmd_route(args: &[String]) -> ExitCode {
         members.push(("nets".to_string(), Json::Arr(nets)));
     }
     println!("{}", Json::Obj(members));
+    ExitCode::SUCCESS
+}
+
+/// One-line JSON summary members shared by `route` and `eco` output.
+fn summary_members(out: &RouteOutcome) -> Vec<(String, Json)> {
+    vec![
+        (
+            "status".to_string(),
+            Json::Str(
+                match (out.cancelled, out.completion) {
+                    (true, _) => "cancelled",
+                    (false, Completion::Degraded) => "degraded",
+                    (false, Completion::Full) => "done",
+                }
+                .to_string(),
+            ),
+        ),
+        ("hash".to_string(), Json::Str(format!("{:016x}", out.layout.canonical_hash()))),
+        ("routability_pct".to_string(), Json::Num(out.stats.routability_pct)),
+        ("routed".to_string(), Json::Num(out.stats.routed_nets as f64)),
+        ("failed".to_string(), Json::Num(out.failed.len() as f64)),
+        ("runtime_s".to_string(), Json::Num(out.timings.total().as_secs_f64())),
+    ]
+}
+
+/// Splits `value` on ':' into exactly `arity` indices.
+fn parse_indices(flag: &str, value: Option<&String>, arity: usize) -> Option<Vec<usize>> {
+    let parts: Option<Vec<usize>> =
+        value.map(|v| v.split(':').map(|p| p.parse::<usize>().ok()).collect())?;
+    match parts {
+        Some(p) if p.len() == arity => Some(p),
+        _ => {
+            eprintln!("error: {flag} requires {arity} ':'-separated non-negative integers");
+            None
+        }
+    }
+}
+
+fn cmd_eco(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut cfg = RouterConfig::default();
+    let mut changes = EcoChangeSet::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--remove" => match parse_num(a, it.next()) {
+                Some(n) => changes = changes.remove_net(info_model::NetId::from_index(n as usize)),
+                None => return usage(),
+            },
+            "--add" => match parse_indices(a, it.next(), 2) {
+                Some(p) => {
+                    changes = changes.add_net(
+                        info_model::PadId::from_index(p[0]),
+                        info_model::PadId::from_index(p[1]),
+                    )
+                }
+                None => return usage(),
+            },
+            "--re-pair" => match parse_indices(a, it.next(), 3) {
+                Some(p) => {
+                    changes = changes.re_pair(
+                        info_model::NetId::from_index(p[0]),
+                        info_model::PadId::from_index(p[1]),
+                        info_model::PadId::from_index(p[2]),
+                    )
+                }
+                None => return usage(),
+            },
+            "--global-cells" => match parse_num(a, it.next()) {
+                Some(n) => cfg.global_cells = (n as usize).max(1),
+                None => return usage(),
+            },
+            "--threads" => match parse_num(a, it.next()) {
+                Some(n) => cfg.threads = (n as usize).max(1),
+                None => return usage(),
+            },
+            "--alt-landmarks" => match parse_num(a, it.next()) {
+                Some(n) => cfg.alt_landmarks = n as usize,
+                None => return usage(),
+            },
+            "--no-lp" => cfg.lp_enabled = false,
+            "--no-concurrent" => cfg.concurrent_enabled = false,
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a.clone()),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(file) = file else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let package = match info_model::parse_package(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: netlist: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let router = InfoRouter::new(cfg);
+    let prior = router.route(&package);
+    let out = match router.reroute_delta(&package, &prior, &changes) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: eco: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut eco_members = summary_members(&out);
+    if let Some(s) = &out.eco {
+        eco_members.push((
+            "eco".to_string(),
+            Json::Obj(vec![
+                ("nets_rerouted".to_string(), Json::Num(s.nets_rerouted as f64)),
+                ("nets_reused".to_string(), Json::Num(s.nets_reused as f64)),
+                ("dirty_rects".to_string(), Json::Num(s.dirty_rects as f64)),
+                ("cells_invalidated".to_string(), Json::Num(s.cells_invalidated as f64)),
+                ("space_warm_hit".to_string(), Json::Bool(s.space_warm_hit)),
+                ("lp_dirty_nets".to_string(), Json::Num(s.lp_dirty_nets as f64)),
+                ("lp_warm_basis_reuses".to_string(), Json::Num(s.lp_warm_basis_reuses as f64)),
+            ]),
+        ));
+    }
+    println!(
+        "{}",
+        Json::Obj(vec![
+            ("base".to_string(), Json::Obj(summary_members(&prior))),
+            ("eco".to_string(), Json::Obj(eco_members)),
+        ])
+    );
     ExitCode::SUCCESS
 }
 

@@ -56,5 +56,8 @@ pub use info_telemetry as telemetry;
 pub use info_tile as tile;
 
 pub use info_baseline::{LinExtOutcome, LinExtRouter};
-pub use info_router::{InfoRouter, RouteOutcome, RouterConfig, SearchOptions, SearchStats};
+pub use info_router::{
+    EcoChangeSet, EcoPlan, EcoStash, EcoStats, InfoRouter, NetStatus, RouteOutcome, RouterConfig,
+    SearchOptions, SearchStats, WarmSpaceCache,
+};
 pub use info_telemetry::{NetSummary, TelemetryReport};

@@ -1,0 +1,26 @@
+//! Shared golden-circuit constructors for the ECO test binaries — the
+//! same six seeded dense-family instances `golden_layouts.rs` pins.
+
+use info_rdl::generators::{build_dense, dense_spec};
+use info_rdl::model::Package;
+
+/// The pinned golden circuits, by index 0..6 (g1..g6).
+pub fn golden(idx: usize) -> (&'static str, Package) {
+    let mk = |idx: usize, io: usize, bumps: usize, seed: u64| {
+        let mut spec = dense_spec(idx);
+        spec.io_pads = io;
+        spec.nets = io / 2;
+        spec.bump_pads = bumps;
+        spec.seed = seed;
+        build_dense(spec, false)
+    };
+    match idx {
+        0 => ("g1_two_chip", mk(1, 12, 30, 7)),
+        1 => ("g2_two_chip_alt_seed", mk(1, 16, 40, 11)),
+        2 => ("g3_three_chip", mk(2, 16, 48, 23)),
+        3 => ("g4_three_chip_dense", mk(2, 20, 56, 31)),
+        4 => ("g5_six_chip", mk(3, 20, 40, 41)),
+        5 => ("g6_six_chip_dense", mk(3, 24, 48, 53)),
+        _ => panic!("golden circuit index out of range: {idx}"),
+    }
+}

@@ -40,7 +40,7 @@ fn baseline_hash(pkg: &Package) -> u64 {
 }
 
 fn request(pkg: &Arc<Package>, id: &str) -> JobRequest {
-    JobRequest { id: id.to_string(), package: Arc::clone(pkg), cfg: job_cfg(), deadline: None }
+    JobRequest { id: id.to_string(), package: Arc::clone(pkg), cfg: job_cfg(), deadline: None, changes: None }
 }
 
 /// Drives two jobs through a one-worker pool under `plan`; returns the

@@ -42,6 +42,7 @@ fn eight_concurrent_dense1_jobs_match_direct_route() {
                 package: Arc::clone(&pkg),
                 cfg: rcfg,
                 deadline: None,
+                changes: None,
             })
             .expect("queue holds 8 jobs");
     }
@@ -102,4 +103,51 @@ fn serve_lines_reports_the_direct_hash() {
     assert_eq!(resp.get("id").and_then(json::Json::as_str), Some("wire-1"));
     assert_eq!(resp.get("status").and_then(json::Json::as_str), Some("done"));
     assert_eq!(resp.get("hash").and_then(json::Json::as_str), Some(want.as_str()));
+}
+
+/// The `"eco"` op over the wire: the response hash matches a direct
+/// `reroute_delta` against the full route of the same netlist, and the
+/// response carries the ECO ledger. Works from a cold priors cache (the
+/// server full-routes the base on the spot), so a lone eco job is valid.
+#[test]
+fn serve_lines_eco_matches_direct_reroute_delta() {
+    use info_rdl::EcoChangeSet;
+    let pkg = small_dense1();
+    let rcfg = RouterConfig::default().with_global_cells(12);
+    let router = InfoRouter::new(rcfg);
+    let prior = router.route(&pkg);
+    let changes = EcoChangeSet::new().remove_net(pkg.nets()[0].id);
+    let direct = router.reroute_delta(&pkg, &prior, &changes).expect("valid deletion");
+    let want = format!("{:016x}", direct.layout.canonical_hash());
+
+    let netlist = info_rdl::model::write_package(&pkg);
+    let line = json::Json::Obj(vec![
+        ("op".to_string(), json::Json::Str("eco".to_string())),
+        ("id".to_string(), json::Json::Str("eco-1".to_string())),
+        ("netlist".to_string(), json::Json::Str(netlist)),
+        (
+            "changes".to_string(),
+            json::Json::Obj(vec![(
+                "remove".to_string(),
+                json::Json::Arr(vec![json::Json::Num(0.0)]),
+            )]),
+        ),
+        (
+            "config".to_string(),
+            json::Json::Obj(vec![("global_cells".to_string(), json::Json::Num(12.0))]),
+        ),
+    ])
+    .to_string();
+
+    let input = format!("{line}\n{{\"op\":\"shutdown\"}}\n");
+    let mut out = Vec::new();
+    info_rdl::router::serve::serve_lines(input.as_bytes(), &mut out, ServeConfig::default())
+        .expect("serve runs");
+    let text = String::from_utf8(out).expect("utf8 responses");
+    let resp = json::parse(text.lines().next().expect("one response")).expect("valid json");
+    assert_eq!(resp.get("id").and_then(json::Json::as_str), Some("eco-1"));
+    assert_eq!(resp.get("status").and_then(json::Json::as_str), Some("done"));
+    assert_eq!(resp.get("hash").and_then(json::Json::as_str), Some(want.as_str()));
+    let eco = resp.get("eco").expect("eco responses carry the EcoStats ledger");
+    assert!(eco.get("nets_reused").is_some(), "ledger lists reused nets: {eco}");
 }
