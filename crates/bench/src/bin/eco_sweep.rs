@@ -20,6 +20,9 @@
 //!
 //! The summary is spliced into `BENCH_rdl.json` under a top-level
 //! `"eco"` key, leaving the rest of the file byte-for-byte intact.
+//! Suite circuits no committed run has measured are listed under
+//! `eco.skipped` (and announced on stderr) — a partial sweep never
+//! publishes a file that silently looks complete.
 
 use info_gen::dense;
 use info_router::serve::json;
@@ -171,14 +174,35 @@ fn main() {
         if let Ok(json::Json::Obj(top)) = json::parse(&text) {
             if let Some((_, json::Json::Obj(prev))) = top.into_iter().find(|(k, _)| k == "eco") {
                 for (name, stats) in prev {
-                    if !merged.iter().any(|(n, _)| *n == name) {
-                        merged.push((name, stats));
+                    if name == "skipped" || merged.iter().any(|(n, _)| *n == name) {
+                        continue;
                     }
+                    merged.push((name, stats));
                 }
             }
         }
     }
     merged.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+    // Circuits of the dense suite with no section even after the merge
+    // were never measured by *any* committed run — say so, in the JSON
+    // and on stderr, instead of silently publishing a file that looks
+    // complete. (The suite is dense1..=5; this run covered 1..=max_dense.)
+    let skipped: Vec<String> = (1..=5)
+        .map(|d| format!("dense{d}"))
+        .filter(|name| !merged.iter().any(|(n, _)| n == name))
+        .collect();
+    if !skipped.is_empty() {
+        eprintln!(
+            "note: no ECO measurements for {} (this run swept dense1..=dense{max_dense}; \
+             pass a larger max_dense to cover them)",
+            skipped.join(", ")
+        );
+    }
+    merged.push((
+        "skipped".to_string(),
+        json::Json::Arr(skipped.into_iter().map(json::Json::Str).collect()),
+    ));
 
     let summary = json::Json::Obj(merged);
     match splice_key("BENCH_rdl.json", "eco", &summary) {

@@ -10,6 +10,9 @@
 //!   must see at least one hit;
 //! - **scaling** — with 4+ workers on a 4+ core machine, throughput must
 //!   be at least 2x the serial rate (gate skipped on smaller machines).
+//!   The serial rate is measured *with the same warm-space benefit* the
+//!   pool gets (one cold route plus N-1 warm-cache routes), so the
+//!   comparison is pool-vs-serial scheduling, not cache-vs-no-cache.
 //!
 //! The summary is spliced into `BENCH_rdl.json` under a top-level
 //! `"loadtest"` key (the rest of the file is left byte-for-byte intact),
@@ -17,7 +20,7 @@
 
 use info_gen::dense;
 use info_router::serve::{json, JobRequest, JobServer, ServeConfig};
-use info_router::{InfoRouter, RouterConfig};
+use info_router::{InfoRouter, RouterConfig, WarmSpaceCache};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,15 +38,37 @@ fn main() {
     let rcfg = RouterConfig::default();
 
     // Single-job reference: the hash every concurrent job must reproduce,
-    // and the serial-time denominator for the speedup figure.
+    // and the serial-time denominator for the speedup figure. The serial
+    // leg gets its own warm-space cache so it pays exactly what a serial
+    // worker would for N identical jobs: one cold build, then N-1 warm
+    // starts. The old measurement timed a single *cold* route and scaled
+    // it by N, while the pool's wall clock enjoyed N-1 warm hits — the
+    // denominator was inflated by (N-1) space builds the pool never did,
+    // and the printed "speedup" swung below 1.0 on machines where the
+    // pool was genuinely fine (0.94x with warm_hits 7 on one core).
+    let serial_cache = Arc::new(WarmSpaceCache::new(2));
     let t0 = Instant::now();
-    let direct = InfoRouter::new(rcfg).route(&pkg);
-    let serial = t0.elapsed();
+    let direct =
+        InfoRouter::new(rcfg).with_warm_cache(Arc::clone(&serial_cache)).route(&pkg);
+    let serial_cold = t0.elapsed();
     let want = direct.layout.canonical_hash();
+    let t0 = Instant::now();
+    let rewarm = InfoRouter::new(rcfg).with_warm_cache(Arc::clone(&serial_cache)).route(&pkg);
+    let serial_warm = t0.elapsed();
+    assert_eq!(
+        rewarm.layout.canonical_hash(),
+        want,
+        "warm-start direct route must reproduce the cold layout"
+    );
+    // Modeled serial wall for N jobs with the same cache benefit the
+    // pool gets: one cold route, N-1 warm ones.
+    let serial_total =
+        serial_cold.as_secs_f64() + serial_warm.as_secs_f64() * jobs.saturating_sub(1) as f64;
     println!(
-        "direct route: dense1 ({} nets) in {:.3}s, hash {want:016x}",
+        "direct route: dense1 ({} nets) cold {:.3}s, warm {:.3}s, hash {want:016x}",
         pkg.nets().len(),
-        serial.as_secs_f64()
+        serial_cold.as_secs_f64(),
+        serial_warm.as_secs_f64()
     );
 
     let scfg = ServeConfig {
@@ -93,7 +118,7 @@ fn main() {
     let p50 = percentile(&latencies, 50);
     let p99 = percentile(&latencies, 99);
     let throughput = jobs as f64 / wall.as_secs_f64();
-    let speedup = (serial.as_secs_f64() * jobs as f64) / wall.as_secs_f64();
+    let speedup = serial_total / wall.as_secs_f64();
     println!(
         "{jobs} jobs x {workers} workers: wall {:.3}s, {throughput:.2} jobs/s, \
          p50 {:.1}ms, p99 {:.1}ms, speedup {speedup:.2}x, warm {hits} hits / {misses} misses",
@@ -130,7 +155,21 @@ fn main() {
         ("throughput_jobs_s".to_string(), json::Json::Num((throughput * 100.0).round() / 100.0)),
         ("p50_ms".to_string(), json::Json::Num((p50.as_secs_f64() * 1e4).round() / 10.0)),
         ("p99_ms".to_string(), json::Json::Num((p99.as_secs_f64() * 1e4).round() / 10.0)),
-        ("serial_s".to_string(), json::Json::Num((serial.as_secs_f64() * 1e4).round() / 1e4)),
+        // `serial_s` is the modeled per-job serial cost (cold + N-1 warm,
+        // averaged) so speedup == serial_s * jobs / wall_s still holds;
+        // the cold/warm split is published alongside it.
+        (
+            "serial_s".to_string(),
+            json::Json::Num((serial_total / jobs.max(1) as f64 * 1e4).round() / 1e4),
+        ),
+        (
+            "serial_cold_s".to_string(),
+            json::Json::Num((serial_cold.as_secs_f64() * 1e4).round() / 1e4),
+        ),
+        (
+            "serial_warm_s".to_string(),
+            json::Json::Num((serial_warm.as_secs_f64() * 1e4).round() / 1e4),
+        ),
         ("speedup".to_string(), json::Json::Num((speedup * 100.0).round() / 100.0)),
         ("warm_hits".to_string(), json::Json::Num(hits as f64)),
         ("warm_misses".to_string(), json::Json::Num(misses as f64)),

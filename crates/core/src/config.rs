@@ -41,8 +41,10 @@ pub struct RouterConfig {
     /// bit-identical layouts (plans are applied in net order, and a plan
     /// whose read set was invalidated by an earlier commit is recomputed),
     /// so this trades CPU for wall-clock only. Forced to 1 while a fault
-    /// plan is armed, because injected-fault trigger counts are
-    /// order-sensitive.
+    /// plan is armed at any site other than `pool.worker`, because
+    /// injected-fault trigger counts are order-sensitive (`pool.worker`
+    /// faults only kill speculative plans, which are recomputed
+    /// authoritatively, so they keep the configured count).
     pub threads: usize,
     /// Windowed A\*: each sequential-stage search first explores an
     /// inflated bounding box of its pad pair and escalates to the full
@@ -161,6 +163,16 @@ impl RouterConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Sets the worker-thread count from the machine's available
+    /// parallelism, capped at 8 (the published thread-scaling matrix
+    /// tops out there, and dispatch overhead eats the returns beyond
+    /// it on these circuit sizes). The bench binaries and CI use this;
+    /// the library default stays single-threaded.
+    pub fn with_threads_auto(self) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.with_threads(cores.min(8))
     }
 
     /// Disables the A\* search window (full-graph searches only).

@@ -156,6 +156,18 @@ fn fixed_shapes(package: &Package, layer: WireLayer) -> Vec<(Option<NetId>, Octa
 
 /// Generates the interactive constraint set for the whole item model.
 pub fn generate(package: &Package, items: &ItemModel) -> Vec<Separation> {
+    generate_threaded(package, items, 1)
+}
+
+/// [`generate`] with the per-layer loop run on the work-stealing pool.
+/// Each layer's constraints are pure in `(package, items)` and the
+/// per-layer lists are flattened in layer order, so the output is
+/// byte-identical to the serial build at every thread count.
+pub fn generate_threaded(
+    package: &Package,
+    items: &ItemModel,
+    threads: usize,
+) -> Vec<Separation> {
     let rules = package.rules();
     let s = rules.min_spacing as f64;
     let sw = rules.wire_width as f64;
@@ -163,9 +175,9 @@ pub fn generate(package: &Package, items: &ItemModel) -> Vec<Separation> {
     // Pairing radius: two trust regions plus the largest rule gap.
     let radius = 2.0 * items.move_bound + s + sw + sv;
 
-    let mut out = Vec::new();
-    let layers = package.wire_layer_count();
-    for li in 0..layers {
+    let layer_ids: Vec<usize> = (0..package.wire_layer_count()).collect();
+    let per_layer: Vec<Vec<Separation>> = crate::pool::parallel_map(&layer_ids, threads, |_, &li| {
+        let mut out = Vec::new();
         let layer = WireLayer(li as u8);
         let shapes = fixed_shapes(package, layer);
         let seg_ids: Vec<usize> =
@@ -481,8 +493,9 @@ pub fn generate(package: &Package, items: &ItemModel) -> Vec<Separation> {
                 }
             }
         }
-    }
-    out
+        out
+    });
+    per_layer.into_iter().flatten().collect()
 }
 
 /// Constraints repairing one crossing found after a solve: each endpoint of

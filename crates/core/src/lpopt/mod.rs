@@ -156,7 +156,10 @@ pub fn optimize_seeded(
     if items.points.is_empty() {
         return report;
     }
-    let base = constraints::generate(package, &items);
+    // Constraint generation is pure per layer, so it shares the
+    // sequential stage's thread policy (and its work-stealing pool).
+    let base =
+        constraints::generate_threaded(package, &items, crate::sequential::effective_threads(cfg));
 
     // Net components from constraint coupling.
     let nets: BTreeSet<NetId> = items.routes.iter().map(|r| r.net).collect();

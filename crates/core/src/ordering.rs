@@ -84,8 +84,22 @@ pub fn net_features(
     nets: &[NetId],
     fail_expansions: &BTreeMap<NetId, u64>,
 ) -> Vec<NetFeatures> {
-    nets.iter()
-        .map(|&id| {
+    net_features_threaded(package, space, nets, fail_expansions, 1)
+}
+
+/// [`net_features`] over a worker pool: each net's features read only the
+/// shared (package, space, failure-map) state, so the per-net closure is
+/// pure and [`parallel_map`](crate::pool::parallel_map) returns the rows
+/// in net order — the output is byte-identical at every thread count.
+pub fn net_features_threaded(
+    package: &Package,
+    space: &RoutingSpace,
+    nets: &[NetId],
+    fail_expansions: &BTreeMap<NetId, u64>,
+    threads: usize,
+) -> Vec<NetFeatures> {
+    crate::pool::parallel_map(nets, threads, |_, &id| {
+        {
             let n = package.net(id);
             let (pa, pb) = (package.pad(n.a).center, package.pad(n.b).center);
             let length = x_arch_len(pa, pb);
@@ -116,8 +130,8 @@ pub fn net_features(
                 if terms == 0 { 0.0 } else { sum / terms as f64 }
             };
             NetFeatures { net: id, length, bbox_congestion, walledness, detour_rate }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Orders `nets` hardest-first in coarse tiers: each feature is
@@ -134,7 +148,21 @@ pub fn feature_order(
     nets: &[NetId],
     fail_expansions: &BTreeMap<NetId, u64>,
 ) -> Vec<NetId> {
-    let feats = net_features(package, space, nets, fail_expansions);
+    feature_order_threaded(package, space, nets, fail_expansions, 1)
+}
+
+/// [`feature_order`] with the feature computation spread over `threads`
+/// workers. The scoring, bucketing, and sort all run on the caller's
+/// thread against the order-preserved feature rows, so the returned
+/// order is identical at every thread count.
+pub fn feature_order_threaded(
+    package: &Package,
+    space: &RoutingSpace,
+    nets: &[NetId],
+    fail_expansions: &BTreeMap<NetId, u64>,
+    threads: usize,
+) -> Vec<NetId> {
+    let feats = net_features_threaded(package, space, nets, fail_expansions, threads);
     let max_of = |f: fn(&NetFeatures) -> f64| {
         feats.iter().map(f).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE)
     };
@@ -210,5 +238,25 @@ mod tests {
         // Without failures the order degrades to shortest-first + id.
         let base = feature_order(&pkg, &space, &nets, &BTreeMap::new());
         assert_eq!(base.len(), 3);
+    }
+
+    #[test]
+    fn threaded_features_match_serial() {
+        let pkg = pkg();
+        let cfg = RouterConfig::default().with_global_cells(8);
+        let layout = Layout::new(&pkg);
+        let space = RoutingSpace::build(&pkg, &layout, space_config(&pkg, &cfg));
+        let nets: Vec<NetId> = pkg.nets().iter().map(|n| n.id).collect();
+        let mut fails = BTreeMap::new();
+        fails.insert(NetId(1), 250_000u64);
+        let serial = net_features(&pkg, &space, &nets, &fails);
+        for threads in [2, 4, 8] {
+            let par = net_features_threaded(&pkg, &space, &nets, &fails, threads);
+            assert_eq!(serial, par, "feature rows must be thread-invariant ({threads} threads)");
+            assert_eq!(
+                feature_order(&pkg, &space, &nets, &fails),
+                feature_order_threaded(&pkg, &space, &nets, &fails, threads),
+            );
+        }
     }
 }

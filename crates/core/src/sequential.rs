@@ -6,7 +6,7 @@
 //! exactly as the paper updates its routing graph after each net.
 
 use crate::config::RouterConfig;
-use crate::pool::parallel_map;
+use crate::pool::{parallel_map, parallel_map_stats};
 use crate::resilience::{panic_message, FaultSite, FlowCtx, RouterError, Stage};
 use info_geom::{x_arch_len, Rect};
 use info_model::{Layout, NetId, Package};
@@ -155,7 +155,14 @@ pub(crate) fn build_stage_space(
 ) -> RoutingSpace {
     let mut space = RoutingSpace::build(package, layout, space_config(package, cfg));
     if cfg.alt_landmarks > 0 {
-        let lm = info_tile::Landmarks::build(&space, cfg.alt_landmarks);
+        // Each landmark's Dijkstra fills a disjoint table slice, so the
+        // threaded build is bit-identical to the serial one (which is why
+        // the warm-space cache key can keep ignoring `threads`).
+        let lm = info_tile::Landmarks::build_threaded(
+            &space,
+            cfg.alt_landmarks,
+            effective_threads(cfg),
+        );
         space.set_landmarks(Some(std::sync::Arc::new(lm)));
         tel.count(Counter::LandmarkRebuilds, 1);
     }
@@ -213,6 +220,11 @@ pub(crate) fn route_sequential_in_space(
     let mut result = SequentialResult::default();
     let mut retry: Vec<NetId> = Vec::new();
     let threads = effective_threads(cfg);
+    // One controller for the whole stage: the conflict rate the legacy
+    // front observes seeds the batch size the negotiated queue starts
+    // from (and vice versa on re-entry), so a congested circuit doesn't
+    // re-learn its contention level at every pass boundary.
+    let mut batcher = BatchController::new(threads);
     let mut stats = astar::SearchStats::default();
     // Nodes the *authoritative* failed attempt of each net expanded (the
     // committed sequential search, never a discarded speculative one), so
@@ -227,6 +239,7 @@ pub(crate) fn route_sequential_in_space(
             cfg,
             ctx,
             threads,
+            &mut batcher,
             &mut *space,
             &mut stats,
             tel,
@@ -259,6 +272,7 @@ pub(crate) fn route_sequential_in_space(
                 cfg,
                 ctx,
                 threads,
+                &mut batcher,
                 &mut stats,
                 tel,
                 &mut |id, attempt| match attempt {
@@ -368,6 +382,7 @@ pub(crate) fn route_sequential_in_space(
                     cfg,
                     &result.routed,
                     ctx,
+                    threads,
                     &mut stats,
                     tel,
                 )
@@ -416,6 +431,7 @@ pub(crate) fn route_sequential_in_space(
             cfg,
             ctx,
             threads,
+            &mut batcher,
             &mut *space,
             &mut stats,
             tel,
@@ -434,16 +450,72 @@ pub(crate) fn route_sequential_in_space(
     result
 }
 
-/// Worker threads the sequential stage actually uses. A non-empty fault
-/// plan forces single-threaded routing: [`FlowCtx::check`] trigger counts
-/// depend on the exact order sites are passed, which speculative planning
-/// (each plan passes `astar.expand` once, invalidated plans twice) would
-/// perturb.
-fn effective_threads(cfg: &RouterConfig) -> usize {
-    if cfg.fault_plan.is_empty() {
+/// Worker threads the sequential stage actually uses. A fault plan with
+/// order-sensitive sites forces single-threaded routing: [`FlowCtx::check`]
+/// trigger counts depend on the exact order sites are passed, which
+/// speculative planning (each plan passes `astar.expand` once, invalidated
+/// plans twice) would perturb. Plans armed only at `pool.worker` keep the
+/// configured thread count — that site exists precisely to kill
+/// speculative workers, whose deaths the commit loop absorbs by
+/// recomputing through the single-threaded path.
+pub(crate) fn effective_threads(cfg: &RouterConfig) -> usize {
+    if cfg.fault_plan.is_empty() || cfg.fault_plan.order_insensitive() {
         cfg.threads.max(1)
     } else {
         1
+    }
+}
+
+/// Adaptive batch sizing for the speculative planner, driven by the
+/// observed conflict rate: a conflict (a plan discarded stale because an
+/// earlier commit in its batch rebuilt a cell it read, or a worker
+/// error) means planning work was thrown away *and* the recompute ran
+/// serially, so under contention smaller batches waste less; when every
+/// plan lands clean the batch can grow and amortize pool dispatch over
+/// more nets. Batch composition cannot change the routed layout — the
+/// commit loop applies plans in net order and re-plans anything stale —
+/// so the controller only moves wall time, never bytes.
+struct BatchController {
+    size: usize,
+    min: usize,
+    max: usize,
+}
+
+impl BatchController {
+    /// Shrink when more than 1 in 4 plans conflicted…
+    const HIGH: f64 = 0.25;
+    /// …grow when fewer than 1 in 16 did.
+    const LOW: f64 = 0.0625;
+
+    fn new(threads: usize) -> Self {
+        let t = threads.max(1);
+        BatchController { size: t * 2, min: t, max: t * 8 }
+    }
+
+    /// Nets to plan in the next batch.
+    fn batch(&self) -> usize {
+        self.size
+    }
+
+    /// Feeds one completed batch's conflict count back into the size.
+    fn observe(&mut self, batch_len: usize, conflicts: usize, tel: &Sink) {
+        if batch_len == 0 {
+            return;
+        }
+        let rate = conflicts as f64 / batch_len as f64;
+        if rate > Self::HIGH {
+            let next = (self.size / 2).max(self.min);
+            if next < self.size {
+                tel.count(Counter::SpeculativeBatchShrinks, 1);
+            }
+            self.size = next;
+        } else if rate < Self::LOW {
+            let next = (self.size * 2).min(self.max);
+            if next > self.size {
+                tel.count(Counter::SpeculativeBatchGrows, 1);
+            }
+            self.size = next;
+        }
     }
 }
 
@@ -536,28 +608,34 @@ fn route_pass_speculative(
     cfg: &RouterConfig,
     ctx: &FlowCtx,
     threads: usize,
+    batcher: &mut BatchController,
     stats: &mut astar::SearchStats,
     tel: &Sink,
     emit: &mut dyn FnMut(NetId, Attempt),
 ) {
-    let batch_size = threads * 2;
     let mut start = 0;
     while start < todo.len() {
-        let batch = &todo[start..(start + batch_size).min(todo.len())];
+        let batch = &todo[start..(start + batcher.batch()).min(todo.len())];
         start += batch.len();
-        // Plan read-only against the batch-start state. Worker panics are
-        // converted to errors here and re-raised through the sequential
-        // recompute path below, which owns the rollback.
-        let plans: Vec<Result<PlanOutcome, RouterError>> =
-            parallel_map(batch, threads, |_, &id| {
-                catch_unwind(AssertUnwindSafe(|| plan_net(package, layout, space, id, cfg, ctx)))
-                    .unwrap_or_else(|payload| {
-                        Err(RouterError::Panic {
-                            stage: Stage::Sequential,
-                            message: panic_message(payload.as_ref()),
-                        })
+        // Plan read-only against the batch-start state on the
+        // work-stealing pool. Worker panics (injected ones included — the
+        // `pool.worker` fault site lives here) are converted to errors and
+        // re-raised through the sequential recompute path below, which
+        // owns the rollback.
+        let (plans, pool_stats): (Vec<Result<PlanOutcome, RouterError>>, _) =
+            parallel_map_stats(batch, threads, |_, &id| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    ctx.check(FaultSite::PoolWorker)?;
+                    plan_net(package, layout, space, id, cfg, ctx)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(RouterError::Panic {
+                        stage: Stage::Sequential,
+                        message: panic_message(payload.as_ref()),
                     })
+                })
             });
+        tel.count(Counter::PoolSteals, pool_stats.steals);
         // Every plan's search ran, so every plan's search counts — even
         // ones discarded as stale below (this is why aggregate totals are
         // thread-variant). Absorbed in batch order for reproducibility at
@@ -568,6 +646,8 @@ fn route_pass_speculative(
         // Commit in net order; track which cells each commit rebuilt.
         let mut dirty: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut all_dirty = false;
+        let mut attempted = 0usize;
+        let mut conflicts = 0usize;
         for (&id, plan) in batch.iter().zip(plans) {
             if ctx.interrupted() {
                 emit(id, Attempt::Deadline);
@@ -577,6 +657,13 @@ fn route_pass_speculative(
                 Ok(p) if !all_dirty => p.read_cells.iter().all(|c| !dirty.contains(c)),
                 _ => false,
             };
+            attempted += 1;
+            if fresh {
+                tel.count(Counter::SpeculativeCommits, 1);
+            } else {
+                conflicts += 1;
+                tel.count(Counter::SpeculativeConflicts, 1);
+            }
             let attempt = if fresh {
                 match plan.expect("fresh implies planned") {
                     PlanOutcome { real: None, draft, .. } => Attempt::Failed(draft),
@@ -625,6 +712,7 @@ fn route_pass_speculative(
             };
             emit(id, attempt);
         }
+        batcher.observe(attempted, conflicts, tel);
     }
 }
 
@@ -699,6 +787,7 @@ fn run_negotiated_pass(
     cfg: &RouterConfig,
     ctx: &FlowCtx,
     threads: usize,
+    batcher: &mut BatchController,
     stats: &mut astar::SearchStats,
     tel: &Sink,
 ) -> PassTally {
@@ -726,7 +815,7 @@ fn run_negotiated_pass(
     };
     if threads > 1 {
         route_pass_speculative(
-            package, layout, space, todo, cfg, ctx, threads, stats, tel, &mut emit,
+            package, layout, space, todo, cfg, ctx, threads, batcher, stats, tel, &mut emit,
         );
     } else {
         for &id in todo {
@@ -827,9 +916,13 @@ fn select_victims(
     routed: &BTreeSet<NetId>,
     failed: impl Iterator<Item = NetId>,
     corridor_margin: i64,
+    threads: usize,
 ) -> BTreeSet<NetId> {
-    let mut victims: BTreeSet<NetId> = BTreeSet::new();
-    for id in failed {
+    // Each failed net's corridor scan is pure in (package, layout), so
+    // the per-net victim lists are computed on the work-stealing pool;
+    // the union below is a BTreeSet, so merge order cannot matter.
+    let failed: Vec<NetId> = failed.collect();
+    let per_net: Vec<Vec<NetId>> = parallel_map(&failed, threads, |_, &id| {
         let n = package.net(id);
         let (pa, pb) = (package.pad(n.a).center, package.pad(n.b).center);
         let corridor = Rect::new(pa, pb).inflate(corridor_margin);
@@ -849,9 +942,9 @@ fn select_victims(
             })
             .collect();
         keyed.sort();
-        victims.extend(keyed.iter().take(NEGOTIATION_VICTIMS_PER_FAILED).map(|&(_, c)| c));
-    }
-    victims
+        keyed.into_iter().take(NEGOTIATION_VICTIMS_PER_FAILED).map(|(_, c)| c).collect()
+    });
+    per_net.into_iter().flatten().collect()
 }
 
 /// The negotiated-congestion front (DESIGN.md §4h): replaces the legacy
@@ -885,6 +978,7 @@ fn route_negotiated_front(
     cfg: &RouterConfig,
     ctx: &FlowCtx,
     threads: usize,
+    batcher: &mut BatchController,
     space: &mut RoutingSpace,
     stats: &mut astar::SearchStats,
     tel: &Sink,
@@ -909,7 +1003,7 @@ fn route_negotiated_front(
 
     let mut neg = NegotiationStats::default();
     let mut routed: BTreeSet<NetId> = BTreeSet::new();
-    let mut queue: Vec<NetId> = crate::ordering::feature_order(package, space, nets, fail_expansions);
+    let mut queue: Vec<NetId> = crate::ordering::feature_order_threaded(package, space, nets, fail_expansions, threads);
     let mut last_failed: BTreeMap<NetId, u64>;
     let mut aborted = false;
     let mut best_failed = usize::MAX;
@@ -919,8 +1013,9 @@ fn route_negotiated_front(
         neg.iterations += 1;
         tel.count(Counter::NegotiationIterations, 1);
         let iter_t0 = std::time::Instant::now();
-        let tally =
-            run_negotiated_pass(package, layout, space, &queue, cfg, ctx, threads, stats, tel);
+        let tally = run_negotiated_pass(
+            package, layout, space, &queue, cfg, ctx, threads, batcher, stats, tel,
+        );
         for (id, e) in tally.internal {
             result.recovered.push((id, e));
             result.failed.push(id);
@@ -993,7 +1088,7 @@ fn route_negotiated_front(
         // negotiated evictions re-route under escalated history instead
         // of trial-and-restore.
         let victims =
-            select_victims(package, layout, &routed, last_failed.keys().copied(), corridor_margin);
+            select_victims(package, layout, &routed, last_failed.keys().copied(), corridor_margin, threads);
         let mut touched: Vec<Rect> = Vec::new();
         for &v in &victims {
             net_geometry_rects(layout, v, &mut touched);
@@ -1010,7 +1105,7 @@ fn route_negotiated_front(
             victims.iter().chain(last_failed.keys()).copied().collect();
         tel.count(Counter::NegotiationReroutes, requeue.len() as u64);
         neg.reroutes += requeue.len() as u64;
-        queue = crate::ordering::feature_order(package, space, &requeue, fail_expansions);
+        queue = crate::ordering::feature_order_threaded(package, space, &requeue, fail_expansions, threads);
     }
 
     if neg.declined {
@@ -1062,6 +1157,7 @@ fn negotiate_endgame(
     cfg: &RouterConfig,
     ctx: &FlowCtx,
     threads: usize,
+    batcher: &mut BatchController,
     space: &mut RoutingSpace,
     stats: &mut astar::SearchStats,
     tel: &Sink,
@@ -1128,7 +1224,7 @@ fn negotiate_endgame(
         }
 
         let victims =
-            select_victims(package, layout, &routed, failed.keys().copied(), corridor_margin);
+            select_victims(package, layout, &routed, failed.keys().copied(), corridor_margin, threads);
         let mut touched: Vec<Rect> = Vec::new();
         for &v in &victims {
             net_geometry_rects(layout, v, &mut touched);
@@ -1144,9 +1240,10 @@ fn negotiate_endgame(
         let requeue: Vec<NetId> = victims.iter().chain(failed.keys()).copied().collect();
         tel.count(Counter::NegotiationReroutes, requeue.len() as u64);
         reroutes += requeue.len() as u64;
-        let queue = crate::ordering::feature_order(package, space, &requeue, fail_expansions);
-        let tally =
-            run_negotiated_pass(package, layout, space, &queue, cfg, ctx, threads, stats, tel);
+        let queue = crate::ordering::feature_order_threaded(package, space, &requeue, fail_expansions, threads);
+        let tally = run_negotiated_pass(
+            package, layout, space, &queue, cfg, ctx, threads, batcher, stats, tel,
+        );
         for (id, e) in tally.internal {
             result.recovered.push((id, e));
             failed.insert(id, 0);
@@ -1218,6 +1315,7 @@ fn ripup_and_reroute(
     cfg: &RouterConfig,
     routed: &[NetId],
     ctx: &FlowCtx,
+    threads: usize,
     stats: &mut astar::SearchStats,
     tel: &Sink,
 ) -> Result<bool, RouterError> {
@@ -1233,23 +1331,29 @@ fn ripup_and_reroute(
     // happen to sit near the corridor's center, which is what the old
     // pad-midpoint ranking rewarded and why the true blocker could sort
     // past the eviction cutoff.
-    let mut keyed: Vec<(NetId, i128, i128)> = routed
-        .iter()
-        .copied()
-        .filter_map(|c| {
-            let mut da = i128::MAX;
-            let mut db = i128::MAX;
-            let mut inside = false;
-            for r in layout.routes_of(c) {
-                for p in r.path.points() {
-                    inside |= corridor.contains(*p);
-                    da = da.min(info_geom::euclid_sq(*p, pa));
-                    db = db.min(info_geom::euclid_sq(*p, pb));
-                }
+    //
+    // The per-candidate scan is read-only and pure per net, so it runs
+    // on the work-stealing pool; eviction trials and commits below stay
+    // strictly serial, in ranked order, which keeps the layout
+    // thread-invariant (the ranking itself is order-independent: results
+    // come back in candidate order and the sort key is deterministic).
+    let scan_layout: &Layout = layout;
+    let mut keyed: Vec<(NetId, i128, i128)> = parallel_map(routed, threads, |_, &c| {
+        let mut da = i128::MAX;
+        let mut db = i128::MAX;
+        let mut inside = false;
+        for r in scan_layout.routes_of(c) {
+            for p in r.path.points() {
+                inside |= corridor.contains(*p);
+                da = da.min(info_geom::euclid_sq(*p, pa));
+                db = db.min(info_geom::euclid_sq(*p, pb));
             }
-            if inside { Some((c, da, db)) } else { None }
-        })
-        .collect();
+        }
+        if inside { Some((c, da, db)) } else { None }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     keyed.sort_by_key(|&(n, da, db)| (da.min(db), n));
     let candidates: Vec<NetId> = keyed.iter().map(|&(n, ..)| n).collect();
     // Eviction sets: up to six single victims, then terminal-aware pairs.
@@ -1611,12 +1715,56 @@ mod tests {
 
     #[test]
     fn fault_plan_forces_single_thread() {
-        use crate::resilience::{FaultPlan, FaultSite};
+        use crate::resilience::{FaultDirective, FaultKind, FaultPlan, FaultSite};
         let cfg = RouterConfig::default()
             .with_threads(8)
             .with_fault_plan(FaultPlan::single(FaultSite::AstarExpand));
         assert_eq!(effective_threads(&cfg), 1);
         assert_eq!(effective_threads(&RouterConfig::default().with_threads(8)), 8);
+        // A pool-worker-only plan is order-insensitive: the configured
+        // thread count survives, which is what lets the thread-scaling
+        // fault tests actually run multi-threaded.
+        let pool_only = RouterConfig::default()
+            .with_threads(8)
+            .with_fault_plan(FaultPlan::single_panic(FaultSite::PoolWorker));
+        assert_eq!(effective_threads(&pool_only), 8);
+        // Mixing in any other site re-arms the single-thread fallback.
+        let mixed = RouterConfig::default().with_threads(8).with_fault_plan(
+            FaultPlan::single_panic(FaultSite::PoolWorker).with(FaultDirective {
+                site: FaultSite::LpFactorize,
+                kind: FaultKind::Error,
+                skip: 0,
+                fires: 1,
+            }),
+        );
+        assert_eq!(effective_threads(&mixed), 1);
+    }
+
+    #[test]
+    fn batch_controller_tracks_conflict_rate() {
+        let tel = Sink::disabled();
+        let mut b = BatchController::new(4);
+        assert_eq!(b.batch(), 8);
+        // Clean batches grow the size up to threads * 8…
+        b.observe(8, 0, &tel);
+        assert_eq!(b.batch(), 16);
+        b.observe(16, 0, &tel);
+        b.observe(32, 1, &tel); // 1/32 < LOW still grows
+        assert_eq!(b.batch(), 32);
+        b.observe(32, 0, &tel);
+        assert_eq!(b.batch(), 32, "clamped at threads * 8");
+        // …heavy conflicts halve it down to the thread count…
+        b.observe(32, 16, &tel);
+        assert_eq!(b.batch(), 16);
+        b.observe(16, 15, &tel);
+        b.observe(8, 8, &tel);
+        b.observe(4, 4, &tel);
+        assert_eq!(b.batch(), 4, "clamped at threads");
+        // …and a moderate rate holds steady.
+        b.observe(4, 1, &tel); // 0.25 is not > HIGH
+        assert_eq!(b.batch(), 4);
+        b.observe(0, 0, &tel); // empty batch is a no-op
+        assert_eq!(b.batch(), 4);
     }
 
     #[test]
@@ -1663,6 +1811,7 @@ mod tests {
             &cfg,
             &[NetId(1)],
             &ctx,
+            2,
             &mut astar::SearchStats::default(),
             &Sink::disabled(),
         )

@@ -214,11 +214,24 @@ pub enum Counter {
     /// Nets re-queued by the negotiation driver — evicted victims plus
     /// still-failed nets — summed over every iteration after the first.
     NegotiationReroutes,
+    /// Speculative plans applied fresh (read-cell set disjoint from the
+    /// batch's earlier commits; the parallel work paid off).
+    SpeculativeCommits,
+    /// Speculative plans discarded stale and recomputed sequentially
+    /// (read-cell conflict, worker error, or interrupt replay).
+    SpeculativeConflicts,
+    /// Adaptive batch-controller growth steps (conflict rate low).
+    SpeculativeBatchGrows,
+    /// Adaptive batch-controller shrink steps (conflict rate high).
+    SpeculativeBatchShrinks,
+    /// Work-stealing pool steals (a starved worker took the back half of
+    /// another worker's remaining range).
+    PoolSteals,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 29] = [
         Counter::Searches,
         Counter::NodesExpanded,
         Counter::WindowEscalations,
@@ -243,6 +256,11 @@ impl Counter {
         Counter::NegotiationIterations,
         Counter::NegotiationOveruse,
         Counter::NegotiationReroutes,
+        Counter::SpeculativeCommits,
+        Counter::SpeculativeConflicts,
+        Counter::SpeculativeBatchGrows,
+        Counter::SpeculativeBatchShrinks,
+        Counter::PoolSteals,
     ];
 
     /// Stable snake_case label.
@@ -272,6 +290,11 @@ impl Counter {
             Counter::NegotiationIterations => "negotiation_iterations",
             Counter::NegotiationOveruse => "negotiation_overuse",
             Counter::NegotiationReroutes => "negotiation_reroutes",
+            Counter::SpeculativeCommits => "speculative_commits",
+            Counter::SpeculativeConflicts => "speculative_conflicts",
+            Counter::SpeculativeBatchGrows => "speculative_batch_grows",
+            Counter::SpeculativeBatchShrinks => "speculative_batch_shrinks",
+            Counter::PoolSteals => "pool_steals",
         }
     }
 }

@@ -79,6 +79,16 @@ impl Landmarks {
     /// selection is farthest-point sampling seeded at the node with the
     /// lexicographically smallest `(center, layer)`.
     pub fn build(space: &RoutingSpace, k: usize) -> Self {
+        Self::build_threaded(space, k, 1)
+    }
+
+    /// [`Landmarks::build`] with the per-landmark Dijkstra loop spread
+    /// over up to `threads` OS threads. Each landmark's table is an
+    /// independent single-source problem writing a disjoint slice of
+    /// `dist`, so the tables are bit-identical at every thread count —
+    /// which is also why a warm-space cache key never needs to include
+    /// the thread count.
+    pub fn build_threaded(space: &RoutingSpace, k: usize, threads: usize) -> Self {
         let layers = space.layer_count();
 
         // --- Collect nodes (stage-start tiles that someone can pass).
@@ -190,13 +200,21 @@ impl Landmarks {
         }
         let k = landmarks.len();
 
-        // --- Per-landmark Dijkstra over the optimistic graph.
+        // --- Per-landmark Dijkstra over the optimistic graph. Each
+        // landmark fills its own disjoint `dist` slice, so the slices are
+        // dealt out to scoped worker threads round-robin (this crate sits
+        // below the router's work-stealing pool in the dependency graph,
+        // and k is small enough that static striping balances fine).
         let mut dist = vec![f64::INFINITY; k * n];
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-        for (l, &src) in landmarks.iter().enumerate() {
-            let d = &mut dist[l * n..(l + 1) * n];
+        let workers = threads.max(1).min(k.max(1));
+        let mut striped: Vec<Vec<(usize, &mut [f64])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (l, slice) in dist.chunks_mut(n).enumerate() {
+            striped[l % workers].push((l, slice));
+        }
+        let run_landmark = |src: usize, d: &mut [f64]| {
+            let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
             d[src] = 0.0;
-            heap.clear();
             heap.push(Reverse((0u64, src as u32)));
             while let Some(Reverse((fb, u))) = heap.pop() {
                 let u = u as usize;
@@ -212,6 +230,25 @@ impl Landmarks {
                     }
                 }
             }
+        };
+        if workers <= 1 {
+            for stripe in striped {
+                for (l, d) in stripe {
+                    run_landmark(landmarks[l], d);
+                }
+            }
+        } else {
+            std::thread::scope(|s| {
+                for stripe in striped {
+                    let landmarks = &landmarks;
+                    let run_landmark = &run_landmark;
+                    s.spawn(move || {
+                        for (l, d) in stripe {
+                            run_landmark(landmarks[l], d);
+                        }
+                    });
+                }
+            });
         }
 
         Landmarks { locate, shapes, dist, k }
